@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Workload sizes follow ``RIPPLE_BENCH_SCALE`` (default 1 = laptop-minute
+runs; the mapping to the paper's sizes is in DESIGN.md §4).  Rounds
+follow ``RIPPLE_BENCH_ROUNDS`` (default 3).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_rounds(default: int = 3) -> int:
+    return int(os.environ.get("RIPPLE_BENCH_ROUNDS", default))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    from repro.bench.harness import bench_scale
+
+    return bench_scale()

@@ -1,0 +1,78 @@
+"""Ablation — the price of the §IV-A fault-tolerance mode.
+
+With ``fault_tolerance=True`` every part-step defers its state writes
+and outgoing spills to a single commit point, retains its input spills
+until commit, and updates the part → completed-step progress table.
+This benchmark prices that bookkeeping on a failure-free PageRank run,
+and then shows that injected failures cost roughly the re-executed
+part-steps and nothing more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pagerank import PageRankConfig, build_pagerank_table, pagerank_direct
+from repro.ebsp.recovery import FailureInjector
+from repro.graph.generators import power_law_directed_graph
+from repro.kvstore.local import LocalKVStore
+
+from benchmarks.conftest import bench_rounds
+
+CONFIG = PageRankConfig(iterations=4)
+_MEANS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def adjacency(scale):
+    return power_law_directed_graph(int(800 * scale), int(12_000 * scale), seed=31)
+
+
+def _bench(benchmark, adjacency, fault_tolerance: bool, injector_factory=None):
+    stores = []
+
+    def setup():
+        store = LocalKVStore(default_n_parts=4)
+        stores.append(store)
+        n = build_pagerank_table(store, "pr", adjacency)
+        kwargs = {"fault_tolerance": fault_tolerance}
+        if injector_factory is not None:
+            kwargs["failure_injector"] = injector_factory()
+        return (store, n, kwargs), {}
+
+    def target(store, n, kwargs):
+        pagerank_direct(store, "pr", n, CONFIG, **kwargs)
+
+    try:
+        benchmark.pedantic(target, setup=setup, rounds=bench_rounds(), iterations=1)
+    finally:
+        for store in stores:
+            store.close()
+    return benchmark.stats.stats.mean
+
+
+def test_without_fault_tolerance(benchmark, adjacency):
+    _MEANS["off"] = _bench(benchmark, adjacency, fault_tolerance=False)
+
+
+def test_with_fault_tolerance(benchmark, adjacency):
+    _MEANS["on"] = _bench(benchmark, adjacency, fault_tolerance=True)
+    if "off" in _MEANS:
+        overhead = _MEANS["on"] / _MEANS["off"] - 1.0
+        # deferring commits + progress table should be a bounded tax
+        assert overhead < 1.0, f"fault tolerance costs {overhead:.0%}; expected < 100%"
+
+
+def test_with_injected_failures(benchmark, adjacency):
+    def injector_factory():
+        injector = FailureInjector()
+        for part in range(4):
+            injector.schedule(part=part, step=1, times=1)
+        return injector
+
+    _MEANS["failures"] = _bench(
+        benchmark, adjacency, fault_tolerance=True, injector_factory=injector_factory
+    )
+    if "on" in _MEANS:
+        # four retried part-steps out of 4 parts x 5 steps ≈ +20% work
+        assert _MEANS["failures"] < _MEANS["on"] * 2.0

@@ -1,0 +1,91 @@
+"""Ablation — the §II-A execution special cases.
+
+Measures what each declared property buys on an otherwise identical
+job: ``no-sort`` (skip ordering collocated invocations by key) and
+``no-collect`` (skip value-list construction for one-msg/no-continue
+jobs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ebsp.job import Compute, ComputeContext, Job
+from repro.ebsp.loaders import MessageListLoader
+from repro.ebsp.properties import JobProperties
+from repro.ebsp.runner import run_job
+from repro.kvstore.local import LocalKVStore
+
+from benchmarks.conftest import bench_rounds
+
+N_KEYS = 30_000
+_RESULTS: dict = {}
+
+
+class _Relay(Compute):
+    """Each enabled key forwards once, then the job drains."""
+
+    def compute(self, ctx: ComputeContext) -> bool:
+        for value in ctx.input_messages():
+            if value > 0:
+                ctx.output_message(ctx.key + N_KEYS, 0)
+        return False
+
+
+class _RelayJob(Job):
+    def __init__(self, properties: JobProperties):
+        self._properties = properties
+
+    def state_table_names(self):
+        return ["relay_state"]
+
+    def get_compute(self):
+        return _Relay()
+
+    def properties(self):
+        return self._properties
+
+    def loaders(self):
+        return [MessageListLoader([(k, 1) for k in range(N_KEYS)])]
+
+
+def _run(properties: JobProperties) -> float:
+    store = LocalKVStore(default_n_parts=4)
+    try:
+        result = run_job(store, _RelayJob(properties), synchronize=True)
+        assert result.compute_invocations == 2 * N_KEYS
+        return result.elapsed_seconds
+    finally:
+        store.close()
+
+
+def test_baseline_needs_order(benchmark):
+    """Sorted, collected — the Hadoop-like always-sort regime."""
+    benchmark.pedantic(
+        lambda: _run(JobProperties(needs_order=True)),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    _RESULTS["needs_order"] = benchmark.stats.stats.mean
+
+
+def test_no_sort(benchmark):
+    """¬needs-order ⇒ no-sort: skip per-part key ordering."""
+    benchmark.pedantic(
+        lambda: _run(JobProperties()), rounds=bench_rounds(), iterations=1
+    )
+    _RESULTS["no_sort"] = benchmark.stats.stats.mean
+
+
+def test_no_collect(benchmark):
+    """one-msg ∧ no-continue ⇒ no-collect: skip value-list building."""
+    benchmark.pedantic(
+        lambda: _run(JobProperties(one_msg=True, no_continue=True)),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    _RESULTS["no_collect"] = benchmark.stats.stats.mean
+    if "needs_order" in _RESULTS:
+        # each relaxation must not be slower than the stricter regime
+        # (allowing 10% noise on a shared machine)
+        assert _RESULTS["no_collect"] <= _RESULTS["needs_order"] * 1.10

@@ -1,0 +1,49 @@
+"""Ablation — transport-table spill batch size (paper §IV-A).
+
+"BSP messages are transported in batches called spills."  Each spill is
+one marshalled put into the transport table, so the batch size trades
+per-put overhead against buffer memory.  Tiny spills mean one
+(marshalled, cross-partition) put per few records; the default 512
+amortizes that ~100×.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pagerank import PageRankConfig, build_pagerank_table, pagerank_direct
+from repro.graph.generators import power_law_directed_graph
+from repro.kvstore.partitioned import PartitionedKVStore
+
+from benchmarks.conftest import bench_rounds
+
+CONFIG = PageRankConfig(iterations=3)
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def adjacency(scale):
+    return power_law_directed_graph(int(800 * scale), int(16_000 * scale), seed=55)
+
+
+def _run(adjacency, spill_batch: int):
+    store = PartitionedKVStore(n_partitions=6)
+    try:
+        n = build_pagerank_table(store, "pr", adjacency)
+        pagerank_direct(store, "pr", n, CONFIG, spill_batch=spill_batch)
+        return store.stats.snapshot()["marshalled_objects"]
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("spill_batch", [8, 64, 512])
+def test_spill_batch(benchmark, adjacency, spill_batch):
+    marshalled = benchmark.pedantic(
+        lambda: _run(adjacency, spill_batch), rounds=bench_rounds(), iterations=1
+    )
+    _RESULTS[spill_batch] = marshalled
+    if spill_batch == 512 and 8 in _RESULTS:
+        assert marshalled < _RESULTS[8] / 4, (
+            "batching should collapse marshalled puts "
+            f"({marshalled} at 512 vs {_RESULTS[8]} at 8)"
+        )

@@ -1,0 +1,60 @@
+"""Ablation — store portability cost (the Figure 2 layering).
+
+The same PageRank job over three stores: the single-threaded local
+store, the 6-partition parallel debugging store (marshalling across
+partitions), and the WXS-analog replicated store (per-write
+replication to one backup).  Everything above the SPI is identical;
+the differences measured here are purely the lower layer's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pagerank import PageRankConfig, build_pagerank_table, pagerank_direct
+from repro.graph.generators import power_law_directed_graph
+from repro.kvstore.local import LocalKVStore
+from repro.kvstore.partitioned import PartitionedKVStore
+from repro.kvstore.replicated import ReplicatedKVStore
+
+from benchmarks.conftest import bench_rounds
+
+CONFIG = PageRankConfig(iterations=4)
+
+
+@pytest.fixture(scope="module")
+def adjacency(scale):
+    return power_law_directed_graph(int(1000 * scale), int(20_000 * scale), seed=77)
+
+
+def _run(adjacency, store):
+    try:
+        n = build_pagerank_table(store, "pr", adjacency)
+        result = pagerank_direct(store, "pr", n, CONFIG)
+        assert result.steps == CONFIG.iterations + 1
+    finally:
+        store.close()
+
+
+def test_store_local(benchmark, adjacency):
+    benchmark.pedantic(
+        lambda: _run(adjacency, LocalKVStore(default_n_parts=6)),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+
+
+def test_store_partitioned(benchmark, adjacency):
+    benchmark.pedantic(
+        lambda: _run(adjacency, PartitionedKVStore(n_partitions=6)),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+
+
+def test_store_replicated(benchmark, adjacency):
+    benchmark.pedantic(
+        lambda: _run(adjacency, ReplicatedKVStore(n_shards=6, replication=1)),
+        rounds=bench_rounds(),
+        iterations=1,
+    )

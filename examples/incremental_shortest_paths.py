@@ -1,0 +1,83 @@
+"""Maintain shortest-path distances on a changing graph (paper §V-C).
+
+A road-network-ish scenario: a dispatch center (the source vertex)
+needs every node annotated with its hop distance, while roads open and
+close in small batches.  The selective-enablement variant re-touches
+only the vertices whose annotation could actually change; the
+MapReduce-style full-scan variant re-reads the whole graph per wave —
+the paper measured 0.21 s vs 78 s for ten 1,000-change batches.
+
+Run:  python examples/incremental_shortest_paths.py [n_vertices] [n_edges]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import PartitionedKVStore
+from repro.apps.sssp import (
+    DynamicGraphWorkload,
+    FullScanSSSP,
+    INFINITY,
+    SelectiveSSSP,
+    reference_distances,
+)
+from repro.apps.sssp.common import apply_batch_to_adjacency
+
+
+def main() -> None:
+    n_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 1_000
+    n_edges = int(sys.argv[2]) if len(sys.argv) > 2 else 18_000
+    workload = DynamicGraphWorkload(
+        n_vertices=n_vertices,
+        n_edges=n_edges,
+        batches=10,
+        changes_per_batch=max(4, n_vertices // 100),
+        seed=2013,
+    )
+    print(
+        f"dynamic graph: {n_vertices} vertices, ~{n_edges} edges, "
+        f"source = {workload.source}, 10 batches x "
+        f"{workload.changes_per_batch} changes"
+    )
+
+    solvers = {}
+    for name, cls in [("selective", SelectiveSSSP), ("full-scan", FullScanSSSP)]:
+        store = PartitionedKVStore(n_partitions=6)
+        solver = cls(store, workload.source)
+        solver.load({v: set(ns) for v, ns in workload.initial_adjacency.items()})
+        solver.initial_solve()
+        solvers[name] = (store, solver)
+
+    # ground truth, maintained alongside
+    adjacency = {v: set(ns) for v, ns in workload.initial_adjacency.items()}
+
+    totals = {name: 0.0 for name in solvers}
+    for i, batch in enumerate(workload.change_batches):
+        apply_batch_to_adjacency(adjacency, batch)
+        reference = reference_distances(adjacency, workload.source)
+        line = [f"batch {i}: +{len(batch.add_edges)}/-{len(batch.remove_edges)} edges"]
+        for name, (_, solver) in solvers.items():
+            start = time.monotonic()
+            solver.update(batch)
+            elapsed = time.monotonic() - start
+            totals[name] += elapsed
+            distances = solver.distances()
+            wrong = sum(1 for v in reference if distances.get(v) != reference[v])
+            line.append(f"{name} {elapsed * 1000:7.1f} ms ({'OK' if wrong == 0 else f'{wrong} WRONG'})")
+        print(" | ".join(line))
+
+    print(
+        f"\ntotals: selective {totals['selective']:.2f}s vs full-scan "
+        f"{totals['full-scan']:.2f}s -> {totals['full-scan'] / totals['selective']:.0f}x "
+        "advantage (paper: ~370x at 100k vertices; the gap grows with size)"
+    )
+    reachable = sum(1 for d in solvers["selective"][1].distances().values() if d < INFINITY)
+    print(f"{reachable}/{n_vertices} vertices currently reachable from the source")
+    for store, _ in solvers.values():
+        store.close()
+
+
+if __name__ == "__main__":
+    main()

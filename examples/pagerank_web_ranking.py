@@ -1,0 +1,72 @@
+"""Rank a synthetic web graph with both PageRank variants (paper §V-A).
+
+Generates a power-law web graph, ranks it with the direct (one step
+per iteration) and MapReduce-emulating (two steps per iteration)
+variants, verifies they agree with the dense-algebra reference, and
+prints the structural cost difference Table I's timing gap is made of.
+
+Run:  python examples/pagerank_web_ranking.py [n_vertices] [n_edges]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import PartitionedKVStore
+from repro.apps.pagerank import (
+    PageRankConfig,
+    build_pagerank_table,
+    pagerank_direct,
+    pagerank_mapreduce,
+    read_ranks,
+    reference_pagerank,
+)
+from repro.graph.generators import power_law_directed_graph
+
+
+def main() -> None:
+    n_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    n_edges = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+    config = PageRankConfig(iterations=8, damping=0.85)
+
+    print(f"generating a {n_vertices}-page / {n_edges}-link web graph ...")
+    adjacency = power_law_directed_graph(n_vertices, n_edges, seed=2013)
+
+    results = {}
+    for name, variant in [("direct", pagerank_direct), ("mapreduce", pagerank_mapreduce)]:
+        store = PartitionedKVStore(n_partitions=6)  # the paper's Table I setup
+        n = build_pagerank_table(store, "web", adjacency)
+        start = time.monotonic()
+        job_result = variant(store, "web", n, config)
+        elapsed = time.monotonic() - start
+        ranks = read_ranks(store, "web")
+        results[name] = (job_result, elapsed, ranks)
+        store.close()
+        print(
+            f"{name:>9}: {elapsed:6.2f}s | {job_result.steps:3d} steps | "
+            f"{job_result.barriers:3d} barriers | "
+            f"{job_result.counters['messages_sent']:,} messages"
+        )
+
+    direct_job, direct_time, direct_ranks = results["direct"]
+    mr_job, mr_time, mr_ranks = results["mapreduce"]
+    print(
+        f"\nthe MapReduce variant paid {mr_job.barriers - direct_job.barriers} extra "
+        f"synchronizations and {config.iterations * n_vertices:,} extra table "
+        f"reads+writes for identical ranks "
+        f"(direct was {(mr_time / direct_time - 1) * 100:+.1f}% faster here; "
+        "paper: 15-19% on a 16-hyperthread JVM testbed)"
+    )
+
+    reference = reference_pagerank(adjacency, config)
+    worst = max(abs(direct_ranks[v] - reference[v]) for v in reference)
+    agree = max(abs(direct_ranks[v] - mr_ranks[v]) for v in reference)
+    print(f"max |rank - reference| = {worst:.2e}; max |direct - mapreduce| = {agree:.2e}")
+
+    top = sorted(direct_ranks.items(), key=lambda kv: -kv[1])[:5]
+    print("top pages:", ", ".join(f"{v} ({rank:.5f})" for v, rank in top))
+
+
+if __name__ == "__main__":
+    main()

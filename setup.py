@@ -1,0 +1,9 @@
+"""Setup shim: lets ``pip install -e .`` work on environments whose
+setuptools predates bundled-wheel PEP 660 editable builds (no network
+access to fetch the ``wheel`` package).  All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Reproduction of *Ripple: Improved Architecture and Programming Model
+for Bulk Synchronous Parallel Style of Analytics* (ICDCS 2013).
+
+Public API tour
+---------------
+
+Stores (:mod:`repro.kvstore`)
+    ``LocalKVStore`` (single-threaded debugging), ``PartitionedKVStore``
+    (the paper's parallel debugging store), ``ReplicatedKVStore`` (the
+    WXS analog), ``PersistentKVStore`` (the HBase analog) — all behind
+    the narrow ``KVStore``/``Table`` SPI.
+
+The EBSP engine (:mod:`repro.ebsp`)
+    Implement :class:`~repro.ebsp.Job` +
+    :class:`~repro.ebsp.Compute` and call
+    :func:`~repro.ebsp.run_job`.
+
+Higher-level models
+    :mod:`repro.mapreduce` (MapReduce and iterated MapReduce emulated
+    atop K/V EBSP) and :mod:`repro.graph` (a Pregel-style vertex-program
+    layer).
+
+The paper's applications (:mod:`repro.apps`)
+    PageRank (direct vs MapReduce variants), SUMMA matrix multiply
+    (sync vs no-sync), and incremental single-source shortest paths
+    (selective enablement vs full scans).
+"""
+
+from repro.ebsp import (
+    Compute,
+    ComputeContext,
+    Job,
+    JobProperties,
+    JobResult,
+    run_job,
+)
+from repro.kvstore import (
+    KVStore,
+    LocalKVStore,
+    PartitionedKVStore,
+    PersistentKVStore,
+    ReplicatedKVStore,
+    Table,
+    TableSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Job",
+    "Compute",
+    "ComputeContext",
+    "JobProperties",
+    "JobResult",
+    "run_job",
+    "KVStore",
+    "Table",
+    "TableSpec",
+    "LocalKVStore",
+    "PartitionedKVStore",
+    "ReplicatedKVStore",
+    "PersistentKVStore",
+    "__version__",
+]

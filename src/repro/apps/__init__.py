@@ -1,0 +1,9 @@
+"""The paper's three evaluation applications (Section V).
+
+- :mod:`repro.apps.pagerank` — PageRank, direct K/V EBSP variant vs a
+  MapReduce-emulating variant (Table I).
+- :mod:`repro.apps.summa` — SUMMA-pattern dense matrix multiplication,
+  synchronized vs non-synchronized (Table II and the §V-B timing).
+- :mod:`repro.apps.sssp` — incremental single-source shortest paths on
+  a time-varying graph, selective enablement vs full scans (§V-C).
+"""

@@ -1,0 +1,23 @@
+"""K-means clustering on K/V EBSP.
+
+Not one of the paper's three evaluation applications, but squarely in
+the "broad set of data analytics" its title claims: an iterated
+computation whose global model (the centroids) lives entirely in
+*individual aggregators* — each point contributes its vector to its
+cluster's centroid aggregator in step *i*, and every point reads the
+refreshed centroids back in step *i+1*.  Convergence is an aborter
+watching a moved-points counter; a MapReduce platform would pay two
+barriers and a dataset round-trip per Lloyd iteration for the same
+arithmetic.
+"""
+
+from repro.apps.kmeans.job import CentroidAggregator, KMeansResult, run_kmeans
+from repro.apps.kmeans.reference import gaussian_blobs, reference_kmeans
+
+__all__ = [
+    "run_kmeans",
+    "KMeansResult",
+    "CentroidAggregator",
+    "reference_kmeans",
+    "gaussian_blobs",
+]

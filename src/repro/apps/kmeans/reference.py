@@ -1,0 +1,59 @@
+"""Plain-numpy Lloyd's algorithm and a blob generator, for verification."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def gaussian_blobs(
+    n_points: int,
+    k: int,
+    dims: int = 2,
+    seed: int = 0,
+    spread: float = 0.4,
+    separation: float = 4.0,
+) -> Dict[int, np.ndarray]:
+    """*n_points* points around *k* well-separated Gaussian centers."""
+    if n_points <= 0 or k <= 0 or dims <= 0:
+        raise ValueError("n_points, k, dims must be positive")
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((k, dims)) * separation
+    points = {}
+    for i in range(n_points):
+        center = centers[i % k]
+        points[i] = center + rng.standard_normal(dims) * spread
+    return points
+
+
+def reference_kmeans(
+    points: Dict[int, np.ndarray],
+    initial_centroids: np.ndarray,
+    max_iterations: int,
+) -> Tuple[np.ndarray, Dict[int, int], int]:
+    """Lloyd's algorithm; returns (centroids, assignments, iterations).
+
+    Iterates until no assignment changes or *max_iterations*.  Empty
+    clusters keep their previous centroid — the same rule the EBSP job
+    uses, so the two trajectories are identical step for step.
+    """
+    keys = sorted(points)
+    data = np.vstack([points[key] for key in keys])
+    centroids = np.array(initial_centroids, dtype=float, copy=True)
+    k = len(centroids)
+    assignments = np.full(len(keys), -1)
+    iterations = 0
+    for _ in range(max_iterations):
+        distances = np.linalg.norm(data[:, None, :] - centroids[None, :, :], axis=2)
+        new_assignments = distances.argmin(axis=1)
+        iterations += 1
+        moved = int((new_assignments != assignments).sum())
+        assignments = new_assignments
+        for cluster in range(k):
+            members = data[assignments == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+        if moved == 0:
+            break
+    return centroids, {key: int(a) for key, a in zip(keys, assignments)}, iterations

@@ -1,0 +1,139 @@
+"""Shared SSSP machinery: vertex states, change batches, reference BFS."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
+
+import numpy as np
+
+#: The +∞ distance annotation.  An int (not float) to mirror the paper's
+#: "Java int holding the most recently computed value of d(v̂, v)"; large
+#: enough that no real hop count approaches it, small enough that +1
+#: arithmetic cannot overflow int64.
+INFINITY = 2**31
+
+
+@dataclass(frozen=True)
+class ChangeBatch:
+    """A batch of primitive graph changes (paper Section V-C).
+
+    The graph may change only in these ways: gaining or losing a vertex
+    that has no neighbors, and gaining or losing an edge.  Changes that
+    are already true (adding an existing edge, removing a missing one)
+    are no-ops, matching the paper's random workload.
+    """
+
+    add_vertices: Tuple[int, ...] = ()
+    remove_vertices: Tuple[int, ...] = ()
+    add_edges: Tuple[Tuple[int, int], ...] = ()
+    remove_edges: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def has_deletions(self) -> bool:
+        """Whether the harder two-wave update is required."""
+        return bool(self.remove_edges)
+
+    def size(self) -> int:
+        return (
+            len(self.add_vertices)
+            + len(self.remove_vertices)
+            + len(self.add_edges)
+            + len(self.remove_edges)
+        )
+
+
+class FullScanVertex:
+    """Full-scan variant state: distance + neighbor ids (paper: "(1) a
+    Java int holding the most recently computed value of d(v̂,v), and
+    (2) an int array holding the ID of each neighbor vertex")."""
+
+    __slots__ = ("dist", "neighbors")
+
+    def __init__(self, dist: int, neighbors: np.ndarray):
+        self.dist = dist
+        self.neighbors = neighbors
+
+    def __getstate__(self) -> tuple:
+        return (self.dist, self.neighbors)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.dist, self.neighbors = state
+
+    def __repr__(self) -> str:
+        return f"FullScanVertex(dist={self.dist}, deg={len(self.neighbors)})"
+
+
+class SelectiveVertex:
+    """Selective variant state: "two Java int arrays of the same length —
+    one holds the ID of each neighbor, and the other holds the distance
+    value most recently received from each neighbor"."""
+
+    __slots__ = ("dist", "neighbors", "neighbor_dists")
+
+    def __init__(self, dist: int, neighbors: np.ndarray, neighbor_dists: np.ndarray):
+        self.dist = dist
+        self.neighbors = neighbors
+        self.neighbor_dists = neighbor_dists
+
+    def __getstate__(self) -> tuple:
+        return (self.dist, self.neighbors, self.neighbor_dists)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.dist, self.neighbors, self.neighbor_dists = state
+
+    def __repr__(self) -> str:
+        return f"SelectiveVertex(dist={self.dist}, deg={len(self.neighbors)})"
+
+
+def empty_ids() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+def adjacency_from_edges(
+    vertices: Iterable[int], edges: Iterable[Tuple[int, int]]
+) -> Dict[int, Set[int]]:
+    """Build an undirected adjacency (sets) from vertices + edge list."""
+    adjacency: Dict[int, Set[int]] = {v: set() for v in vertices}
+    for u, v in edges:
+        if u == v or u not in adjacency or v not in adjacency:
+            continue
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    return adjacency
+
+
+def reference_distances(adjacency: Dict[int, Set[int]], source: int) -> Dict[int, int]:
+    """Plain BFS ground truth: vertex → hop count (INFINITY if unreachable)."""
+    dist = {v: INFINITY for v in adjacency}
+    if source in dist:
+        dist[source] = 0
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for w in adjacency[u]:
+                if dist[w] == INFINITY:
+                    dist[w] = dist[u] + 1
+                    frontier.append(w)
+    return dist
+
+
+def apply_batch_to_adjacency(
+    adjacency: Dict[int, Set[int]], batch: ChangeBatch
+) -> None:
+    """Apply a change batch to a plain adjacency (the reference model)."""
+    for v in batch.add_vertices:
+        adjacency.setdefault(v, set())
+    for u, v in batch.add_edges:
+        if u != v and u in adjacency and v in adjacency:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+    for u, v in batch.remove_edges:
+        if u in adjacency:
+            adjacency[u].discard(v)
+        if v in adjacency:
+            adjacency[v].discard(u)
+    for v in batch.remove_vertices:
+        if v in adjacency and not adjacency[v]:
+            del adjacency[v]

@@ -1,0 +1,221 @@
+"""The full-scan SSSP variant (paper Section V-C).
+
+Both update waves run "with very similar logic ... with a series of
+MapReduce-like K/V EBSP jobs", each job having two steps: the map-like
+step reads the K/V table and sends BSP messages — each vertex sends a
+full state-propagating message to itself and a distance update along
+each edge — and the reduce-like step combines the messages, computes
+the new distance, and writes structure + distance back to the table.
+An aggregator counts the vertices whose distance changed; an external
+driver re-runs the job until there are no more changes.
+
+Wave logic:
+
+- *invalidation* (first wave when the batch removed edges): a vertex
+  whose current annotation is no longer supported by any neighbor
+  (min neighbor distance + 1 exceeds it) is reset to +∞;
+- *decrease* (always the final wave): every vertex takes the minimum
+  of its current annotation and min neighbor distance + 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set
+
+import numpy as np
+
+from repro.ebsp.aggregators import SumAggregator
+from repro.ebsp.job import BaseContext, Compute, ComputeContext, Job
+from repro.ebsp.loaders import Loader, TableScanLoader
+from repro.ebsp.runner import run_job
+from repro.errors import JobError
+from repro.kvstore.api import KVStore, TableSpec
+from repro.apps.sssp.common import (
+    ChangeBatch,
+    FullScanVertex,
+    INFINITY,
+    empty_ids,
+)
+
+CHANGED_AGG = "changed"
+
+_S_TAG = "S"
+_D_TAG = "D"
+
+_WAVE_INVALIDATE = "invalidate"
+_WAVE_DECREASE = "decrease"
+
+
+class _FullScanCompute(Compute):
+    def __init__(self, source: int, wave: str):
+        self._source = source
+        self._wave = wave
+
+    def compute(self, ctx: ComputeContext) -> bool:
+        if ctx.step_num == 0:
+            return self._map_like(ctx)
+        return self._reduce_like(ctx)
+
+    def _map_like(self, ctx: ComputeContext) -> bool:
+        vertex: FullScanVertex = ctx.read_state(0)
+        if vertex is None:
+            raise JobError(f"vertex {ctx.key!r} enabled but absent from the state table")
+        # full state to self: structure, current distance, min heard so far
+        ctx.output_message(ctx.key, (_S_TAG, vertex.neighbors, vertex.dist, INFINITY))
+        if vertex.dist < INFINITY:
+            for neighbor in vertex.neighbors.tolist():
+                ctx.output_message(neighbor, (_D_TAG, vertex.dist))
+        return False
+
+    def _reduce_like(self, ctx: ComputeContext) -> bool:
+        neighbors = None
+        prev = None
+        min_heard = INFINITY
+        for message in ctx.input_messages():
+            if message[0] == _S_TAG:
+                neighbors = message[1]
+                prev = message[2]
+                min_heard = min(min_heard, message[3])
+            else:
+                min_heard = min(min_heard, message[1])
+        if neighbors is None:
+            # a distance update for a vertex that was removed this batch;
+            # nothing to annotate
+            return False
+        candidate = min_heard + 1 if min_heard < INFINITY else INFINITY
+        if ctx.key == self._source:
+            new_dist = 0
+        elif self._wave == _WAVE_INVALIDATE:
+            # unsupported annotations are reset to +∞; supported ones stay
+            new_dist = prev if candidate <= prev else INFINITY
+        else:
+            new_dist = min(prev, candidate)
+        if new_dist != prev:
+            ctx.aggregate_value(CHANGED_AGG, 1)
+        ctx.write_state(0, FullScanVertex(new_dist, neighbors))
+        return False
+
+    def combine_messages(self, ctx: BaseContext, key: Any, m1: Any, m2: Any) -> Any:
+        """The "obvious implementation": fold distance updates into the
+        minimum; fold the minimum into the state carrier."""
+        t1, t2 = m1[0], m2[0]
+        if t1 == _D_TAG and t2 == _D_TAG:
+            return (_D_TAG, min(m1[1], m2[1]))
+        if t1 == _S_TAG and t2 == _D_TAG:
+            return (_S_TAG, m1[1], m1[2], min(m1[3], m2[1]))
+        if t1 == _D_TAG and t2 == _S_TAG:
+            return (_S_TAG, m2[1], m2[2], min(m2[3], m1[1]))
+        raise ValueError("two state-carrier messages for one vertex")
+
+
+class _FullScanJob(Job):
+    def __init__(self, table_name: str, source: int, wave: str, store: KVStore):
+        self._table_name = table_name
+        self._source = source
+        self._wave = wave
+        self._store = store
+
+    def state_table_names(self) -> List[str]:
+        return [self._table_name]
+
+    def reference_table(self) -> str:
+        return self._table_name
+
+    def get_compute(self) -> Compute:
+        return _FullScanCompute(self._source, self._wave)
+
+    def aggregators(self) -> Dict[str, Any]:
+        return {CHANGED_AGG: SumAggregator(0)}
+
+    def loaders(self) -> List[Loader]:
+        return [TableScanLoader(self._store.get_table(self._table_name))]
+
+
+class FullScanSSSP:
+    """Driver for the full-scan variant over one state table."""
+
+    def __init__(self, store: KVStore, source: int, table_name: str = "sssp_fullscan"):
+        self._store = store
+        self.source = source
+        self.table_name = table_name
+        if not store.has_table(table_name):
+            store.create_table(TableSpec(name=table_name))
+
+    # -- setup ------------------------------------------------------------
+    def load(self, adjacency: Dict[int, Set[int]]) -> None:
+        """Materialize the graph, all annotations +∞ except the source."""
+        table = self._store.get_table(self.table_name)
+        table.clear()
+        table.put_many(
+            (
+                v,
+                FullScanVertex(
+                    0 if v == self.source else INFINITY,
+                    np.asarray(sorted(ns), dtype=np.int64),
+                ),
+            )
+            for v, ns in adjacency.items()
+        )
+
+    def initial_solve(self, **engine_kwargs: Any) -> int:
+        """Compute the initial annotations; returns jobs run."""
+        return self._run_wave(_WAVE_DECREASE, **engine_kwargs)
+
+    # -- incremental update ------------------------------------------------
+    def apply_changes(self, batch: ChangeBatch) -> None:
+        """Apply structural changes to the state table (client-side)."""
+        table = self._store.get_table(self.table_name)
+        for v in batch.add_vertices:
+            if table.get(v) is None:
+                dist = 0 if v == self.source else INFINITY
+                table.put(v, FullScanVertex(dist, empty_ids()))
+        for u, v in batch.add_edges:
+            if u == v:
+                continue
+            su, sv = table.get(u), table.get(v)
+            if su is None or sv is None:
+                continue
+            if v not in su.neighbors:
+                table.put(u, FullScanVertex(su.dist, np.sort(np.append(su.neighbors, v))))
+            if u not in sv.neighbors:
+                table.put(v, FullScanVertex(sv.dist, np.sort(np.append(sv.neighbors, u))))
+        for u, v in batch.remove_edges:
+            su, sv = table.get(u), table.get(v)
+            if su is not None and v in su.neighbors:
+                table.put(u, FullScanVertex(su.dist, su.neighbors[su.neighbors != v]))
+            if sv is not None and u in sv.neighbors:
+                table.put(v, FullScanVertex(sv.dist, sv.neighbors[sv.neighbors != u]))
+        for v in batch.remove_vertices:
+            sv = table.get(v)
+            if sv is not None and len(sv.neighbors) == 0:
+                table.delete(v)
+
+    def update(self, batch: ChangeBatch, **engine_kwargs: Any) -> int:
+        """Apply *batch* and re-anneal the annotations; returns jobs run.
+
+        One breadth-first wave when the batch has no edge deletions,
+        two otherwise (paper Section V-C).
+        """
+        self.apply_changes(batch)
+        jobs = 0
+        if batch.has_deletions:
+            jobs += self._run_wave(_WAVE_INVALIDATE, **engine_kwargs)
+        jobs += self._run_wave(_WAVE_DECREASE, **engine_kwargs)
+        return jobs
+
+    def _run_wave(self, wave: str, **engine_kwargs: Any) -> int:
+        """The external driver: jobs until the changed-count hits zero."""
+        jobs = 0
+        while True:
+            job = _FullScanJob(self.table_name, self.source, wave, self._store)
+            result = run_job(
+                self._store, job, synchronize=True, max_steps=2, **engine_kwargs
+            )
+            jobs += 1
+            if result.aggregates.get(CHANGED_AGG, 0) == 0:
+                return jobs
+
+    # -- inspection ---------------------------------------------------------
+    def distances(self) -> Dict[int, int]:
+        table = self._store.get_table(self.table_name)
+        return {v: state.dist for v, state in table.items()}

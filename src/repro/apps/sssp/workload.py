@@ -1,0 +1,84 @@
+"""The Section V-C dynamic-graph workload.
+
+    "First comes the creation of 100,000 unconnected vertices; one of
+    them is chosen uniformly at random as the distinguished source v̂.
+    Then about 1.8 million random edges are added.  For each such edge,
+    its source and destination are randomly chosen according to a power
+    law distribution.  The initial distance values are also computed.
+    Then the following is repeated ten times: a batch of random edge
+    additions and removals is generated (without regard to which
+    already exist, so some of these changes will be no-ops) and
+    applied, then the distance annotations are updated..."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.graph.generators import power_law_undirected_edges, _power_law_probabilities
+from repro.apps.sssp.common import ChangeBatch, adjacency_from_edges
+
+
+def random_change_batch(
+    n_vertices: int,
+    n_changes: int,
+    rng: np.random.Generator,
+    exponent: float = 0.7,
+    add_fraction: float = 0.5,
+) -> ChangeBatch:
+    """A batch of primitive edge changes with power-law endpoints.
+
+    Self-loops are skipped (re-drawn as a different change), and no
+    attempt is made to avoid no-ops, per the paper.
+    """
+    probs = _power_law_probabilities(n_vertices, exponent, rng)
+    adds: List[Tuple[int, int]] = []
+    removes: List[Tuple[int, int]] = []
+    while len(adds) + len(removes) < n_changes:
+        u = int(rng.choice(n_vertices, p=probs))
+        v = int(rng.choice(n_vertices, p=probs))
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if rng.random() < add_fraction:
+            adds.append(edge)
+        else:
+            removes.append(edge)
+    return ChangeBatch(add_edges=tuple(adds), remove_edges=tuple(removes))
+
+
+@dataclass
+class DynamicGraphWorkload:
+    """The full §V-C scenario, deterministically from a seed.
+
+    Scaled by *n_vertices* / *n_edges* (paper: 100,000 and ~1.8
+    million); *batches* batches of *changes_per_batch* primitive
+    changes (paper: ten batches of 1,000).
+    """
+
+    n_vertices: int = 1_000
+    n_edges: int = 18_000
+    batches: int = 10
+    changes_per_batch: int = 100
+    seed: int = 2013
+    exponent: float = 0.7
+    source: int = field(init=False)
+    initial_adjacency: Dict[int, Set[int]] = field(init=False, repr=False)
+    change_batches: List[ChangeBatch] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.source = int(rng.integers(self.n_vertices))
+        edges = power_law_undirected_edges(
+            self.n_vertices, self.n_edges, seed=self.seed + 1, exponent=self.exponent
+        )
+        self.initial_adjacency = adjacency_from_edges(range(self.n_vertices), edges)
+        self.change_batches = [
+            random_change_batch(
+                self.n_vertices, self.changes_per_batch, rng, self.exponent
+            )
+            for _ in range(self.batches)
+        ]

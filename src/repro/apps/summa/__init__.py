@@ -1,0 +1,35 @@
+"""SUMMA-pattern dense matrix multiplication on K/V EBSP (paper §V-B).
+
+C ← A × B with the three matrices decomposed into an M × N grid of
+blocks stored in the same M·N BSP components.  Each block of A is
+multicast through its grid row and each block of B through its grid
+column as pipelined point-to-point sends; products accumulate into the
+local C block — the per-component state that BSP "nicely serves to
+hold".
+
+Two execution modes over the *same* job code:
+
+- **synchronized** — the BSP-ified schedule: per step a component does
+  at most one block multiply-add and sends at most one block per
+  direction, with each of the three action streams (horizontal sends,
+  vertical sends, multiplies) independently ordered by batch.  For the
+  3 × 3 grid this needs 7 steps even though each component multiplies
+  only 3 times: the 7/3 slowdown of Table II.
+- **non-synchronized** — the paper's point: this computation satisfies
+  ``incremental`` (per-(sender,receiver) FIFO is all it needs), so the
+  barriers can simply be switched off and each component deals with
+  blocks as they arrive.
+"""
+
+from repro.apps.summa.blocks import BlockGrid, assemble, split
+from repro.apps.summa.schedule import multiplications_per_step, schedule_length
+from repro.apps.summa.job import summa_multiply
+
+__all__ = [
+    "BlockGrid",
+    "split",
+    "assemble",
+    "multiplications_per_step",
+    "schedule_length",
+    "summa_multiply",
+]

@@ -1,0 +1,78 @@
+"""Matrix ↔ block-grid decomposition for SUMMA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """An M × N grid over matrices for C(m×n) = A(m×k) × B(k×n).
+
+    A is split M rows × L columns of blocks, B is split L × N, and C is
+    M × N, where L is the number of batches (= block-columns of A =
+    block-rows of B).  Component ``(i, j)`` of the BSP job owns blocks
+    ``A[i, j]`` (when j < L), ``B[i, j]`` (when i < L), and ``C[i, j]``.
+    The paper's example uses M = N = L = 3.
+    """
+
+    m_rows: int
+    n_cols: int
+    batches: int
+
+    def __post_init__(self) -> None:
+        if self.m_rows <= 0 or self.n_cols <= 0 or self.batches <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if self.batches > min(self.m_rows, self.n_cols):
+            raise ValueError(
+                "batches must not exceed min(m_rows, n_cols): batch l's A-block "
+                "starts at component (i, l) and its B-block at (l, j), so both "
+                "coordinates must exist in the grid"
+            )
+
+    @property
+    def components(self) -> List[Tuple[int, int]]:
+        return [(i, j) for i in range(self.m_rows) for j in range(self.n_cols)]
+
+    def key_of(self, i: int, j: int) -> int:
+        """Flatten a grid coordinate into a component key."""
+        return i * self.n_cols + j
+
+    def coord_of(self, key: int) -> Tuple[int, int]:
+        return divmod(key, self.n_cols)
+
+
+def _bounds(extent: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(extent)`` into *parts* contiguous near-equal slices."""
+    base, rem = divmod(extent, parts)
+    bounds = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < rem else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def split(matrix: np.ndarray, row_parts: int, col_parts: int) -> Dict[Tuple[int, int], np.ndarray]:
+    """Decompose *matrix* into a dict of (row_part, col_part) → block."""
+    if matrix.ndim != 2:
+        raise ValueError("split expects a 2-D array")
+    row_bounds = _bounds(matrix.shape[0], row_parts)
+    col_bounds = _bounds(matrix.shape[1], col_parts)
+    return {
+        (i, j): np.ascontiguousarray(matrix[r0:r1, c0:c1])
+        for i, (r0, r1) in enumerate(row_bounds)
+        for j, (c0, c1) in enumerate(col_bounds)
+    }
+
+
+def assemble(blocks: Dict[Tuple[int, int], np.ndarray], row_parts: int, col_parts: int) -> np.ndarray:
+    """Reassemble a block dict produced by :func:`split` (or a job)."""
+    rows = []
+    for i in range(row_parts):
+        rows.append(np.hstack([blocks[(i, j)] for j in range(col_parts)]))
+    return np.vstack(rows)

@@ -1,0 +1,111 @@
+"""The BSP-ified SUMMA schedule, analytically (paper Table II).
+
+The paper introduces synchronization into SUMMA with three rules:
+
+1. a component does no more than one block multiply-and-add per step;
+2. a component sends no more than one block in a given direction per
+   step (so blocks do not pile up);
+3. subject to those, a component invocation does as much work as is
+   allowed — with block sends and arithmetic "in an order consistent
+   with original SUMMA", slightly liberalized so the horizontal and
+   vertical communication for a batch may happen in either order.
+
+Operationally each component runs three *independently batch-ordered
+action streams* — horizontal forwards, vertical forwards, multiplies —
+performing the next action of each stream as soon as its block is
+available.  Block A(i, l) starts at component (i, l) and is relayed
+around its grid row ring (l → l+1 → ... , N−1 hops); B(l, j) likewise
+down its column ring.
+
+For the M = N = L = 3 grid this yields exactly the paper's Table II:
+multiplications per step = [1, 3, 6, 3, 6, 3, 5] over 7 steps, a 7/3
+slowdown versus the 3 serial multiplications a component actually does.
+
+This module simulates only the *schedule* (which component multiplies
+in which step); :mod:`repro.apps.summa.job` executes the same rules
+with real blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+
+def _needs_forward(holder: int, origin: int, extent: int) -> bool:
+    """Whether the holder at ring distance d = (holder-origin) % extent
+    must relay the block one hop further (the last holder does not)."""
+    if extent == 1:
+        return False
+    return (holder - origin) % extent < extent - 1
+
+
+def multiplications_per_step(m_rows: int, n_cols: int, batches: int, max_steps: int = 10_000) -> List[int]:
+    """Simulate the synchronized schedule; return multiplies per step.
+
+    The returned list has one entry per step (1-based in the paper's
+    Table II numbering) and sums to ``m_rows * n_cols * batches``.
+    """
+    if min(m_rows, n_cols, batches) <= 0:
+        raise ValueError("grid dimensions must be positive")
+    comps = [(i, j) for i in range(m_rows) for j in range(n_cols)]
+    held_a: Dict[Tuple[int, int], Set[int]] = {
+        (i, j): ({j} if j < batches else set()) for i, j in comps
+    }
+    held_b: Dict[Tuple[int, int], Set[int]] = {
+        (i, j): ({i} if i < batches else set()) for i, j in comps
+    }
+    sent_a: Dict[Tuple[int, int], Set[int]] = {c: set() for c in comps}
+    sent_b: Dict[Tuple[int, int], Set[int]] = {c: set() for c in comps}
+    next_mul: Dict[Tuple[int, int], int] = {c: 0 for c in comps}
+    in_flight: List[Tuple[Tuple[int, int], str, int]] = []
+    per_step: List[int] = []
+    total = 0
+    goal = m_rows * n_cols * batches
+
+    for _ in range(max_steps):
+        for dest, kind, batch in in_flight:
+            (held_a if kind == "a" else held_b)[dest].add(batch)
+        in_flight = []
+        muls = 0
+        outgoing: List[Tuple[Tuple[int, int], str, int]] = []
+        for c in comps:
+            i, j = c
+            # horizontal stream: lowest batch with an unmet forward duty
+            cur = 0
+            while cur < batches and (
+                not _needs_forward(j, cur, n_cols) or cur in sent_a[c]
+            ):
+                cur += 1
+            if cur < batches and cur in held_a[c]:
+                sent_a[c].add(cur)
+                outgoing.append(((i, (j + 1) % n_cols), "a", cur))
+            # vertical stream
+            cur = 0
+            while cur < batches and (
+                not _needs_forward(i, cur, m_rows) or cur in sent_b[c]
+            ):
+                cur += 1
+            if cur < batches and cur in held_b[c]:
+                sent_b[c].add(cur)
+                outgoing.append((((i + 1) % m_rows, j), "b", cur))
+            # multiply stream
+            nm = next_mul[c]
+            if nm < batches and nm in held_a[c] and nm in held_b[c]:
+                next_mul[c] += 1
+                muls += 1
+                total += 1
+        in_flight = outgoing
+        per_step.append(muls)
+        if total == goal:
+            return per_step
+    raise RuntimeError(f"schedule did not complete within {max_steps} steps")
+
+
+def schedule_length(m_rows: int, n_cols: int, batches: int) -> int:
+    """Number of synchronized steps the schedule needs."""
+    return len(multiplications_per_step(m_rows, n_cols, batches))
+
+
+def serial_multiplications(batches: int) -> int:
+    """Block multiplications any single component performs (the 3 in 7/3)."""
+    return batches

@@ -1,0 +1,17 @@
+"""Benchmark harness: trial running, statistics, paper-style tables.
+
+The evaluation comparisons (Section V) report "avg ± stddev" over a
+number of trials; :func:`run_trials` reproduces that protocol and
+:func:`format_table` renders rows the way the paper's tables do.
+``python -m repro.bench.paper`` regenerates every table and figure of
+the evaluation in one go.
+"""
+
+from repro.bench.harness import (
+    TrialStats,
+    bench_scale,
+    format_table,
+    run_trials,
+)
+
+__all__ = ["TrialStats", "run_trials", "format_table", "bench_scale"]

@@ -1,0 +1,99 @@
+"""Trial running and result formatting for the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Elapsed-time statistics over repeated trials (avg ± stddev)."""
+
+    values: tuple
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def stddev(self) -> float:
+        """The estimated (sample, n-1) standard deviation the paper reports."""
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.stddev:.2f}"
+
+
+def run_trials(
+    fn: Callable[[], Any],
+    trials: int,
+    setup: Optional[Callable[[], Any]] = None,
+) -> TrialStats:
+    """Time *fn* over *trials* runs; *setup* runs untimed before each.
+
+    When *setup* returns a value it is passed to *fn* (so a trial can
+    get a fresh store without paying for building it).
+    """
+    values: List[float] = []
+    for _ in range(trials):
+        arg = setup() if setup is not None else None
+        start = time.monotonic()
+        if setup is not None and arg is not None:
+            fn(arg)
+        else:
+            fn()
+        values.append(time.monotonic() - start)
+    return TrialStats(tuple(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned text table like the paper's Tables I and II."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bench_scale() -> float:
+    """Workload scale factor from ``RIPPLE_BENCH_SCALE`` (default 1.0).
+
+    The default workloads are sized for a laptop-minute run; set
+    ``RIPPLE_BENCH_SCALE=32`` to approach the paper's graph sizes.
+    """
+    raw = os.environ.get("RIPPLE_BENCH_SCALE", "1")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"RIPPLE_BENCH_SCALE must be a number, got {raw!r}") from exc
+    if scale <= 0:
+        raise ValueError(f"RIPPLE_BENCH_SCALE must be positive, got {scale}")
+    return scale
+
+
+def bench_trials(default: int) -> int:
+    """Trial count from ``RIPPLE_BENCH_TRIALS`` (the paper used 11/8/12)."""
+    raw = os.environ.get("RIPPLE_BENCH_TRIALS", "")
+    if not raw:
+        return default
+    trials = int(raw)
+    if trials <= 0:
+        raise ValueError(f"RIPPLE_BENCH_TRIALS must be positive, got {trials}")
+    return trials

@@ -1,0 +1,86 @@
+"""K/V EBSP — the key/value extended bulk synchronous parallel engine.
+
+This package is the paper's core contribution (Sections II and IV-A):
+a BSP-inspired programming model over key/value data with selective
+enablement, private multi-table component state, message combiners,
+individual aggregators, broadcast data, direct job output, and an
+optional no-synchronization execution mode for jobs whose declared
+properties allow it.
+"""
+
+from repro.ebsp.job import BaseContext, Compute, ComputeContext, Job
+from repro.ebsp.properties import ExecutionPlan, JobProperties
+from repro.ebsp.aggregators import (
+    Aggregator,
+    AndAggregator,
+    CollectAggregator,
+    CountAggregator,
+    MaxAggregator,
+    MinAggregator,
+    OrAggregator,
+    SumAggregator,
+    TopKAggregator,
+)
+from repro.ebsp.loaders import (
+    DictStateLoader,
+    EnableKeysLoader,
+    Loader,
+    LoaderContext,
+    MessageListLoader,
+    TableScanLoader,
+)
+from repro.ebsp.exporters import (
+    CallbackExporter,
+    CollectingExporter,
+    Exporter,
+    TableExporter,
+)
+from repro.ebsp.convergence import (
+    after_steps,
+    any_of,
+    when_aggregate_below,
+    when_aggregate_stable,
+    when_aggregate_zero,
+)
+from repro.ebsp.results import JobResult, StepMetrics
+from repro.ebsp.runner import run_job
+from repro.ebsp.scheduler import JobHandle, JobScheduler, JobState
+
+__all__ = [
+    "Job",
+    "Compute",
+    "ComputeContext",
+    "BaseContext",
+    "JobProperties",
+    "ExecutionPlan",
+    "Aggregator",
+    "SumAggregator",
+    "MinAggregator",
+    "MaxAggregator",
+    "CountAggregator",
+    "AndAggregator",
+    "OrAggregator",
+    "TopKAggregator",
+    "CollectAggregator",
+    "Loader",
+    "LoaderContext",
+    "DictStateLoader",
+    "MessageListLoader",
+    "EnableKeysLoader",
+    "TableScanLoader",
+    "Exporter",
+    "CollectingExporter",
+    "CallbackExporter",
+    "TableExporter",
+    "JobResult",
+    "run_job",
+    "when_aggregate_zero",
+    "when_aggregate_below",
+    "when_aggregate_stable",
+    "after_steps",
+    "any_of",
+    "JobScheduler",
+    "JobHandle",
+    "JobState",
+    "StepMetrics",
+]

@@ -1,0 +1,100 @@
+"""Convergence helpers: common aborter patterns.
+
+A job's aborter is "invoked between steps [and] returns a boolean
+indicating whether execution should be stopped immediately" (Section
+II).  The usual aborters watch an aggregator — stop when nothing
+changed, when a residual drops below a tolerance, when a value stops
+moving — so this module packages those as composable callables a Job
+can delegate to:
+
+.. code-block:: python
+
+    class MyJob(Job):
+        _aborter = when_aggregate_zero("changed")
+        def aborter(self, step_num, aggregates):
+            return self._aborter(step_num, aggregates)
+
+Note that defining ``aborter`` at all forfeits the ``no-client-sync``
+property (and hence no-sync eligibility) — the trade the paper's
+property system makes explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+Aborter = Callable[[int, Dict[str, Any]], bool]
+
+
+def when_aggregate_zero(name: str, warmup_steps: int = 1) -> Aborter:
+    """Stop once the named aggregator reads 0 (or None).
+
+    *warmup_steps* guards the first step(s), where the aggregator may
+    legitimately still hold its identity value.
+    """
+
+    def aborter(step_num: int, aggregates: Dict[str, Any]) -> bool:
+        if step_num < warmup_steps:
+            return False
+        value = aggregates.get(name)
+        return value is None or value == 0
+
+    return aborter
+
+
+def when_aggregate_below(name: str, tolerance: float, warmup_steps: int = 1) -> Aborter:
+    """Stop once the named aggregator (e.g. an L1 residual) < *tolerance*."""
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+
+    def aborter(step_num: int, aggregates: Dict[str, Any]) -> bool:
+        if step_num < warmup_steps:
+            return False
+        value = aggregates.get(name)
+        return value is not None and value < tolerance
+
+    return aborter
+
+
+def when_aggregate_stable(name: str, tolerance: float = 0.0, patience: int = 1) -> Aborter:
+    """Stop once the named aggregator stops changing (within *tolerance*)
+    for *patience* consecutive inter-step checks."""
+    if patience <= 0:
+        raise ValueError("patience must be positive")
+    state: Dict[str, Any] = {"last": None, "streak": 0}
+
+    def aborter(step_num: int, aggregates: Dict[str, Any]) -> bool:
+        value = aggregates.get(name)
+        last = state["last"]
+        state["last"] = value
+        if value is None or last is None:
+            state["streak"] = 0
+            return False
+        moved = abs(value - last) > tolerance
+        state["streak"] = 0 if moved else state["streak"] + 1
+        return state["streak"] >= patience
+
+    return aborter
+
+
+def after_steps(limit: int) -> Aborter:
+    """Stop after *limit* steps (prefer the engine's ``max_steps`` when
+    you do not also need an aggregator-based condition)."""
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+
+    def aborter(step_num: int, aggregates: Dict[str, Any]) -> bool:
+        return step_num + 1 >= limit
+
+    return aborter
+
+
+def any_of(*aborters: Aborter) -> Aborter:
+    """Stop when any of the given aborters says stop."""
+    if not aborters:
+        raise ValueError("any_of needs at least one aborter")
+
+    def aborter(step_num: int, aggregates: Dict[str, Any]) -> bool:
+        return any(a(step_num, aggregates) for a in aborters)
+
+    return aborter

@@ -1,0 +1,719 @@
+"""The synchronous K/V EBSP engine (paper Sections II and IV-A).
+
+Execution of a job that uses synchronization is a series of steps.
+Within step *i*:
+
+1. each part of the transport table is scanned for spills addressed to
+   it for step *i*; the (key, message-list) pairs are constructed in a
+   local structure — ordered when the job needs sorting, a hash
+   otherwise (the analog of MapReduce's shuffle);
+2. an enumeration of that structure drives the compute invocations:
+   a component is invoked iff it is *enabled* (continued from step
+   *i−1*, or was sent a message in step *i−1*);
+3. outgoing messages are spilled to the transport table for step
+   *i+1*; a positive continue signal becomes a special BSP message to
+   the component itself, so "the basic mechanism is driven purely by
+   BSP messages";
+4. per-part aggregator partials are folded; between steps the partials
+   are merged globally (directly when the aggregator count is modest,
+   through an auxiliary table otherwise) and the results are readable
+   in step *i+1*;
+5. between steps there is a global synchronization barrier — here, the
+   join on all per-part futures of the enumeration.
+
+The engine honors the Section II-A execution special cases: it skips
+sorting unless the job ``needs_order``, skips value-list collection for
+``one-msg ∧ no-continue`` jobs, and (with ``fault_tolerance=True``)
+implements the outlined recovery scheme — part-step writes buffer until
+a commit point, a progress table maps part → completed step, and a
+failed part-step is re-driven from its retained input spills.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import (
+    AggregatorError,
+    ComputeError,
+    JobSpecError,
+    PropertyViolationError,
+)
+from repro.ebsp.job import BaseContext, Compute, ComputeContext, Job
+from repro.ebsp.loaders import LoaderContext
+from repro.ebsp.properties import ExecutionPlan
+from repro.ebsp.recovery import FailureInjector, ProgressTable, SimulatedFailure
+from repro.ebsp.results import Counters, JobResult
+from repro.ebsp.transport import (
+    CLIENT_SRC,
+    CONT,
+    CREATE,
+    MSG,
+    SpillWriter,
+    collect_step_records,
+    create_transport_table,
+)
+from repro.kvstore.api import FnPairConsumer, KVStore, PartConsumer, Table, TableSpec
+
+_job_ids = itertools.count()
+
+
+class _SimpleBaseContext(BaseContext):
+    """Context handed to combiner invocations."""
+
+    def __init__(self, step_num: int):
+        self._step_num = step_num
+
+    @property
+    def step_num(self) -> int:
+        return self._step_num
+
+
+class _LoaderCtx(LoaderContext):
+    """Loader context: feeds states, step-0 spills, enables, aggregates."""
+
+    def __init__(self, engine: "SyncEngine"):
+        self._engine = engine
+        self.writer = SpillWriter(
+            engine._transport,
+            src_part=CLIENT_SRC,
+            step=0,
+            n_parts=engine.n_parts,
+            part_of=engine._part_of,
+            batch_size=engine._spill_batch,
+            on_spill=lambda n: engine._record_spill(0, n),
+            combiner=engine._combiner_for(0),
+        )
+        self.agg_partials: Dict[str, Any] = {
+            name: agg.create() for name, agg in engine._aggs.items()
+        }
+
+    def put_state(self, tab_idx: int, key: Any, state: Any) -> None:
+        self._engine._state_tables[tab_idx].put(key, state)
+
+    def send_message(self, key: Any, message: Any) -> None:
+        self.writer.add((MSG, key, message))
+
+    def enable(self, key: Any) -> None:
+        self.writer.add((CONT, key))
+
+    def aggregate_value(self, name: str, value: Any) -> None:
+        agg = self._engine._aggs.get(name)
+        if agg is None:
+            raise AggregatorError(f"job has no aggregator named {name!r}")
+        self.agg_partials[name] = agg.add(self.agg_partials[name], value)
+
+
+class _StepContext(ComputeContext):
+    """One part's compute context for one step; rebound per component.
+
+    State writes go through a per-component write-behind buffer that is
+    applied at the end of the invocation — and, under fault tolerance,
+    deferred further to the part-step commit point.
+    """
+
+    def __init__(self, engine: "SyncEngine", part: int, step: int, writer: SpillWriter):
+        self._engine = engine
+        self._part = part
+        self._step_num = step
+        self._writer = writer
+        self._key: Any = None
+        self._messages: List[Any] = []
+        # per-invocation state buffer: tab_idx -> value ("absent" sentinel = delete)
+        self._state_buffer: Dict[int, Any] = {}
+        self._dirty: set = set()
+        self.continue_signal = False
+        # part-step deferred effects (used under fault tolerance)
+        self.deferred_state_ops: List[Tuple[int, Any, Any]] = []
+        self.agg_partials: Dict[str, Any] = {
+            name: agg.create() for name, agg in engine._aggs.items()
+        }
+        self.direct_outputs: List[Tuple[Any, Any]] = []
+        self.invocations = 0
+
+    _ABSENT = object()
+
+    # -- engine-side lifecycle -------------------------------------------------
+    def _bind(self, key: Any, messages: List[Any]) -> None:
+        self._key = key
+        self._messages = messages
+        self._state_buffer = {}
+        self._dirty = set()
+        self.continue_signal = False
+        self.invocations += 1
+
+    def _finish_invocation(self) -> None:
+        """Apply this component's state buffer (or defer it)."""
+        for tab_idx in self._dirty:
+            value = self._state_buffer[tab_idx]
+            if self._engine._fault_tolerance:
+                self.deferred_state_ops.append((tab_idx, self._key, value))
+            else:
+                self._apply_state_op(tab_idx, self._key, value)
+
+    def _apply_state_op(self, tab_idx: int, key: Any, value: Any) -> None:
+        table = self._engine._state_tables[tab_idx]
+        if value is _StepContext._ABSENT:
+            table.delete(key)
+        else:
+            table.put(key, value)
+
+    def commit_deferred(self) -> None:
+        for tab_idx, key, value in self.deferred_state_ops:
+            self._apply_state_op(tab_idx, key, value)
+        self.deferred_state_ops = []
+
+    # -- ComputeContext API ------------------------------------------------------
+    @property
+    def step_num(self) -> int:
+        return self._step_num
+
+    @property
+    def key(self) -> Any:
+        return self._key
+
+    def _check_tab(self, tab_idx: int) -> None:
+        if not 0 <= tab_idx < len(self._engine._state_tables):
+            raise IndexError(
+                f"state table index {tab_idx} out of range "
+                f"(job has {len(self._engine._state_tables)} state tables)"
+            )
+
+    def read_state(self, tab_idx: int) -> Any:
+        self._check_tab(tab_idx)
+        if tab_idx in self._state_buffer:
+            value = self._state_buffer[tab_idx]
+            return None if value is _StepContext._ABSENT else value
+        if self._engine._fault_tolerance:
+            # Deferred ops from earlier invocations in this part-step may
+            # shadow the table contents.
+            for t, k, v in reversed(self.deferred_state_ops):
+                if t == tab_idx and k == self._key:
+                    return None if v is _StepContext._ABSENT else v
+        return self._engine._state_tables[tab_idx].get(self._key)
+
+    def write_state(self, tab_idx: int, state: Any) -> None:
+        self._check_tab(tab_idx)
+        if state is None:
+            raise ValueError("None is not a storable state; use delete_state()")
+        self._state_buffer[tab_idx] = state
+        self._dirty.add(tab_idx)
+
+    def read_write_state(self, tab_idx: int) -> Any:
+        state = self.read_state(tab_idx)
+        if state is not None:
+            self._state_buffer[tab_idx] = state
+            self._dirty.add(tab_idx)
+        return state
+
+    def delete_state(self, tab_idx: int) -> None:
+        self._check_tab(tab_idx)
+        self._state_buffer[tab_idx] = _StepContext._ABSENT
+        self._dirty.add(tab_idx)
+
+    def create_state(self, tab_idx: int, key: Any, state: Any) -> None:
+        self._check_tab(tab_idx)
+        if state is None:
+            raise ValueError("None is not a creatable state")
+        self._writer.add((CREATE, key, tab_idx, state))
+
+    def input_messages(self) -> Iterator[Any]:
+        return iter(self._messages)
+
+    def output_message(self, key: Any, message: Any) -> None:
+        if message is None:
+            raise ValueError("None is not a sendable message")
+        self._writer.add((MSG, key, message))
+
+    def aggregate_value(self, name: str, value: Any) -> None:
+        agg = self._engine._aggs.get(name)
+        if agg is None:
+            raise AggregatorError(f"job has no aggregator named {name!r}")
+        self.agg_partials[name] = agg.add(self.agg_partials[name], value)
+
+    def get_aggregate_value(self, name: str) -> Any:
+        if name not in self._engine._aggs:
+            raise AggregatorError(f"job has no aggregator named {name!r}")
+        return self._engine._agg_values.get(name)
+
+    def get_broadcast_datum(self, key: Any) -> Any:
+        return self._engine._broadcast.get(key)
+
+    def direct_job_output(self, key: Any, value: Any) -> None:
+        exporter = self._engine._direct_exporter
+        if exporter is None:
+            return
+        if self._engine._fault_tolerance:
+            self.direct_outputs.append((key, value))
+        else:
+            exporter.export(key, value)
+
+
+class _PartStepResult:
+    """What one part's step hands back across the barrier."""
+
+    __slots__ = ("agg_partials", "invocations", "records_out")
+
+    def __init__(self, agg_partials: Dict[str, Any], invocations: int, records_out: int):
+        self.agg_partials = agg_partials
+        self.invocations = invocations
+        self.records_out = records_out
+
+
+class SyncEngine:
+    """Executes one job, synchronously, over a given store."""
+
+    def __init__(
+        self,
+        store: KVStore,
+        job: Job,
+        *,
+        spill_batch: int = 512,
+        max_steps: Optional[int] = None,
+        aggregator_table_threshold: int = 8,
+        fault_tolerance: bool = False,
+        failure_injector: Optional[FailureInjector] = None,
+        max_retries: int = 5,
+    ):
+        self._store = store
+        self._job = job
+        self._compute = job.get_compute()
+        self._aggs = dict(job.aggregators())
+        self._plan = ExecutionPlan.derive(
+            job.properties(), bool(self._aggs), job.has_aborter
+        )
+        self._spill_batch = spill_batch
+        self._max_steps = max_steps
+        self._agg_table_threshold = aggregator_table_threshold
+        self._fault_tolerance = fault_tolerance
+        self._failure_injector = failure_injector
+        self._max_retries = max_retries
+        self._counters = Counters()
+        self._agg_values: Dict[str, Any] = {}
+        self._direct_exporter = job.direct_output_exporter()
+        self._jid = next(_job_ids)
+
+        self._resolve_tables()
+        self._broadcast = self._snapshot_broadcast()
+        if fault_tolerance:
+            self._progress = ProgressTable(
+                self._store, f"__ebsp_progress_{self._jid}", self.n_parts
+            )
+        else:
+            self._progress = None
+        # records spilled per step, guarded by a lock (written from many parts)
+        self._spill_lock = threading.Lock()
+        self._spilled_per_step: Dict[int, int] = {}
+        self._timeline: list = []
+
+    # -- setup -----------------------------------------------------------------
+    def _resolve_tables(self) -> None:
+        names = self._job.state_table_names()
+        if len(set(names)) != len(names):
+            raise JobSpecError(f"duplicate state table names: {names}")
+        reference_name = self._job.reference_table()
+        n_parts: Optional[int] = None
+        if reference_name is not None:
+            n_parts = self._store.get_table(reference_name).n_parts
+        else:
+            for name in names:
+                if self._store.has_table(name):
+                    n_parts = self._store.get_table(name).n_parts
+                    break
+        if n_parts is None:
+            n_parts = self._store.default_n_parts
+        self.n_parts = n_parts
+
+        self._state_tables: List[Table] = []
+        for name in names:
+            if self._store.has_table(name):
+                table = self._store.get_table(name)
+                if table.n_parts != n_parts:
+                    raise JobSpecError(
+                        f"state table {name!r} has {table.n_parts} parts; "
+                        f"the job is partitioned into {n_parts}"
+                    )
+            else:
+                table = self._store.create_table(TableSpec(name=name, n_parts=n_parts))
+            self._state_tables.append(table)
+
+        self._transport_name = f"__ebsp_xport_{self._jid}"
+        self._transport = create_transport_table(self._store, self._transport_name, n_parts)
+
+    def _snapshot_broadcast(self) -> Dict[Any, Any]:
+        name = self._job.broadcast_table()
+        if name is None:
+            return {}
+        table = self._store.get_table(name)
+        return dict(table.items())
+
+    def _part_of(self, key: Any) -> int:
+        if self._state_tables:
+            return self._state_tables[0].part_of(key)
+        from repro.util.hashing import part_for_key
+
+        return part_for_key(key, self.n_parts)
+
+    def _record_spill(self, step: int, n_records: int) -> None:
+        with self._spill_lock:
+            self._spilled_per_step[step] = self._spilled_per_step.get(step, 0) + n_records
+        self._counters.add("records_spilled", n_records)
+
+    def _pending_records(self, step: int) -> int:
+        with self._spill_lock:
+            return self._spilled_per_step.get(step, 0)
+
+    # -- combiner plumbing -----------------------------------------------------
+    def _combiner_for(self, step: int):
+        """A (m1, m2) -> combined|None adapter, or None when the job's
+        Compute does not override the default (which always declines)."""
+        if type(self._compute).combine_messages is Compute.combine_messages:
+            return None
+        ctx = _SimpleBaseContext(step)
+        compute = self._compute
+
+        def _combine(m1: Any, m2: Any) -> Any:
+            # Destination key is not threaded through collect_step_records'
+            # bundles; combiners that need it can encode it in the message.
+            return compute.combine_messages(ctx, None, m1, m2)
+
+        return _combine
+
+    # -- main loop -------------------------------------------------------------
+    def run(self) -> JobResult:
+        started = time.monotonic()
+        try:
+            self._initialize()
+            step = 0
+            aborted = False
+            while True:
+                if self._pending_records(step) == 0:
+                    # nothing is enabled: execution is over
+                    steps_taken = step
+                    break
+                if self._max_steps is not None and step >= self._max_steps:
+                    steps_taken = step
+                    break
+                self._run_step(step)
+                self._counters.add("barriers")
+                if self._job.has_aborter and self._job.aborter(step, dict(self._agg_values)):
+                    steps_taken = step + 1
+                    aborted = True
+                    break
+                step += 1
+            result = JobResult(
+                steps=steps_taken,
+                aggregates=dict(self._agg_values),
+                aborted=aborted,
+                counters=self._counters.snapshot(),
+                elapsed_seconds=time.monotonic() - started,
+                synchronized=True,
+                timeline=list(self._timeline),
+            )
+            self._export_outputs()
+            self._job.on_complete(result)
+            return result
+        finally:
+            self._cleanup()
+
+    def _initialize(self) -> None:
+        if self._direct_exporter is not None:
+            self._direct_exporter.begin()
+        ctx = _LoaderCtx(self)
+        for loader in self._job.loaders():
+            loader.load(ctx)
+        ctx.writer.flush_all()
+        self._counters.add("messages_sent", ctx.writer.messages_added)
+        # initial aggregator inputs are readable in step 0
+        self._agg_values = {
+            name: agg.finish(ctx.agg_partials[name]) for name, agg in self._aggs.items()
+        }
+
+    def _run_step(self, step: int) -> None:
+        engine = self
+        started = time.monotonic()
+
+        class _StepConsumer(PartConsumer):
+            def process_part(self, part_index: int, view: Any) -> Any:
+                return engine._run_part_step(part_index, view, step)
+
+            def combine(self, a: Any, b: Any) -> Any:
+                merged = {}
+                for name, agg in engine._aggs.items():
+                    merged[name] = agg.merge(a.agg_partials[name], b.agg_partials[name])
+                return _PartStepResult(
+                    merged, a.invocations + b.invocations, a.records_out + b.records_out
+                )
+
+        result = self._transport.enumerate_parts(_StepConsumer())
+        # ---- the synchronization barrier has happened here ----
+        self._counters.add("compute_invocations", result.invocations)
+        self._finish_aggregation(result.agg_partials, step)
+        from repro.ebsp.results import StepMetrics
+
+        self._timeline.append(
+            StepMetrics(
+                step=step,
+                duration_seconds=time.monotonic() - started,
+                invocations=result.invocations,
+                records_out=result.records_out,
+            )
+        )
+
+    def _finish_aggregation(self, merged_partials: Dict[str, Any], step: int) -> None:
+        """Make aggregation results readable in the following step.
+
+        Small aggregator sets merge client-side (the partials already
+        arrived through the barrier); large sets go through an
+        auxiliary table and another round of enumeration (paper §IV-A).
+        """
+        if not self._aggs:
+            return
+        if len(self._aggs) <= self._agg_table_threshold:
+            self._agg_values = {
+                name: agg.finish(merged_partials[name]) for name, agg in self._aggs.items()
+            }
+            return
+        aux_name = f"__ebsp_agg_{self._jid}_{step}"
+        aux = self._store.create_table(TableSpec(name=aux_name, n_parts=self.n_parts))
+        aux.put_many(((name, step), partial) for name, partial in merged_partials.items())
+        collected: Dict[str, Any] = {}
+
+        def _gather(key: Any, value: Any) -> bool:
+            name = key[0]
+            agg = self._aggs[name]
+            collected[name] = (
+                value if name not in collected else agg.merge(collected[name], value)
+            )
+            return False
+
+        aux.enumerate_pairs(FnPairConsumer(_gather))
+        self._store.drop_table(aux_name)
+        self._agg_values = {
+            name: agg.finish(collected.get(name, agg.create())) for name, agg in self._aggs.items()
+        }
+
+    # -- one part's slice of one step -----------------------------------------------
+    def _run_part_step(self, part: int, view: Any, step: int) -> _PartStepResult:
+        attempts = 0
+        while True:
+            try:
+                return self._attempt_part_step(part, view, step)
+            except SimulatedFailure:
+                attempts += 1
+                self._counters.add("part_step_retries")
+                if attempts > self._max_retries:
+                    raise
+                # Nothing was committed; the spills for this step are still
+                # in the transport table, so simply retry.
+
+    def _attempt_part_step(self, part: int, view: Any, step: int) -> _PartStepResult:
+        if self._plan.no_collect:
+            return self._attempt_part_step_no_collect(part, view, step)
+        combiner = self._combiner_for(step)
+        bundles, consumed = collect_step_records(view, step, combiner)
+        if not self._fault_tolerance:
+            # no retry possible ⇒ no need to retain the input spills;
+            # dropping them now frees the raw record lists before the
+            # computes allocate this step's outgoing messages
+            for transport_key in consumed:
+                view.delete(transport_key)
+            consumed = []
+
+        writer = SpillWriter(
+            self._transport,
+            src_part=part,
+            step=step + 1,
+            n_parts=self.n_parts,
+            part_of=self._part_of,
+            batch_size=self._spill_batch,
+            hold=self._fault_tolerance,
+            on_spill=lambda n: self._record_spill(step + 1, n),
+            combiner=self._combiner_for(step),
+        )
+        ctx = _StepContext(self, part, step, writer)
+
+        # apply created-state requests (they do not enable by themselves)
+        base_ctx = _SimpleBaseContext(step)
+        for dest_key, bundle in bundles.items():
+            for tab_idx, state in self._merge_creations(base_ctx, dest_key, bundle.created):
+                if self._fault_tolerance:
+                    ctx.deferred_state_ops.append((tab_idx, dest_key, state))
+                else:
+                    self._state_tables[tab_idx].put(dest_key, state)
+
+        enabled = [key for key, b in bundles.items() if b.enabled]
+        if not self._plan.no_sort:
+            enabled.sort()
+
+        no_continue = self._plan.properties.no_continue
+        one_msg = self._plan.properties.one_msg
+        for key in enabled:
+            # pop: the bundle's messages are garbage as soon as this
+            # invocation finishes, which halves the step's peak footprint
+            # (incoming bundles shrink while outgoing spills grow)
+            bundle = bundles.pop(key)
+            if one_msg and len(bundle.messages) > 1:
+                raise PropertyViolationError(
+                    f"job declares one-msg but component {key!r} received "
+                    f"{len(bundle.messages)} messages in step {step}"
+                )
+            ctx._bind(key, bundle.messages)
+            if self._failure_injector is not None:
+                self._failure_injector.check(part, step)
+            try:
+                cont = bool(self._compute.compute(ctx))
+            except SimulatedFailure:
+                writer.discard()
+                raise
+            except Exception as exc:  # surface with key/step context
+                raise ComputeError(key, step, exc) from exc
+            ctx._finish_invocation()
+            if cont:
+                if no_continue:
+                    raise PropertyViolationError(
+                        f"job declares no-continue but component {key!r} "
+                        f"returned the positive signal in step {step}"
+                    )
+                writer.add((CONT, key))
+
+        # ---- commit point ----
+        ctx.commit_deferred()
+        writer.flush_all()
+        self._counters.add("messages_sent", writer.messages_added)
+        if writer.messages_combined:
+            self._counters.add("messages_combined", writer.messages_combined)
+        for transport_key in consumed:
+            view.delete(transport_key)
+        if self._fault_tolerance:
+            for key, value in ctx.direct_outputs:
+                self._direct_exporter.export(key, value)
+            self._progress.mark_completed(part, step)
+        return _PartStepResult(ctx.agg_partials, ctx.invocations, writer.records_written)
+
+    def _attempt_part_step_no_collect(self, part: int, view: Any, step: int) -> _PartStepResult:
+        """The no-collect execution path (§II-A, one-msg ∧ no-continue).
+
+        No value lists are constructed; each record drives one compute
+        invocation directly, sorted by key only when the job asks for
+        ordering.
+        """
+        from repro.ebsp.transport import NO_MESSAGE, scan_step_records_no_collect
+
+        deliveries, creations, consumed = scan_step_records_no_collect(view, step)
+        writer = SpillWriter(
+            self._transport,
+            src_part=part,
+            step=step + 1,
+            n_parts=self.n_parts,
+            part_of=self._part_of,
+            batch_size=self._spill_batch,
+            hold=self._fault_tolerance,
+            on_spill=lambda n: self._record_spill(step + 1, n),
+            combiner=self._combiner_for(step),
+        )
+        ctx = _StepContext(self, part, step, writer)
+        base_ctx = _SimpleBaseContext(step)
+        merged: Dict[Any, List[Tuple[int, Any]]] = {}
+        for dest_key, tab_idx, state in creations:
+            merged.setdefault(dest_key, []).append((tab_idx, state))
+        for dest_key, created in merged.items():
+            for tab_idx, state in self._merge_creations(base_ctx, dest_key, created):
+                if self._fault_tolerance:
+                    ctx.deferred_state_ops.append((tab_idx, dest_key, state))
+                else:
+                    self._state_tables[tab_idx].put(dest_key, state)
+
+        seen: set = set()
+        for dest_key, payload in deliveries:
+            if payload is not NO_MESSAGE:
+                if dest_key in seen:
+                    raise PropertyViolationError(
+                        f"job declares one-msg but component {dest_key!r} received "
+                        f"multiple messages in step {step}"
+                    )
+                seen.add(dest_key)
+        # a bare enable is redundant for a component that also got a message
+        deliveries = [
+            d for d in deliveries if not (d[1] is NO_MESSAGE and d[0] in seen)
+        ]
+        if not self._plan.no_sort:
+            deliveries.sort(key=lambda pair: pair[0])
+        for dest_key, message in deliveries:
+            ctx._bind(dest_key, [] if message is NO_MESSAGE else [message])
+            if self._failure_injector is not None:
+                self._failure_injector.check(part, step)
+            try:
+                cont = bool(self._compute.compute(ctx))
+            except SimulatedFailure:
+                writer.discard()
+                raise
+            except Exception as exc:
+                raise ComputeError(dest_key, step, exc) from exc
+            ctx._finish_invocation()
+            if cont:
+                raise PropertyViolationError(
+                    f"job declares no-continue but component {dest_key!r} "
+                    f"returned the positive signal in step {step}"
+                )
+
+        ctx.commit_deferred()
+        writer.flush_all()
+        self._counters.add("messages_sent", writer.messages_added)
+        if writer.messages_combined:
+            self._counters.add("messages_combined", writer.messages_combined)
+        for transport_key in consumed:
+            view.delete(transport_key)
+        if self._fault_tolerance:
+            for key, value in ctx.direct_outputs:
+                self._direct_exporter.export(key, value)
+            self._progress.mark_completed(part, step)
+        return _PartStepResult(ctx.agg_partials, ctx.invocations, writer.records_written)
+
+    def _merge_creations(
+        self, ctx: BaseContext, key: Any, created: List[Tuple[int, Any]]
+    ) -> List[Tuple[int, Any]]:
+        """Merge conflicting created states per (tab_idx, key)."""
+        if not created:
+            return []
+        by_tab: Dict[int, Any] = {}
+        for tab_idx, state in created:
+            if tab_idx in by_tab:
+                by_tab[tab_idx] = self._compute.combine_states(
+                    ctx, key, by_tab[tab_idx], state
+                )
+            else:
+                by_tab[tab_idx] = state
+        return list(by_tab.items())
+
+    # -- outputs & cleanup ------------------------------------------------------------
+    def _export_outputs(self) -> None:
+        exporters = self._job.state_exporters()
+        for table_name, exporter in exporters.items():
+            if table_name not in self._job.state_table_names():
+                raise JobSpecError(
+                    f"state exporter for {table_name!r}, which is not a state table"
+                )
+            table = self._store.get_table(table_name)
+            exporter.begin()
+            table.enumerate_pairs(
+                FnPairConsumer(lambda key, value: exporter.export(key, value))
+            )
+            exporter.end()
+        if self._direct_exporter is not None:
+            self._direct_exporter.end()
+
+    def _cleanup(self) -> None:
+        for name in (self._transport_name,):
+            try:
+                self._store.drop_table(name)
+            except Exception:
+                pass
+        if self._progress is not None:
+            try:
+                self._store.drop_table(self._progress.table.name)
+            except Exception:
+                pass

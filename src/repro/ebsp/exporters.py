@@ -1,0 +1,83 @@
+"""Exporters: what to do with a job's outputs (paper Section II).
+
+For each state table's final contents, and for direct job output, the
+client can independently supply an :class:`Exporter` that receives each
+key/value pair.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Any, Callable
+
+
+class Exporter(abc.ABC):
+    """Receives key/value pairs of job output.
+
+    ``begin`` and ``end`` bracket the pairs; ``export`` may be called
+    from multiple threads concurrently, so implementations must be
+    thread-safe.
+    """
+
+    def begin(self) -> None:
+        """Called once before any pair."""
+
+    @abc.abstractmethod
+    def export(self, key: Any, value: Any) -> None:
+        """Handle one output pair."""
+
+    def end(self) -> None:
+        """Called once after the last pair."""
+
+
+class CollectingExporter(Exporter):
+    """Collects all pairs into a dict (thread-safe); handy in tests."""
+
+    def __init__(self) -> None:
+        self.pairs: dict = {}
+        self._lock = threading.Lock()
+        self.began = False
+        self.ended = False
+
+    def begin(self) -> None:
+        self.began = True
+
+    def export(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self.pairs[key] = value
+
+    def end(self) -> None:
+        self.ended = True
+
+
+class CallbackExporter(Exporter):
+    """Adapts a plain callable into an exporter."""
+
+    def __init__(self, fn: Callable[[Any, Any], None]):
+        self._fn = fn
+
+    def export(self, key: Any, value: Any) -> None:
+        self._fn(key, value)
+
+
+class TableExporter(Exporter):
+    """Writes output pairs into a key/value table."""
+
+    def __init__(self, table: "Any"):
+        self._table = table
+
+    def export(self, key: Any, value: Any) -> None:
+        self._table.put(key, value)
+
+
+class ListExporter(Exporter):
+    """Collects (key, value) tuples into an ordered list (thread-safe)."""
+
+    def __init__(self) -> None:
+        self.pairs: list = []
+        self._lock = threading.Lock()
+
+    def export(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self.pairs.append((key, value))

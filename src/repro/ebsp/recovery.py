@@ -1,0 +1,98 @@
+"""Failure injection and the fault-tolerance bookkeeping (paper §IV-A).
+
+The paper outlines recovery for synchronized jobs: keep "a table that
+maps shard ID to completed step number, and commit transactions in the
+right order; recover from primary shard failure by deleting writes done
+by the failed shard(s) and retry."
+
+The synchronous engine implements exactly that shape when constructed
+with ``fault_tolerance=True``:
+
+- every part-step buffers its state writes and outgoing spills until a
+  single *commit point* at the end of the part-step;
+- a progress table maps part → completed step, updated at commit;
+- a simulated failure before the commit point leaves no trace — the
+  engine discards the buffers and re-drives the part-step from the
+  retained input spills ("deleting writes done by the failed shard and
+  retry").
+
+:class:`FailureInjector` is the testing hook that makes a chosen
+part-step crash a chosen number of times.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+from repro.errors import RecoveryError
+from repro.kvstore.api import KVStore, Table, TableSpec
+
+
+class SimulatedFailure(Exception):
+    """Raised inside a part-step to emulate a primary shard crash."""
+
+    def __init__(self, part: int, step: int):
+        super().__init__(f"simulated failure of part {part} at step {step}")
+        self.part = part
+        self.step = step
+
+
+class FailureInjector:
+    """Schedules part-step crashes for tests and ablation benches.
+
+    ``schedule(part, step, times)`` makes the given part-step raise
+    :class:`SimulatedFailure` the first *times* times it is attempted.
+    The injector is consulted by the engine via :meth:`check`, which is
+    called once per attempt, *mid-step* — after some state writes have
+    been buffered, so recovery actually has something to discard.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._remaining: Dict[Tuple[int, int], int] = {}
+        self.failures_injected = 0
+
+    def schedule(self, part: int, step: int, times: int = 1) -> None:
+        if times <= 0:
+            raise ValueError("times must be positive")
+        with self._lock:
+            self._remaining[(part, step)] = self._remaining.get((part, step), 0) + times
+
+    def check(self, part: int, step: int) -> None:
+        with self._lock:
+            left = self._remaining.get((part, step), 0)
+            if left > 0:
+                self._remaining[(part, step)] = left - 1
+                self.failures_injected += 1
+                raise SimulatedFailure(part, step)
+
+
+class ProgressTable:
+    """The part → completed-step table from the recovery outline."""
+
+    def __init__(self, store: KVStore, name: str, n_parts: int):
+        self._table = store.create_table(
+            TableSpec(name=name, n_parts=n_parts, key_hash=lambda part: part)
+        )
+        self._n_parts = n_parts
+
+    def mark_completed(self, part: int, step: int) -> None:
+        previous = self._table.get(part)
+        if previous is not None and previous >= step:
+            raise RecoveryError(
+                f"part {part} completed step {step} after already completing {previous};"
+                " commits are out of order"
+            )
+        self._table.put(part, step)
+
+    def completed_step(self, part: int) -> int:
+        value = self._table.get(part)
+        return -1 if value is None else value
+
+    def min_completed_step(self) -> int:
+        return min(self.completed_step(p) for p in range(self._n_parts))
+
+    @property
+    def table(self) -> Table:
+        return self._table

@@ -1,0 +1,69 @@
+"""Job results and execution counters."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Counters:
+    """Thread-safe named counters the engines use for instrumentation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._values)
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Timeline entry for one synchronized step."""
+
+    step: int
+    duration_seconds: float
+    invocations: int
+    records_out: int
+
+
+@dataclass
+class JobResult:
+    """What a job execution yields (paper Section II).
+
+    Final component states stay in the key/value store (and flow
+    through the job's state exporters); direct job output flows through
+    the direct exporter; this object carries the final aggregator
+    results, the number of steps taken, instrumentation counters, and
+    (for synchronized runs) a per-step timeline.
+    """
+
+    steps: int
+    aggregates: Dict[str, Any] = field(default_factory=dict)
+    aborted: bool = False
+    counters: Dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    synchronized: bool = True
+    timeline: list = field(default_factory=list)
+
+    @property
+    def compute_invocations(self) -> int:
+        return self.counters.get("compute_invocations", 0)
+
+    @property
+    def messages_sent(self) -> int:
+        return self.counters.get("messages_sent", 0)
+
+    @property
+    def barriers(self) -> int:
+        return self.counters.get("barriers", 0)

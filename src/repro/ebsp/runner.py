@@ -1,0 +1,54 @@
+"""Top-level job execution: pick an engine from the job's properties.
+
+``run_job`` is the public entry point: it derives the execution plan
+from the job's declared properties (plus the two detected ones) and
+dispatches to the no-sync engine when the job is eligible — unless the
+caller forces synchronization, which is the paper's "simple
+all-or-nothing switch".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ebsp.async_engine import AsyncEngine
+from repro.ebsp.engine import SyncEngine
+from repro.ebsp.job import Job
+from repro.ebsp.properties import ExecutionPlan
+from repro.ebsp.results import JobResult
+from repro.kvstore.api import KVStore
+
+
+def plan_for(job: Job) -> ExecutionPlan:
+    """Derive the execution plan the engines would use for *job*."""
+    return ExecutionPlan.derive(job.properties(), bool(job.aggregators()), job.has_aborter)
+
+
+def run_job(
+    store: KVStore,
+    job: Job,
+    *,
+    synchronize: Optional[bool] = None,
+    **engine_kwargs: object,
+) -> JobResult:
+    """Execute *job* against *store* and return its :class:`JobResult`.
+
+    Parameters
+    ----------
+    synchronize:
+        ``None`` (default) lets the plan decide: a no-sync-eligible job
+        runs without barriers, everything else runs synchronously.
+        ``True`` forces barriers even for an eligible job; ``False``
+        demands no-sync execution and raises
+        :class:`~repro.errors.JobSpecError` for an ineligible job.
+    engine_kwargs:
+        Passed through to the chosen engine (e.g. ``max_steps``,
+        ``spill_batch``, ``fault_tolerance`` for the synchronous
+        engine; ``queuing``, ``work_stealing`` for the asynchronous
+        one).
+    """
+    plan = plan_for(job)
+    use_sync = not plan.no_sync if synchronize is None else synchronize
+    if use_sync:
+        return SyncEngine(store, job, **engine_kwargs).run()
+    return AsyncEngine(store, job, **engine_kwargs).run()

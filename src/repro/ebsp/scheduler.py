@@ -1,0 +1,208 @@
+"""Concurrent job management (the paper's §VII future work).
+
+The architecture already permits "various styles of analytics in the
+same platform and on the same data"; this module adds the management
+piece: a :class:`JobScheduler` that accepts jobs against one shared
+store, runs them with bounded concurrency, tracks their lifecycle, and
+serializes jobs that would contend for the same *mutable* state tables
+while letting read-only sharing proceed in parallel (the factored
+state-table story of Section II: "running a new analysis need not
+involve changing existing data").
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from repro.errors import JobError
+from repro.ebsp.job import Job
+from repro.ebsp.results import JobResult
+from repro.ebsp.runner import run_job
+from repro.kvstore.api import KVStore
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class JobHandle:
+    """The scheduler's view of one submitted job."""
+
+    job_id: str
+    job: Job
+    writes: FrozenSet[str]
+    reads: FrozenSet[str]
+    state: JobState = JobState.QUEUED
+    result: Optional[JobResult] = None
+    error: Optional[BaseException] = None
+    submitted_at: float = field(default_factory=time.monotonic)
+    finished_at: Optional[float] = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes (or *timeout*); True if done."""
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self.state in (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
+
+
+class JobScheduler:
+    """Runs jobs over one shared store with bounded concurrency.
+
+    Conflict rule: two jobs may run simultaneously unless one *writes*
+    a table the other reads or writes.  By default every state table of
+    a job counts as written; pass ``read_only=[...]`` at submit time to
+    mark reference tables, unlocking read-sharing.
+    """
+
+    def __init__(self, store: KVStore, max_concurrent: int = 2):
+        if max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+        self._store = store
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="ebsp-job"
+        )
+        self._lock = threading.Lock()
+        self._handles: Dict[str, JobHandle] = {}
+        self._queue: List[str] = []
+        self._running_writes: Dict[str, FrozenSet[str]] = {}
+        self._running_reads: Dict[str, FrozenSet[str]] = {}
+        self._slots = max_concurrent
+        self._in_flight = 0
+        self._closed = False
+        self._engine_kwargs: Dict[str, Dict[str, Any]] = {}
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        job: Job,
+        read_only: Optional[List[str]] = None,
+        **engine_kwargs: Any,
+    ) -> JobHandle:
+        """Queue *job*; returns a handle immediately."""
+        if self._closed:
+            raise JobError("scheduler is shut down")
+        tables = set(job.state_table_names())
+        reads = frozenset(read_only or []) & tables
+        writes = frozenset(tables - reads)
+        handle = JobHandle(
+            job_id=uuid.uuid4().hex[:12], job=job, writes=writes, reads=reads
+        )
+        with self._lock:
+            self._handles[handle.job_id] = handle
+            self._queue.append(handle.job_id)
+            self._engine_kwargs[handle.job_id] = dict(engine_kwargs)
+        self._pump()
+        return handle
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; returns whether it was."""
+        with self._lock:
+            handle = self._handles.get(job_id)
+            if handle is None or handle.state is not JobState.QUEUED:
+                return False
+            self._queue.remove(job_id)
+            handle.state = JobState.CANCELLED
+            handle.finished_at = time.monotonic()
+            handle._done.set()
+            return True
+
+    # -- scheduling core --------------------------------------------------------
+    def _conflicts(self, handle: JobHandle) -> bool:
+        for writes in self._running_writes.values():
+            if writes & (handle.writes | handle.reads):
+                return True
+        for reads in self._running_reads.values():
+            if reads & handle.writes:
+                return True
+        return False
+
+    def _pump(self) -> None:
+        """Launch every queued job that has a free slot and no conflict."""
+        to_launch: List[JobHandle] = []
+        with self._lock:
+            remaining: List[str] = []
+            for job_id in self._queue:
+                handle = self._handles[job_id]
+                if self._in_flight < self._slots and not self._conflicts(handle):
+                    handle.state = JobState.RUNNING
+                    self._running_writes[job_id] = handle.writes
+                    self._running_reads[job_id] = handle.reads
+                    self._in_flight += 1
+                    to_launch.append(handle)
+                else:
+                    remaining.append(job_id)
+            self._queue = remaining
+        for handle in to_launch:
+            self._pool.submit(self._run_one, handle)
+
+    def _run_one(self, handle: JobHandle) -> None:
+        kwargs = self._engine_kwargs.get(handle.job_id, {})
+        try:
+            handle.result = run_job(self._store, handle.job, **kwargs)
+            handle.state = JobState.SUCCEEDED
+        except BaseException as exc:  # recorded, not raised here
+            handle.error = exc
+            handle.state = JobState.FAILED
+        finally:
+            handle.finished_at = time.monotonic()
+            with self._lock:
+                self._running_writes.pop(handle.job_id, None)
+                self._running_reads.pop(handle.job_id, None)
+                self._in_flight -= 1
+            handle._done.set()
+            self._pump()
+
+    # -- introspection / lifecycle ---------------------------------------------------
+    def handle(self, job_id: str) -> JobHandle:
+        with self._lock:
+            handle = self._handles.get(job_id)
+        if handle is None:
+            raise JobError(f"unknown job id {job_id!r}")
+        return handle
+
+    def jobs(self) -> List[JobHandle]:
+        with self._lock:
+            return list(self._handles.values())
+
+    def wait_all(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job finishes; True if all did."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for handle in self.jobs():
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not handle.wait(remaining):
+                return False
+        return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for running ones."""
+        with self._lock:
+            self._closed = True
+            for job_id in self._queue:
+                handle = self._handles[job_id]
+                handle.state = JobState.CANCELLED
+                handle.finished_at = time.monotonic()
+                handle._done.set()
+            self._queue = []
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown(wait=True)

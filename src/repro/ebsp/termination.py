@@ -1,0 +1,111 @@
+"""Distributed termination detection by Huang's weight-throwing algorithm.
+
+The paper (Section IV-A, footnote 3): "We detect distributed
+termination essentially by Huang's algorithm" [Huang 1989].
+
+The scheme: a controlling agent starts holding weight 1.  Every message
+carries a positive weight taken from its sender's held weight; a
+process that receives a message adds the message's weight to its own.
+An idle process returns its held weight to the controller.  The total
+weight in the system (controller + processes + in-flight messages) is
+invariantly 1, so when the controller's held weight returns to exactly
+1, no process is active and no message is in flight — the computation
+has terminated.
+
+We use :class:`fractions.Fraction` so the arithmetic is exact; a float
+implementation would eventually underrun and deadlock or terminate
+early.
+"""
+
+from __future__ import annotations
+
+import threading
+from fractions import Fraction
+from typing import Optional
+
+from repro.errors import TerminationError
+
+ONE = Fraction(1)
+ZERO = Fraction(0)
+
+
+class WeightController:
+    """The controlling agent of Huang's algorithm."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._held = ONE
+        self._done = threading.Event()
+        self.returns_received = 0
+
+    def grant_for_message(self) -> Fraction:
+        """Take weight from the controller for one seed message.
+
+        Used while injecting the initial message set: the controller
+        halves its held weight and sends one half with the message.
+        """
+        with self._lock:
+            if self._held <= ZERO:
+                raise TerminationError("controller has no weight left to grant")
+            grant = self._held / 2
+            self._held -= grant
+            if self._done.is_set():
+                self._done.clear()
+            return grant
+
+    def return_weight(self, weight: Fraction) -> None:
+        """A process returns held weight to the controller."""
+        if weight <= ZERO:
+            raise TerminationError(f"cannot return non-positive weight {weight}")
+        with self._lock:
+            self._held += weight
+            self.returns_received += 1
+            if self._held > ONE:
+                raise TerminationError(
+                    f"controller weight {self._held} exceeds 1; double-returned weight"
+                )
+            if self._held == ONE:
+                self._done.set()
+
+    def is_done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    @property
+    def held(self) -> Fraction:
+        with self._lock:
+            return self._held
+
+
+class WeightPurse:
+    """A worker's held weight.  Owned by one thread; no locking needed."""
+
+    __slots__ = ("weight",)
+
+    def __init__(self) -> None:
+        self.weight = ZERO
+
+    def receive(self, weight: Fraction) -> None:
+        if weight <= ZERO:
+            raise TerminationError(f"received non-positive message weight {weight}")
+        self.weight += weight
+
+    def take_for_message(self) -> Fraction:
+        """Split the purse in half; send one half with an outgoing message."""
+        if self.weight <= ZERO:
+            raise TerminationError("sending a message while holding no weight")
+        grant = self.weight / 2
+        self.weight -= grant
+        return grant
+
+    def drain(self) -> Fraction:
+        """Empty the purse (to return its contents to the controller)."""
+        weight = self.weight
+        self.weight = ZERO
+        return weight
+
+    @property
+    def empty(self) -> bool:
+        return self.weight == ZERO

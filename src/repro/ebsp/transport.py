@@ -1,0 +1,234 @@
+"""BSP message transport through a *transport table* (paper Section IV-A).
+
+    "BSP messages are transported in batches called spills.  Our
+    prototype implementation uses a table, called the transport table,
+    to move the spills between parts.  Each spill from part S to part D
+    is written to the transport table with a new unique key that is
+    constructed to be located in part D."
+
+A spill key is ``(dest_part, step, src_part, seq)``; the transport
+table's ``key_hash`` is the first element, so the store physically
+places the spill at its destination.  A spill's value is a list of
+records:
+
+``("m", dest_key, payload)``
+    an application message for *dest_key*;
+``("c", dest_key)``
+    a continue/enable signal — "the implementation of the continue
+    signal transforms a positive one into a special kind of BSP
+    message" — which enables *dest_key* without carrying data;
+``("n", dest_key, tab_idx, state)``
+    a created-state request for a new component.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.kvstore.api import KVStore, Table, TableSpec
+
+MSG = "m"
+CONT = "c"
+CREATE = "n"
+
+#: Source-part id used for records originating at the client (loaders).
+CLIENT_SRC = -1
+
+
+def create_transport_table(store: KVStore, name: str, n_parts: int) -> Table:
+    """Create the private transport table for one job execution."""
+    return store.create_table(
+        TableSpec(name=name, n_parts=n_parts, key_hash=lambda key: key[0])
+    )
+
+
+class SpillWriter:
+    """Accumulates outgoing records per destination part and spills them.
+
+    One SpillWriter serves one source part for one step.  Records are
+    buffered per destination part and flushed to the transport table in
+    batches of *batch_size*.  When *hold* is set (fault-tolerant
+    execution), nothing reaches the transport table until
+    :meth:`flush_all` — the part-step's commit point — so a failed
+    part-step leaks no messages.
+    """
+
+    def __init__(
+        self,
+        transport: Table,
+        src_part: int,
+        step: int,
+        n_parts: int,
+        part_of: Callable[[Any], int],
+        batch_size: int = 512,
+        hold: bool = False,
+        on_spill: Optional[Callable[[int], None]] = None,
+        combiner: Optional[Callable[[Any, Any], Any]] = None,
+    ):
+        self._transport = transport
+        self._src_part = src_part
+        self._step = step
+        self._n_parts = n_parts
+        self._part_of = part_of
+        self._batch_size = max(1, batch_size)
+        self._hold = hold
+        self._on_spill = on_spill
+        self._combiner = combiner
+        self._buffers: Dict[int, List[tuple]] = {}
+        # per destination part: dest_key -> index of its buffered MSG
+        # record, for sender-side combining
+        self._combine_index: Dict[int, Dict[Any, int]] = {}
+        self._seq = 0
+        self.records_written = 0
+        self.messages_added = 0
+        self.continues_added = 0
+        self.messages_combined = 0
+
+    def add(self, record: tuple) -> None:
+        dest_key = record[1]
+        kind = record[0]
+        if kind == MSG:
+            self.messages_added += 1
+        elif kind == CONT:
+            self.continues_added += 1
+        dest_part = self._part_of(dest_key)
+        buffer = self._buffers.setdefault(dest_part, [])
+        if kind == MSG and self._combiner is not None:
+            # sender-side combining: merge with the still-buffered
+            # message for the same destination, when the combiner accepts
+            index = self._combine_index.setdefault(dest_part, {})
+            at = index.get(dest_key)
+            if at is not None:
+                combined = self._combiner(buffer[at][2], record[2])
+                if combined is not None:
+                    buffer[at] = (MSG, dest_key, combined)
+                    self.messages_combined += 1
+                    return
+            index[dest_key] = len(buffer)
+        buffer.append(record)
+        if not self._hold and len(buffer) >= self._batch_size:
+            self._spill(dest_part)
+
+    def _spill(self, dest_part: int) -> None:
+        buffer = self._buffers.pop(dest_part, None)
+        self._combine_index.pop(dest_part, None)
+        if not buffer:
+            return
+        key = (dest_part, self._step, self._src_part, self._seq)
+        self._seq += 1
+        self._transport.put(key, buffer)
+        self.records_written += len(buffer)
+        if self._on_spill is not None:
+            self._on_spill(len(buffer))
+
+    def flush_all(self) -> None:
+        """Write every remaining buffer (the commit point under *hold*)."""
+        for dest_part in list(self._buffers):
+            self._spill(dest_part)
+
+    def discard(self) -> None:
+        """Drop all buffered records (failed part-step under *hold*)."""
+        self._buffers.clear()
+        self._combine_index.clear()
+
+
+class CombiningBundle:
+    """Messages destined for one component in one step.
+
+    Applies the job's pairwise combiner opportunistically as messages
+    accumulate ("the platform may combine some of them by one or more
+    invocations at arbitrary times and places"): each arriving message
+    is offered to the combiner against the most recent kept message; a
+    ``None`` result declines the combine and keeps both.
+    """
+
+    __slots__ = ("messages", "enabled", "created")
+
+    def __init__(self) -> None:
+        self.messages: List[Any] = []
+        self.enabled = False
+        self.created: List[Tuple[int, Any]] = []
+
+    def add_message(
+        self, message: Any, combiner: Optional[Callable[[Any, Any], Any]]
+    ) -> None:
+        if combiner is not None and self.messages:
+            combined = combiner(self.messages[-1], message)
+            if combined is not None:
+                self.messages[-1] = combined
+                return
+        self.messages.append(message)
+
+
+#: Sentinel delivery payload for an enable without a message (a loader
+#: may enable components even in a no-continue job).
+NO_MESSAGE = object()
+
+
+def scan_step_records_no_collect(
+    view: Any, step: int
+) -> Tuple[List[Tuple[Any, Any]], List[Tuple[Any, int, Any]], List[tuple]]:
+    """The no-collect special case (one-msg ∧ no-continue, §II-A).
+
+    With at most one message per destination and step and no continue
+    signals, "Ripple does not collect together multiple messages for
+    delivery" — no per-destination value lists are constructed; the
+    records drive compute directly.  Returns (deliveries, creations,
+    consumed transport keys), where deliveries is a list of
+    (dest_key, message); the message is :data:`NO_MESSAGE` for a bare
+    enable (only loaders produce those — compute cannot continue).
+    """
+    deliveries: List[Tuple[Any, Any]] = []
+    creations: List[Tuple[Any, int, Any]] = []
+    consumed: List[tuple] = []
+    for key, records in view.items():
+        if key[1] != step:
+            continue
+        consumed.append(key)
+        for record in records:
+            kind = record[0]
+            if kind == MSG:
+                deliveries.append((record[1], record[2]))
+            elif kind == CREATE:
+                creations.append((record[1], record[2], record[3]))
+            elif kind == CONT:
+                deliveries.append((record[1], NO_MESSAGE))
+            else:
+                raise ValueError(f"unknown transport record kind {kind!r}")
+    return deliveries, creations, consumed
+
+
+def collect_step_records(
+    view: Any,
+    step: int,
+    combiner: Optional[Callable[[Any, Any], Any]],
+) -> Tuple[Dict[Any, CombiningBundle], List[tuple]]:
+    """Scan a transport-table part for records of *step*.
+
+    Returns the per-destination bundles plus the list of consumed
+    transport keys (deleted later, at the part-step commit point, so a
+    failed part-step can be re-driven from the same spills).
+    """
+    bundles: Dict[Any, CombiningBundle] = {}
+    consumed: List[tuple] = []
+    for key, records in view.items():
+        if key[1] != step:
+            continue
+        consumed.append(key)
+        for record in records:
+            kind = record[0]
+            dest_key = record[1]
+            bundle = bundles.get(dest_key)
+            if bundle is None:
+                bundle = CombiningBundle()
+                bundles[dest_key] = bundle
+            if kind == MSG:
+                bundle.add_message(record[2], combiner)
+                bundle.enabled = True
+            elif kind == CONT:
+                bundle.enabled = True
+            elif kind == CREATE:
+                bundle.created.append((record[2], record[3]))
+            else:
+                raise ValueError(f"unknown transport record kind {kind!r}")
+    return bundles, consumed

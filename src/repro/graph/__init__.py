@@ -1,0 +1,54 @@
+"""Graph EBSP: a Pregel-style vertex-program layer atop K/V EBSP.
+
+The paper notes that "the functionality of Pregel can be constructed
+atop Ripple's K/V EBSP" (Section VI) and Figure 2 shows Graph EBSP as
+one of the models layered above the core.  This package is that layer:
+vertices are components keyed by vertex id, vertex value + out-edges
+live in one state table, ``vote_to_halt`` is the negative continue
+signal, and message receipt re-activates a vertex — exactly the EBSP
+enablement rule.
+"""
+
+from repro.graph.vertex_program import (
+    GraphJob,
+    VertexContext,
+    VertexProgram,
+    VertexState,
+    load_graph,
+    run_vertex_program,
+)
+from repro.graph.generators import (
+    power_law_directed_graph,
+    power_law_undirected_edges,
+    ring_graph,
+)
+from repro.graph.algorithms import (
+    bfs_distances,
+    connected_components,
+    degree_statistics,
+    graph_pagerank,
+    k_core,
+    label_propagation,
+    triangle_count,
+    weighted_sssp,
+)
+
+__all__ = [
+    "bfs_distances",
+    "connected_components",
+    "degree_statistics",
+    "graph_pagerank",
+    "k_core",
+    "label_propagation",
+    "triangle_count",
+    "weighted_sssp",
+    "VertexProgram",
+    "VertexContext",
+    "VertexState",
+    "GraphJob",
+    "load_graph",
+    "run_vertex_program",
+    "power_law_directed_graph",
+    "power_law_undirected_edges",
+    "ring_graph",
+]

@@ -1,0 +1,387 @@
+"""A library of vertex-program algorithms for the Graph EBSP layer.
+
+These play the role of the "ecosystems of higher level platforms" the
+paper attributes to Pregel-style systems (Section I): standard graph
+analytics written once against :class:`~repro.graph.VertexProgram` and
+runnable over any store.
+
+Every algorithm here is exercised against a networkx (or dense-algebra)
+reference in ``tests/graph/test_algorithms.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.ebsp.aggregators import MaxAggregator, SumAggregator
+from repro.ebsp.results import JobResult
+from repro.graph.vertex_program import VertexContext, VertexProgram, run_vertex_program
+from repro.kvstore.api import KVStore
+
+
+# ---------------------------------------------------------------------------
+# Connected components (undirected graphs loaded with symmetric edges)
+# ---------------------------------------------------------------------------
+
+
+class ConnectedComponents(VertexProgram):
+    """Minimum-label propagation; value = smallest vertex id in the
+    component.  Supersteps ≈ component diameter."""
+
+    def compute(self, v: VertexContext) -> None:
+        if v.superstep == 0:
+            v.value = v.vertex_id
+            v.send_to_neighbors(v.value)
+            return
+        best = min(v.messages(), default=v.value)
+        if best < v.value:
+            v.value = best
+            v.send_to_neighbors(best)
+        v.vote_to_halt()
+
+    def combine(self, m1: Any, m2: Any) -> Any:
+        return min(m1, m2)
+
+
+def connected_components(store: KVStore, vertex_table: str, **kwargs: Any) -> Dict[Any, Any]:
+    """Label every vertex with its component's smallest vertex id."""
+    run_vertex_program(store, ConnectedComponents(), vertex_table, **kwargs)
+    return {k: s.value for k, s in store.get_table(vertex_table).items()}
+
+
+# ---------------------------------------------------------------------------
+# Breadth-first distances (hop counts from one source)
+# ---------------------------------------------------------------------------
+
+
+class BreadthFirstDistance(VertexProgram):
+    """value = hop count from *source* (None while unreached)."""
+
+    def __init__(self, source: Any):
+        self._source = source
+
+    def compute(self, v: VertexContext) -> None:
+        if v.superstep == 0:
+            if v.vertex_id == self._source:
+                v.value = 0
+                v.send_to_neighbors(1)
+            v.vote_to_halt()
+            return
+        best = min(v.messages(), default=None)
+        if best is not None and (v.value is None or best < v.value):
+            v.value = best
+            v.send_to_neighbors(best + 1)
+        v.vote_to_halt()
+
+    def combine(self, m1: Any, m2: Any) -> Any:
+        return min(m1, m2)
+
+
+def bfs_distances(store: KVStore, vertex_table: str, source: Any, **kwargs: Any) -> Dict[Any, Optional[int]]:
+    """Hop distances from *source*; ``None`` marks unreachable vertices.
+
+    Only the frontier is ever invoked — selective enablement makes the
+    total work Θ(edges reached), not Θ(supersteps × vertices).
+    """
+    run_vertex_program(
+        store,
+        BreadthFirstDistance(source),
+        vertex_table,
+        initially_active=[source],
+        **kwargs,
+    )
+    return {k: s.value for k, s in store.get_table(vertex_table).items()}
+
+
+# ---------------------------------------------------------------------------
+# PageRank (the graph-layer flavor; the paper's §V-A variants live in
+# repro.apps.pagerank as raw EBSP jobs)
+# ---------------------------------------------------------------------------
+
+_PR_SINK = "pagerank_sink_mass"
+
+
+class GraphPageRank(VertexProgram):
+    """Fixed-iteration PageRank as a vertex program.
+
+    Vertex value = current rank.  Sinks route their mass through an
+    aggregator (read back in the next superstep), matching the modified
+    adjacency matrix A' of the paper's equations.
+    """
+
+    def __init__(self, n_vertices: int, iterations: int, damping: float = 0.85):
+        if n_vertices <= 0:
+            raise ValueError("n_vertices must be positive")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0,1)")
+        self._n = n_vertices
+        self._iterations = iterations
+        self._damping = damping
+
+    def _distribute(self, v: VertexContext, rank: float) -> None:
+        if len(v.edges) == 0:
+            v.aggregate(_PR_SINK, rank / self._n)
+        else:
+            share = rank / len(v.edges)
+            v.send_to_neighbors(share)
+
+    def compute(self, v: VertexContext) -> None:
+        if v.superstep == 0:
+            v.value = 1.0 / self._n
+            self._distribute(v, v.value)
+            return
+        incoming = sum(v.messages())
+        sink_mass = v.get_aggregate(_PR_SINK) or 0.0
+        d = self._damping
+        v.value = (1.0 - d) / self._n + d * (incoming + sink_mass)
+        if v.superstep < self._iterations:
+            self._distribute(v, v.value)
+        else:
+            v.vote_to_halt()
+
+    def combine(self, m1: float, m2: float) -> float:
+        return m1 + m2
+
+
+def graph_pagerank(
+    store: KVStore,
+    vertex_table: str,
+    n_vertices: int,
+    iterations: int = 10,
+    damping: float = 0.85,
+    **kwargs: Any,
+) -> Dict[Any, float]:
+    """Rank the (deduplicated-edge) graph in *vertex_table*."""
+    run_vertex_program(
+        store,
+        GraphPageRank(n_vertices, iterations, damping),
+        vertex_table,
+        aggregators={_PR_SINK: SumAggregator(0.0)},
+        **kwargs,
+    )
+    return {k: s.value for k, s in store.get_table(vertex_table).items()}
+
+
+# ---------------------------------------------------------------------------
+# Single-source shortest paths with weighted edges
+# ---------------------------------------------------------------------------
+
+
+class WeightedSSSP(VertexProgram):
+    """Bellman-Ford-style SSSP; value = best known distance.
+
+    Edge weights come from *weights*: a dict ``(u, v) -> weight``
+    provided at construction (kept in broadcastable client state rather
+    than per-edge state to keep the vertex table compact).
+    """
+
+    def __init__(self, source: Any, weights: Dict[tuple, float]):
+        self._source = source
+        self._weights = weights
+
+    def _relax(self, v: VertexContext) -> None:
+        for target in v.edges.tolist():
+            weight = self._weights.get((v.vertex_id, target), 1.0)
+            v.send(target, v.value + weight)
+
+    def compute(self, v: VertexContext) -> None:
+        if v.superstep == 0:
+            if v.vertex_id == self._source:
+                v.value = 0.0
+                self._relax(v)
+            v.vote_to_halt()
+            return
+        best = min(v.messages(), default=None)
+        if best is not None and (v.value is None or best < v.value):
+            v.value = best
+            self._relax(v)
+        v.vote_to_halt()
+
+    def combine(self, m1: float, m2: float) -> float:
+        return min(m1, m2)
+
+
+def weighted_sssp(
+    store: KVStore,
+    vertex_table: str,
+    source: Any,
+    weights: Dict[tuple, float],
+    **kwargs: Any,
+) -> Dict[Any, Optional[float]]:
+    """Weighted shortest-path distances from *source* (None = unreachable)."""
+    run_vertex_program(
+        store,
+        WeightedSSSP(source, weights),
+        vertex_table,
+        initially_active=[source],
+        **kwargs,
+    )
+    return {k: s.value for k, s in store.get_table(vertex_table).items()}
+
+
+# ---------------------------------------------------------------------------
+# Degree statistics (one superstep + aggregators)
+# ---------------------------------------------------------------------------
+
+
+class DegreeStats(VertexProgram):
+    def compute(self, v: VertexContext) -> None:
+        degree = len(v.edges)
+        v.value = degree
+        v.aggregate("degree_sum", degree)
+        v.aggregate("degree_max", degree)
+        v.aggregate("vertices", 1)
+        v.vote_to_halt()
+
+
+def degree_statistics(store: KVStore, vertex_table: str, **kwargs: Any) -> Dict[str, float]:
+    """Out-degree sum / max / mean in a single superstep."""
+    result: JobResult = run_vertex_program(
+        store,
+        DegreeStats(),
+        vertex_table,
+        aggregators={
+            "degree_sum": SumAggregator(),
+            "degree_max": MaxAggregator(),
+            "vertices": SumAggregator(),
+        },
+        **kwargs,
+    )
+    total = result.aggregates["degree_sum"]
+    count = result.aggregates["vertices"]
+    return {
+        "edges": total,
+        "max_degree": result.aggregates["degree_max"] or 0,
+        "mean_degree": total / count if count else 0.0,
+        "vertices": count,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Triangle counting (undirected graphs, symmetric edge lists)
+# ---------------------------------------------------------------------------
+
+
+class LabelPropagation(VertexProgram):
+    """Community detection by synchronous label propagation.
+
+    Each vertex adopts the most frequent label among its neighbors
+    (ties broken toward the smallest label, which also makes the run
+    deterministic); halts when its label is stable.  Capped by the
+    caller's ``max_supersteps`` because label propagation can oscillate
+    on bipartite-ish structures.
+    """
+
+    def compute(self, v: VertexContext) -> None:
+        if v.superstep == 0:
+            v.value = v.vertex_id
+            v.send_to_neighbors(v.value)
+            return
+        tallies: Dict[Any, int] = {}
+        for label in v.messages():
+            tallies[label] = tallies.get(label, 0) + 1
+        if tallies:
+            best = min(
+                tallies, key=lambda label: (-tallies[label], label)
+            )
+            if best != v.value:
+                v.value = best
+                v.send_to_neighbors(best)
+                return
+        v.vote_to_halt()
+
+
+def label_propagation(
+    store: KVStore, vertex_table: str, max_supersteps: int = 20, **kwargs: Any
+) -> Dict[Any, Any]:
+    """Community labels by propagation (deterministic tie-breaking)."""
+    run_vertex_program(
+        store, LabelPropagation(), vertex_table, max_supersteps=max_supersteps, **kwargs
+    )
+    return {k: s.value for k, s in store.get_table(vertex_table).items()}
+
+
+class KCoreDecomposition(VertexProgram):
+    """Iterative k-core pruning: value = True while the vertex survives.
+
+    A vertex dies when its count of *surviving* neighbors drops below
+    k; deaths cascade through messages, so only affected vertices ever
+    re-run — selective enablement again.
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._k = k
+
+    def compute(self, v: VertexContext) -> None:
+        if v.superstep == 0:
+            v.value = {"alive": True, "lost": 0}
+            if len(v.edges) < self._k:
+                v.value = {"alive": False, "lost": 0}
+                v.send_to_neighbors("died")
+            v.vote_to_halt()
+            return
+        state = dict(v.value)
+        if state["alive"]:
+            state["lost"] += sum(1 for _ in v.messages())
+            if len(v.edges) - state["lost"] < self._k:
+                state["alive"] = False
+                v.send_to_neighbors("died")
+        v.value = state
+        v.vote_to_halt()
+
+
+def k_core(store: KVStore, vertex_table: str, k: int, **kwargs: Any) -> Dict[Any, bool]:
+    """Membership of each vertex in the k-core of the undirected graph."""
+    run_vertex_program(store, KCoreDecomposition(k), vertex_table, **kwargs)
+    return {
+        key: state.value["alive"] for key, state in store.get_table(vertex_table).items()
+    }
+
+
+class TriangleCount(VertexProgram):
+    """Counts triangles in three supersteps.
+
+    Uses the degree-ordering trick: each vertex forwards its
+    higher-ordered neighbor list to those neighbors; a receiver
+    intersects the forwarded list with its own higher-ordered
+    neighbors, so each triangle is counted exactly once.
+    """
+
+    @staticmethod
+    def _higher(v: VertexContext) -> np.ndarray:
+        return v.edges[v.edges > v.vertex_id]
+
+    def compute(self, v: VertexContext) -> None:
+        if v.superstep == 0:
+            higher = self._higher(v).tolist()
+            for target in higher:
+                v.send(target, higher)
+            v.vote_to_halt()
+            return
+        mine = set(self._higher(v).tolist())
+        found = 0
+        for candidate_list in v.messages():
+            for candidate in candidate_list:
+                if candidate in mine:
+                    found += 1
+        if found:
+            v.aggregate("triangles", found)
+        v.vote_to_halt()
+
+
+def triangle_count(store: KVStore, vertex_table: str, **kwargs: Any) -> int:
+    """Total number of triangles in the undirected graph."""
+    result = run_vertex_program(
+        store,
+        TriangleCount(),
+        vertex_table,
+        aggregators={"triangles": SumAggregator()},
+        **kwargs,
+    )
+    return result.aggregates["triangles"]

@@ -1,0 +1,100 @@
+"""Random graph generators matching the paper's evaluation workloads.
+
+Section V-A ranks "randomly generated graph[s] ... follow[ing] a biased
+power-law distribution for edge attachments"; Section V-C adds random
+edges whose "source and destination are randomly chosen according to a
+power law distribution".  Both are produced here, deterministically
+from a seed, with numpy sampling so paper-sized graphs (millions of
+edges) generate in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+
+def _power_law_probabilities(n: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+    """Attachment probabilities ∝ rank^-exponent over a shuffled ranking.
+
+    Shuffling decorrelates a vertex's popularity from its numeric id,
+    which is the "biased" part: hubs land anywhere in the id space
+    (and hence anywhere in the partition space), not all in part 0.
+    """
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def power_law_directed_graph(
+    n_vertices: int,
+    n_edges: int,
+    seed: int,
+    exponent: float = 0.7,
+) -> Dict[int, np.ndarray]:
+    """A directed multigraph with power-law-biased edge attachments.
+
+    Returns adjacency: vertex id → int64 array of out-neighbors.
+    Every vertex appears as a key (possibly with zero out-edges — the
+    PageRank sink case the paper's equations single out).  Parallel
+    edges are kept, as in the paper's generator ("without regard to
+    which already exist").
+    """
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    if n_edges < 0:
+        raise ValueError("n_edges must be non-negative")
+    rng = np.random.default_rng(seed)
+    probs = _power_law_probabilities(n_vertices, exponent, rng)
+    sources = rng.choice(n_vertices, size=n_edges, p=probs)
+    targets = rng.choice(n_vertices, size=n_edges, p=probs)
+    adjacency: Dict[int, List[int]] = {v: [] for v in range(n_vertices)}
+    for src, dst in zip(sources.tolist(), targets.tolist()):
+        adjacency[src].append(dst)
+    return {v: np.asarray(out, dtype=np.int64) for v, out in adjacency.items()}
+
+
+def power_law_undirected_edges(
+    n_vertices: int,
+    n_edges: int,
+    seed: int,
+    exponent: float = 0.7,
+) -> List[Tuple[int, int]]:
+    """Undirected edges with power-law endpoints (SSSP workload, §V-C).
+
+    Self-loops are dropped and each edge is normalized to
+    ``(min, max)``; duplicates may occur, matching "without regard to
+    which already exist, so some of these changes will be no-ops".
+    """
+    rng = np.random.default_rng(seed)
+    probs = _power_law_probabilities(n_vertices, exponent, rng)
+    sources = rng.choice(n_vertices, size=n_edges, p=probs)
+    targets = rng.choice(n_vertices, size=n_edges, p=probs)
+    edges: List[Tuple[int, int]] = []
+    for a, b in zip(sources.tolist(), targets.tolist()):
+        if a == b:
+            continue
+        edges.append((a, b) if a < b else (b, a))
+    return edges
+
+
+def ring_graph(n_vertices: int) -> Dict[int, np.ndarray]:
+    """A directed ring; the simplest strongly connected test graph."""
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    return {
+        v: np.asarray([(v + 1) % n_vertices], dtype=np.int64) for v in range(n_vertices)
+    }
+
+
+def adjacency_to_undirected(adjacency: Dict[int, np.ndarray]) -> Set[Tuple[int, int]]:
+    """Collapse a directed adjacency into an undirected edge set."""
+    edges: Set[Tuple[int, int]] = set()
+    for src, targets in adjacency.items():
+        for dst in targets.tolist():
+            if src == dst:
+                continue
+            edges.add((src, dst) if src < dst else (dst, src))
+    return edges

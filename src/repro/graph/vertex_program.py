@@ -1,0 +1,239 @@
+"""Pregel-style vertex programs mapped onto K/V EBSP."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ebsp.aggregators import Aggregator
+from repro.ebsp.job import Compute, ComputeContext, Job
+from repro.ebsp.loaders import Loader, TableScanLoader
+from repro.ebsp.results import JobResult
+from repro.ebsp.runner import run_job
+from repro.kvstore.api import KVStore, TableSpec
+
+
+@dataclass
+class VertexState:
+    """A vertex's state-table entry: its value plus out-edge targets.
+
+    ``edges`` is a compact ``numpy int64`` array, mirroring the paper's
+    "Java int array holding the ID of each vertex that lies at the far
+    end of an outgoing edge".
+    """
+
+    value: Any
+    edges: np.ndarray
+
+    @classmethod
+    def of(cls, value: Any, edges: Iterable[int]) -> "VertexState":
+        return cls(value=value, edges=np.asarray(list(edges), dtype=np.int64))
+
+
+class VertexContext:
+    """What one vertex invocation sees (a thin veneer over ComputeContext)."""
+
+    __slots__ = ("_ctx", "_state", "_halted")
+
+    def __init__(self, ctx: ComputeContext, state: Optional[VertexState]):
+        self._ctx = ctx
+        self._state = state
+        self._halted = False
+
+    @property
+    def vertex_id(self) -> Any:
+        return self._ctx.key
+
+    @property
+    def superstep(self) -> int:
+        return self._ctx.step_num
+
+    @property
+    def value(self) -> Any:
+        return None if self._state is None else self._state.value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        if self._state is None:
+            self._state = VertexState.of(new_value, [])
+        else:
+            self._state = VertexState(value=new_value, edges=self._state.edges)
+        self._ctx.write_state(0, self._state)
+
+    @property
+    def edges(self) -> np.ndarray:
+        return np.empty(0, dtype=np.int64) if self._state is None else self._state.edges
+
+    def set_edges(self, edges: Iterable[int]) -> None:
+        self._state = VertexState.of(self.value, edges)
+        self._ctx.write_state(0, self._state)
+
+    def messages(self) -> Iterator[Any]:
+        return self._ctx.input_messages()
+
+    def send(self, target: Any, message: Any) -> None:
+        self._ctx.output_message(target, message)
+
+    def send_to_neighbors(self, message: Any) -> None:
+        for target in self.edges:
+            self._ctx.output_message(int(target), message)
+
+    def vote_to_halt(self) -> None:
+        """Deactivate until a message arrives (Pregel semantics)."""
+        self._halted = True
+
+    def aggregate(self, name: str, value: Any) -> None:
+        self._ctx.aggregate_value(name, value)
+
+    def get_aggregate(self, name: str) -> Any:
+        return self._ctx.get_aggregate_value(name)
+
+    def add_vertex(self, vertex_id: Any, value: Any, edges: Iterable[int] = ()) -> None:
+        """Request creation of a new vertex (visible next superstep)."""
+        self._ctx.create_state(0, vertex_id, VertexState.of(value, edges))
+
+    def add_edge(self, target: int) -> None:
+        """Add an out-edge from this vertex (idempotent)."""
+        if target not in self._state_edges_set():
+            self.set_edges(np.append(self.edges, np.int64(target)))
+
+    def remove_edge(self, target: int) -> None:
+        """Remove the out-edge to *target* if present."""
+        edges = self.edges
+        keep = edges != target
+        if not keep.all():
+            self.set_edges(edges[keep])
+
+    def _state_edges_set(self) -> set:
+        return set(self.edges.tolist())
+
+    def remove_self(self) -> None:
+        self._ctx.delete_state(0)
+        self._halted = True
+
+
+class VertexProgram(abc.ABC):
+    """Client code invoked once per active vertex per superstep."""
+
+    @abc.abstractmethod
+    def compute(self, vctx: VertexContext) -> None:
+        """Process this vertex for one superstep.
+
+        A vertex stays active unless it calls ``vote_to_halt()``; a
+        halted vertex is re-activated by an incoming message.
+        """
+
+    def combine(self, m1: Any, m2: Any) -> Any:
+        """Optional pairwise message combiner; ``None`` declines."""
+        return None
+
+    def merge_created(self, v1: VertexState, v2: VertexState) -> VertexState:
+        """Merge two conflicting ``add_vertex`` requests for one id."""
+        return VertexState(
+            value=v1.value,
+            edges=np.unique(np.concatenate([v1.edges, v2.edges])),
+        )
+
+
+class _GraphCompute(Compute):
+    def __init__(self, program: VertexProgram):
+        self._program = program
+
+    def compute(self, ctx: ComputeContext) -> bool:
+        state = ctx.read_state(0)
+        vctx = VertexContext(ctx, state)
+        self._program.compute(vctx)
+        return not vctx._halted
+
+    def combine_messages(self, ctx: Any, key: Any, m1: Any, m2: Any) -> Any:
+        return self._program.combine(m1, m2)
+
+    def combine_states(self, ctx: Any, key: Any, s1: Any, s2: Any) -> Any:
+        return self._program.merge_created(s1, s2)
+
+
+class GraphJob(Job):
+    """An EBSP job wrapping a vertex program over one vertex table."""
+
+    def __init__(
+        self,
+        program: VertexProgram,
+        vertex_table: str,
+        aggregators: Optional[Dict[str, Aggregator]] = None,
+        initially_active: Optional[Iterable[Any]] = None,
+        extra_loaders: Optional[List[Loader]] = None,
+        _store: Optional[KVStore] = None,
+    ):
+        self._program = program
+        self._vertex_table = vertex_table
+        self._aggregators = dict(aggregators or {})
+        self._initially_active = initially_active
+        self._extra_loaders = list(extra_loaders or [])
+        self._store = _store
+
+    def state_table_names(self) -> List[str]:
+        return [self._vertex_table]
+
+    def reference_table(self) -> Optional[str]:
+        return self._vertex_table
+
+    def get_compute(self) -> Compute:
+        return _GraphCompute(self._program)
+
+    def aggregators(self) -> Dict[str, Aggregator]:
+        return self._aggregators
+
+    def loaders(self) -> List[Loader]:
+        from repro.ebsp.loaders import EnableKeysLoader
+
+        loaders = list(self._extra_loaders)
+        if self._initially_active is None:
+            # Pregel default: every vertex is active in superstep 0.
+            loaders.append(TableScanLoader(self._store.get_table(self._vertex_table)))
+        else:
+            loaders.append(EnableKeysLoader(self._initially_active))
+        return loaders
+
+
+def load_graph(
+    store: KVStore,
+    table_name: str,
+    adjacency: Dict[Any, Sequence[int]],
+    initial_value: Any = None,
+    n_parts: Optional[int] = None,
+) -> None:
+    """Materialize *adjacency* as a vertex table of :class:`VertexState`."""
+    if store.has_table(table_name):
+        table = store.get_table(table_name)
+    else:
+        table = store.create_table(TableSpec(name=table_name, n_parts=n_parts))
+    table.put_many(
+        (vertex, VertexState.of(initial_value, targets))
+        for vertex, targets in adjacency.items()
+    )
+
+
+def run_vertex_program(
+    store: KVStore,
+    program: VertexProgram,
+    vertex_table: str,
+    *,
+    aggregators: Optional[Dict[str, Aggregator]] = None,
+    initially_active: Optional[Iterable[Any]] = None,
+    max_supersteps: Optional[int] = None,
+    **engine_kwargs: Any,
+) -> JobResult:
+    """Run *program* over the graph stored in *vertex_table*."""
+    job = GraphJob(
+        program,
+        vertex_table,
+        aggregators=aggregators,
+        initially_active=initially_active,
+        _store=store,
+    )
+    return run_job(
+        store, job, synchronize=True, max_steps=max_supersteps, **engine_kwargs
+    )

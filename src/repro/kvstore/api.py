@@ -1,0 +1,412 @@
+"""The key/value store SPI (System Programming Interface).
+
+This is the narrow lower-layer interface from Section III-A of the
+paper.  The K/V EBSP engine — and everything above it — is written
+against these abstract classes only, which is what makes Ripple
+portable across store implementations.
+
+Concepts
+--------
+
+Tables
+    Key/value data are organized into *tables*.  Each table is
+    partitioned into *parts*, identified by successive integers starting
+    at 0.  A table may be *ordered* (its per-part enumerations visit
+    keys in sorted order) and/or *ubiquitous* (quick to read, limited
+    size, expected to be fully replicated everywhere).
+
+Co-partitioning
+    A table can be created "like" another table, guaranteeing the two
+    share a part count and key→part mapping, so that a computation
+    touching both finds corresponding entries collocated.
+
+Enumeration with consumers
+    When enumerating parts, the client supplies a
+    :class:`PartConsumer` whose results are pairwise combined; when
+    enumerating pairs, a :class:`PairConsumer` with per-part setup and
+    finalize hooks and an early-stop signal.  This inversion lets the
+    store run the client code *where the data lives*.
+
+Collocated compute ("mobile code")
+    ``Table.run_collocated(part, fn)`` executes ``fn`` at the location
+    holding that part.  Ripple moves placement of computation into the
+    storage layer; this is the hook it uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.errors import BadTableSpecError
+from repro.util.hashing import part_for_key
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Description of a table to create.
+
+    Parameters
+    ----------
+    name:
+        Unique table name within the store.
+    n_parts:
+        Number of parts.  ``None`` asks the store to use its default.
+        Must be ``None`` when ``like`` is given (the part count is
+        inherited) and is forced to 1 for ubiquitous tables.
+    ordered:
+        If true, per-part enumeration visits keys in ascending order.
+        Keys of an ordered table must be mutually comparable.
+    ubiquitous:
+        Declares the ubiquitous-table contract: small and quick to
+        read from anywhere.  Implementations may bound the size
+        (``ubiquity_limit``) and replicate the content everywhere.
+    like:
+        Name of an existing table this one must be partitioned
+        consistently with (same part count, same key→part mapping).
+    replication:
+        Number of replicas per part *in addition to* the primary.
+        Only stores that implement replication honor values > 0.
+    key_hash:
+        Optional override of the key→part hash, the client's lever for
+        controlling placement.  Must be deterministic.
+    ubiquity_limit:
+        Maximum number of entries a ubiquitous table may hold.
+    """
+
+    name: str
+    n_parts: Optional[int] = None
+    ordered: bool = False
+    ubiquitous: bool = False
+    like: Optional[str] = None
+    replication: int = 0
+    key_hash: Optional[Callable[[Any], int]] = field(default=None, compare=False)
+    ubiquity_limit: int = 100_000
+
+    def validate(self) -> None:
+        if not self.name:
+            raise BadTableSpecError("table name must be non-empty")
+        if self.n_parts is not None and self.n_parts <= 0:
+            raise BadTableSpecError(f"n_parts must be positive, got {self.n_parts}")
+        if self.like is not None and self.n_parts is not None:
+            raise BadTableSpecError("give either n_parts or like=, not both")
+        if self.ubiquitous and self.like is not None:
+            raise BadTableSpecError("a ubiquitous table cannot be co-partitioned")
+        if self.replication < 0:
+            raise BadTableSpecError(f"replication must be >= 0, got {self.replication}")
+        if self.ubiquity_limit <= 0:
+            raise BadTableSpecError("ubiquity_limit must be positive")
+
+
+class PartConsumer(abc.ABC):
+    """Callback object for part enumeration (paper Section III-A).
+
+    ``process_part`` runs once per part — collocated with the part when
+    the store supports that — and ``combine`` merges two results.  The
+    overall enumeration result is the combine-fold of all per-part
+    results (``None`` if the table has no parts, which cannot happen
+    for a valid table).
+    """
+
+    @abc.abstractmethod
+    def process_part(self, part_index: int, part: "PartView") -> Any:
+        """Process one part; return a partial result."""
+
+    @abc.abstractmethod
+    def combine(self, a: Any, b: Any) -> Any:
+        """Combine two partial results; must be associative."""
+
+
+class PairConsumer(abc.ABC):
+    """Callback object for key/value pair enumeration.
+
+    For each part the store calls ``setup_part`` once, then ``consume``
+    for each pair (stopping that part early when it returns ``True``),
+    then ``finish_part``, whose results are merged pairwise with
+    ``combine``.
+    """
+
+    def setup_part(self, part_index: int) -> None:
+        """Called once before the pairs of a part are consumed."""
+
+    @abc.abstractmethod
+    def consume(self, key: Any, value: Any) -> bool:
+        """Consume one pair.  Return ``True`` to stop this part's enumeration."""
+
+    def finish_part(self, part_index: int) -> Any:
+        """Called once after a part's pairs; returns this part's result."""
+        return None
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """Combine two per-part results; must be associative."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        raise NotImplementedError(
+            "PairConsumer.combine must be overridden when finish_part returns results"
+        )
+
+
+class FnPartConsumer(PartConsumer):
+    """Adapter building a :class:`PartConsumer` from two functions."""
+
+    def __init__(self, process: Callable[[int, "PartView"], Any], combine: Callable[[Any, Any], Any]):
+        self._process = process
+        self._combine = combine
+
+    def process_part(self, part_index: int, part: "PartView") -> Any:
+        return self._process(part_index, part)
+
+    def combine(self, a: Any, b: Any) -> Any:
+        return self._combine(a, b)
+
+
+class FnPairConsumer(PairConsumer):
+    """Adapter building a :class:`PairConsumer` from a consume function.
+
+    The supplied function may return ``None`` (meaning "continue"),
+    which is friendlier than requiring an explicit ``False``.
+    """
+
+    def __init__(
+        self,
+        consume: Callable[[Any, Any], Any],
+        setup: Optional[Callable[[int], None]] = None,
+        finish: Optional[Callable[[int], Any]] = None,
+        combine: Optional[Callable[[Any, Any], Any]] = None,
+    ):
+        self._consume = consume
+        self._setup = setup
+        self._finish = finish
+        self._combine = combine
+
+    def setup_part(self, part_index: int) -> None:
+        if self._setup is not None:
+            self._setup(part_index)
+
+    def consume(self, key: Any, value: Any) -> bool:
+        return bool(self._consume(key, value))
+
+    def finish_part(self, part_index: int) -> Any:
+        if self._finish is not None:
+            return self._finish(part_index)
+        return None
+
+    def combine(self, a: Any, b: Any) -> Any:
+        if self._combine is not None:
+            return self._combine(a, b)
+        return super().combine(a, b)
+
+
+class PartView(abc.ABC):
+    """Read/write access to a single part, handed to collocated code.
+
+    A :class:`PartView` is only valid inside the callback it was handed
+    to; stores are free to invalidate it afterwards.
+    """
+
+    @abc.abstractmethod
+    def get(self, key: Any) -> Any:
+        ...
+
+    @abc.abstractmethod
+    def put(self, key: Any, value: Any) -> None:
+        ...
+
+    @abc.abstractmethod
+    def delete(self, key: Any) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def items(self) -> Iterator[tuple]:
+        """Iterate (key, value) pairs; sorted by key iff the table is ordered."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        ...
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    def range_items(self, lo: Optional[Any] = None, hi: Optional[Any] = None) -> Iterator[tuple]:
+        """Pairs with ``lo <= key < hi``; sorted iff the part is ordered.
+
+        The default filters a full scan; ordered parts override with an
+        index seek.
+        """
+        for key, value in self.items():
+            if lo is not None and key < lo:
+                continue
+            if hi is not None and key >= hi:
+                continue
+            yield key, value
+
+
+class Table(abc.ABC):
+    """A partitioned key/value table (paper Section III-A).
+
+    Keys and values are general objects.  ``get`` returns ``None`` for
+    absent keys (``None`` is not a storable value, matching the paper's
+    Java heritage); ``delete`` returns whether the key was present.
+    """
+
+    def __init__(self, spec: TableSpec, n_parts: int):
+        self._spec = spec
+        self._n_parts = n_parts
+
+    @property
+    def spec(self) -> TableSpec:
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        return self._spec.name
+
+    @property
+    def n_parts(self) -> int:
+        return self._n_parts
+
+    @property
+    def ordered(self) -> bool:
+        return self._spec.ordered
+
+    @property
+    def ubiquitous(self) -> bool:
+        return self._spec.ubiquitous
+
+    def part_of(self, key: Any) -> int:
+        """Return the index of the part holding *key*."""
+        if self._spec.key_hash is not None:
+            return int(self._spec.key_hash(key)) % self._n_parts
+        return part_for_key(key, self._n_parts)
+
+    # -- point operations ------------------------------------------------
+    @abc.abstractmethod
+    def get(self, key: Any) -> Any:
+        """Return the value for *key*, or ``None`` when absent."""
+
+    @abc.abstractmethod
+    def put(self, key: Any, value: Any) -> None:
+        """Associate *value* (not ``None``) with *key*."""
+
+    @abc.abstractmethod
+    def delete(self, key: Any) -> bool:
+        """Remove *key*; return whether it was present."""
+
+    def contains(self, key: Any) -> bool:
+        return self.get(key) is not None
+
+    # -- bulk conveniences (overridable for efficiency) -------------------
+    def put_many(self, pairs: Iterable[tuple]) -> None:
+        for key, value in pairs:
+            self.put(key, value)
+
+    def get_many(self, keys: Iterable[Any]) -> dict:
+        return {key: self.get(key) for key in keys}
+
+    # -- enumeration -------------------------------------------------------
+    @abc.abstractmethod
+    def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        """Run *consumer* over each part (or the given subset) and fold results."""
+
+    @abc.abstractmethod
+    def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        """Run *consumer* over every pair of each part and fold per-part results."""
+
+    # -- collocated compute -------------------------------------------------
+    @abc.abstractmethod
+    def run_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Any:
+        """Run mobile code *fn(part_index, part_view)* at *part_index*'s location."""
+
+    def range_scan(self, lo: Optional[Any] = None, hi: Optional[Any] = None) -> list:
+        """All (key, value) pairs with ``lo <= key < hi``, globally sorted.
+
+        Requires an *ordered* table.  Each part seeks its sorted index
+        (keys are hash-spread, so every part contributes a slice) and
+        the per-part runs are merged client-side — the finer-grained
+        access path the paper's key/value data model enables, versus a
+        complete file scan.
+        """
+        import heapq
+
+        from repro.errors import StoreError
+
+        if not self.ordered:
+            raise StoreError(
+                f"range_scan requires an ordered table; {self.name!r} is not "
+                "(create it with TableSpec(ordered=True))"
+            )
+
+        class _Range(PartConsumer):
+            def process_part(self, part_index: int, part: "PartView") -> Any:
+                return [list(part.range_items(lo, hi))]
+
+            def combine(self, a: Any, b: Any) -> Any:
+                return a + b
+
+        runs = self.enumerate_parts(_Range()) or []
+        return list(heapq.merge(*runs))
+
+    # -- whole-table helpers -------------------------------------------------
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Total number of entries across all parts."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Remove all entries."""
+
+    def items(self) -> list:
+        """Materialize all (key, value) pairs.  Convenience for tests/tools."""
+        out: list = []
+
+        class _Collect(PairConsumer):
+            def consume(self, key: Any, value: Any) -> bool:
+                out.append((key, value))
+                return False
+
+        self.enumerate_pairs(_Collect())
+        return out
+
+
+class KVStore(abc.ABC):
+    """A key/value store: a namespace of tables plus a compute substrate."""
+
+    @abc.abstractmethod
+    def create_table(self, spec: TableSpec) -> Table:
+        """Create a table; raises :class:`TableExistsError` on name clash."""
+
+    @abc.abstractmethod
+    def drop_table(self, name: str) -> None:
+        """Drop a table; raises :class:`NoSuchTableError` when unknown."""
+
+    @abc.abstractmethod
+    def get_table(self, name: str) -> Table:
+        """Look up an existing table by name."""
+
+    @abc.abstractmethod
+    def list_tables(self) -> list:
+        """Names of all existing tables, sorted."""
+
+    @property
+    @abc.abstractmethod
+    def default_n_parts(self) -> int:
+        """Part count used when a :class:`TableSpec` does not give one."""
+
+    def has_table(self, name: str) -> bool:
+        return name in self.list_tables()
+
+    def create_table_like(self, name: str, like: str, **kwargs: Any) -> Table:
+        """Create a table consistently partitioned with table *like*."""
+        return self.create_table(TableSpec(name=name, like=like, **kwargs))
+
+    def get_or_create_table(self, spec: TableSpec) -> Table:
+        if self.has_table(spec.name):
+            return self.get_table(spec.name)
+        return self.create_table(spec)
+
+    def close(self) -> None:
+        """Release resources (threads, files).  Idempotent."""

@@ -1,0 +1,158 @@
+"""The local debugging store: single-threaded, simplest conformant store.
+
+This corresponds to the paper's "debugging implementation" (Section
+IV-B).  All parts live in the calling process; no marshalling, no
+threads.  It exists so that jobs can be developed and unit-tested with
+fully deterministic, single-threaded execution before being pointed at
+a parallel store — and so tests can verify that the other stores agree
+with it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import (
+    NoSuchTableError,
+    TableDroppedError,
+    TableExistsError,
+    UbiquityViolationError,
+)
+from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
+from repro.kvstore.memory_table import make_part
+
+
+def resolve_n_parts(spec: TableSpec, store: KVStore) -> int:
+    """Compute the part count for *spec* within *store* (shared helper)."""
+    spec.validate()
+    if spec.ubiquitous:
+        return 1
+    if spec.like is not None:
+        return store.get_table(spec.like).n_parts
+    if spec.n_parts is not None:
+        return spec.n_parts
+    return store.default_n_parts
+
+
+def fold_part_results(consumer, results: list) -> Any:
+    """Left-fold per-part results through ``consumer.combine``."""
+    acc = None
+    first = True
+    for result in results:
+        if first:
+            acc = result
+            first = False
+        else:
+            acc = consumer.combine(acc, result)
+    return acc
+
+
+class LocalTable(Table):
+    """A table whose parts are plain in-process structures."""
+
+    def __init__(self, spec: TableSpec, n_parts: int):
+        super().__init__(spec, n_parts)
+        self._parts = [make_part(spec.ordered) for _ in range(n_parts)]
+        self._dropped = False
+
+    def _check(self) -> None:
+        if self._dropped:
+            raise TableDroppedError(self.name)
+
+    def _part(self, key: Any) -> PartView:
+        return self._parts[self.part_of(key)]
+
+    def get(self, key: Any) -> Any:
+        self._check()
+        return self._part(key).get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._check()
+        if self.ubiquitous and self.size() >= self.spec.ubiquity_limit and not self._part(key).get(key):
+            raise UbiquityViolationError(
+                f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
+            )
+        self._part(key).put(key, value)
+
+    def delete(self, key: Any) -> bool:
+        self._check()
+        return self._part(key).delete(key)
+
+    def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        self._check()
+        indices = range(self.n_parts) if parts is None else sorted(set(parts))
+        results = [consumer.process_part(i, self._parts[i]) for i in indices]
+        return fold_part_results(consumer, results)
+
+    def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        self._check()
+        indices = range(self.n_parts) if parts is None else sorted(set(parts))
+        results = []
+        for i in indices:
+            consumer.setup_part(i)
+            for key, value in self._parts[i].items():
+                if consumer.consume(key, value):
+                    break
+            results.append(consumer.finish_part(i))
+        return fold_part_results(consumer, results)
+
+    def run_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Any:
+        self._check()
+        if not 0 <= part_index < self.n_parts:
+            raise IndexError(f"part {part_index} out of range for {self.name!r}")
+        return fn(part_index, self._parts[part_index])
+
+    def size(self) -> int:
+        self._check()
+        return sum(len(p) for p in self._parts)
+
+    def clear(self) -> None:
+        self._check()
+        for part in self._parts:
+            part.clear()  # type: ignore[attr-defined]
+
+    def _mark_dropped(self) -> None:
+        self._dropped = True
+
+
+class LocalKVStore(KVStore):
+    """Single-process, single-threaded store (the debugging store)."""
+
+    def __init__(self, default_n_parts: int = 4):
+        if default_n_parts <= 0:
+            raise ValueError("default_n_parts must be positive")
+        self._default_n_parts = default_n_parts
+        self._tables: dict = {}
+        self._lock = threading.Lock()
+
+    @property
+    def default_n_parts(self) -> int:
+        return self._default_n_parts
+
+    def create_table(self, spec: TableSpec) -> Table:
+        n_parts = resolve_n_parts(spec, self)
+        with self._lock:
+            if spec.name in self._tables:
+                raise TableExistsError(spec.name)
+            table = LocalTable(spec, n_parts)
+            self._tables[spec.name] = table
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            table = self._tables.pop(name, None)
+        if table is None:
+            raise NoSuchTableError(name)
+        table._mark_dropped()
+
+    def get_table(self, name: str) -> Table:
+        with self._lock:
+            table = self._tables.get(name)
+        if table is None:
+            raise NoSuchTableError(name)
+        return table
+
+    def list_tables(self) -> list:
+        with self._lock:
+            return sorted(self._tables)

@@ -1,0 +1,355 @@
+"""The parallel debugging store (paper Section V-A).
+
+    "This store approximates a distributed key-value store, all in
+    threads: one to handle short request-response table operations
+    (get, put), while the other handles (one at a time) long-running
+    requests (i.e., enumerations).  Communication between emulated
+    partitions involves marshalling and un-marshalling, while local
+    operations do not."
+
+Each emulated partition owns the data of its parts and two dedicated
+worker threads:
+
+- a *short-op* thread servicing get/put/delete requests, and
+- a *long-op* thread servicing (one at a time) enumerations and
+  collocated mobile code.
+
+A request from outside the partition is marshalled (pickled) on the way
+in and its result marshalled on the way out, exactly like a remote
+call.  Code already running inside the partition — i.e., mobile code or
+an enumeration callback — touches its local part without marshalling.
+
+Parts of a table are assigned round-robin to partitions
+(``part_index % n_partitions``), so tables with equal part counts are
+automatically collocated part-by-part, which is what the EBSP layer's
+co-partitioning relies on.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.errors import (
+    NoSuchTableError,
+    TableDroppedError,
+    TableExistsError,
+    UbiquityViolationError,
+)
+from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
+from repro.kvstore.local import fold_part_results, resolve_n_parts
+from repro.kvstore.memory_table import make_part
+from repro.serde import Codec, SerdeStats
+
+_current_partition = threading.local()
+
+
+def _here() -> Optional[int]:
+    """Index of the partition whose worker thread we are on, if any."""
+    return getattr(_current_partition, "index", None)
+
+
+class _LockedPart(PartView):
+    """A part view that serializes primitive access with the partition lock.
+
+    The short-op thread, the long-op thread, and inline local calls can
+    all touch one part; the lock keeps individual operations atomic
+    while callbacks run outside it.
+    """
+
+    __slots__ = ("_part", "_lock")
+
+    def __init__(self, part: PartView, lock: threading.RLock):
+        self._part = part
+        self._lock = lock
+
+    def get(self, key: Any) -> Any:
+        with self._lock:
+            return self._part.get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._part.put(key, value)
+
+    def delete(self, key: Any) -> bool:
+        with self._lock:
+            return self._part.delete(key)
+
+    def items(self) -> Iterator[tuple]:
+        with self._lock:
+            return self._part.items()  # implementations snapshot internally
+
+    def range_items(self, lo: Any = None, hi: Any = None) -> Iterator[tuple]:
+        with self._lock:
+            return self._part.range_items(lo, hi)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._part)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._part.clear()  # type: ignore[attr-defined]
+
+
+class _Partition:
+    """One emulated partition: local data plus its two worker threads."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.lock = threading.RLock()
+        # {table_name: {part_index: _LockedPart}}
+        self.parts: dict = {}
+
+        def _mark(idx: int = index) -> None:
+            _current_partition.index = idx
+
+        self.short_ops = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"part{index}-short", initializer=_mark
+        )
+        self.long_ops = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"part{index}-long", initializer=_mark
+        )
+
+    def shutdown(self) -> None:
+        self.short_ops.shutdown(wait=False)
+        self.long_ops.shutdown(wait=False)
+
+
+class PartitionedTable(Table):
+    """A table whose parts are spread over the store's partitions."""
+
+    def __init__(self, spec: TableSpec, n_parts: int, store: "PartitionedKVStore"):
+        super().__init__(spec, n_parts)
+        self._store = store
+        self._dropped = False
+        self._views: list = []
+        for part_index in range(n_parts):
+            partition = store._partition_for(part_index)
+            view = _LockedPart(make_part(spec.ordered), partition.lock)
+            partition.parts.setdefault(spec.name, {})[part_index] = view
+            self._views.append(view)
+
+    # -- routing ---------------------------------------------------------
+    def _check(self) -> None:
+        if self._dropped:
+            raise TableDroppedError(self.name)
+
+    def _partition_index(self, part_index: int) -> int:
+        return part_index % self._store.n_partitions
+
+    def _call_short(self, part_index: int, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run *fn(view, *args)* on the part's short-op thread.
+
+        Marshals arguments and result when crossing partitions; runs
+        inline without marshalling when already local.
+        """
+        self._check()
+        pidx = self._partition_index(part_index)
+        view = self._views[part_index]
+        if _here() == pidx:
+            return fn(view, *args)
+        codec = self._store._codec
+        remote_args = codec.roundtrip(args) if args else args
+        partition = self._store._partitions[pidx]
+        future = partition.short_ops.submit(fn, view, *remote_args)
+        result = future.result()
+        return codec.roundtrip(result) if result is not None else None
+
+    def _call_long(self, part_index: int, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run *fn(part_index, view, *args)* on the part's long-op thread."""
+        self._check()
+        pidx = self._partition_index(part_index)
+        view = self._views[part_index]
+        if _here() == pidx:
+            return fn(part_index, view, *args)
+        partition = self._store._partitions[pidx]
+        codec = self._store._codec
+        future = partition.long_ops.submit(fn, part_index, view, *args)
+        result = future.result()
+        return codec.roundtrip(result) if result is not None else None
+
+    def _submit_long(self, part_index: int, fn: Callable[..., Any], *args: Any) -> Future:
+        """Asynchronously dispatch a long op; caller gathers the future."""
+        self._check()
+        pidx = self._partition_index(part_index)
+        view = self._views[part_index]
+        partition = self._store._partitions[pidx]
+        return partition.long_ops.submit(fn, part_index, view, *args)
+
+    # -- point operations ---------------------------------------------------
+    def get(self, key: Any) -> Any:
+        return self._call_short(self.part_of(key), lambda view, k: view.get(k), key)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._check()
+        if self.ubiquitous and self.size() >= self.spec.ubiquity_limit and self.get(key) is None:
+            raise UbiquityViolationError(
+                f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
+            )
+        self._call_short(self.part_of(key), lambda view, k, v: view.put(k, v), key, value)
+
+    def delete(self, key: Any) -> bool:
+        return bool(self._call_short(self.part_of(key), lambda view, k: view.delete(k), key))
+
+    def put_many(self, pairs: Iterable[tuple]) -> None:
+        """Batch puts per part: one marshalled request per touched part."""
+        by_part: dict = {}
+        for key, value in pairs:
+            by_part.setdefault(self.part_of(key), []).append((key, value))
+
+        def _apply(view: PartView, batch: list) -> None:
+            for key, value in batch:
+                view.put(key, value)
+
+        for part_index, batch in by_part.items():
+            self._call_short(part_index, _apply, batch)
+
+    # -- enumeration -----------------------------------------------------------
+    def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        self._check()
+        indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
+
+        def _run(part_index: int, view: PartView) -> Any:
+            return consumer.process_part(part_index, view)
+
+        return fold_part_results(consumer, self._gather_long(indices, _run))
+
+    def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        self._check()
+        indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
+
+        def _run(part_index: int, view: PartView) -> Any:
+            consumer.setup_part(part_index)
+            for key, value in view.items():
+                if consumer.consume(key, value):
+                    break
+            return consumer.finish_part(part_index)
+
+        return fold_part_results(consumer, self._gather_long(indices, _run))
+
+    def _gather_long(self, indices: list, fn: Callable[[int, PartView], Any]) -> list:
+        """Run *fn* on each part's long-op thread concurrently and gather.
+
+        Parts living on the calling thread's own partition run inline —
+        submitting to our own single-thread executor would deadlock.
+        """
+        here = _here()
+        codec = self._store._codec
+        futures: dict = {}
+        inline: dict = {}
+        for i in indices:
+            if self._partition_index(i) == here:
+                inline[i] = fn(i, self._views[i])
+            else:
+                futures[i] = self._submit_long(i, fn)
+        results = []
+        for i in indices:
+            if i in inline:
+                results.append(inline[i])
+            else:
+                result = futures[i].result()
+                # results cross the partition boundary like any message
+                results.append(codec.roundtrip(result) if result is not None else None)
+        return results
+
+    # -- collocated compute --------------------------------------------------
+    def run_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Any:
+        if not 0 <= part_index < self.n_parts:
+            raise IndexError(f"part {part_index} out of range for {self.name!r}")
+        return self._call_long(part_index, fn)
+
+    def submit_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Future:
+        """Asynchronous variant of :meth:`run_collocated` (store extension)."""
+        if not 0 <= part_index < self.n_parts:
+            raise IndexError(f"part {part_index} out of range for {self.name!r}")
+        return self._submit_long(part_index, fn)
+
+    # -- whole-table helpers ------------------------------------------------------
+    def size(self) -> int:
+        self._check()
+        return sum(len(view) for view in self._views)
+
+    def clear(self) -> None:
+        self._check()
+        for view in self._views:
+            view.clear()
+
+    def _mark_dropped(self) -> None:
+        self._dropped = True
+
+
+class PartitionedKVStore(KVStore):
+    """The multi-threaded store emulating a distributed deployment.
+
+    Parameters
+    ----------
+    n_partitions:
+        Number of emulated partitions (the paper uses 6).
+    default_n_parts:
+        Part count for tables that do not specify one; defaults to the
+        partition count so each partition serves one part per table.
+    """
+
+    def __init__(self, n_partitions: int = 6, default_n_parts: Optional[int] = None):
+        if n_partitions <= 0:
+            raise ValueError("n_partitions must be positive")
+        self.n_partitions = n_partitions
+        self._default_n_parts = default_n_parts if default_n_parts is not None else n_partitions
+        self._partitions = [_Partition(i) for i in range(n_partitions)]
+        self._tables: dict = {}
+        self._lock = threading.Lock()
+        self.stats = SerdeStats()
+        self._codec = Codec(self.stats)
+        self._closed = False
+
+    @property
+    def default_n_parts(self) -> int:
+        return self._default_n_parts
+
+    def _partition_for(self, part_index: int) -> _Partition:
+        return self._partitions[part_index % self.n_partitions]
+
+    def create_table(self, spec: TableSpec) -> Table:
+        n_parts = resolve_n_parts(spec, self)
+        with self._lock:
+            if spec.name in self._tables:
+                raise TableExistsError(spec.name)
+            table = PartitionedTable(spec, n_parts, self)
+            self._tables[spec.name] = table
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            table = self._tables.pop(name, None)
+        if table is None:
+            raise NoSuchTableError(name)
+        table._mark_dropped()
+        for partition in self._partitions:
+            with partition.lock:
+                partition.parts.pop(name, None)
+
+    def get_table(self, name: str) -> Table:
+        with self._lock:
+            table = self._tables.get(name)
+        if table is None:
+            raise NoSuchTableError(name)
+        return table
+
+    def list_tables(self) -> list:
+        with self._lock:
+            return sorted(self._tables)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for partition in self._partitions:
+            partition.shutdown()
+
+    def __enter__(self) -> "PartitionedKVStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

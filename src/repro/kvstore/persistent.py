@@ -1,0 +1,310 @@
+"""The HBase-analog store: disk-backed parts with logs and segments.
+
+The paper's second adapter targets Apache HBase (Section IV-B).  This
+module provides the closest synthetic equivalent that exercises the
+same SPI surface with durable storage:
+
+- every part has an append-only *write log* on disk (framed pickle
+  records) and an in-memory index reconstructed from segments + log at
+  open time;
+- :meth:`PersistentKVStore.flush` turns a part's state into a sorted
+  *segment* file and truncates the log (an LSM-lite);
+- a store directory can be closed and reopened, recovering all data —
+  the property the durability tests pin down.
+
+Parallelism is intentionally absent (like :class:`LocalKVStore`); the
+point of this store is portability and durability, not speed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import (
+    NoSuchTableError,
+    TableDroppedError,
+    TableExistsError,
+    UbiquityViolationError,
+)
+from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
+from repro.kvstore.local import fold_part_results, resolve_n_parts
+from repro.kvstore.memory_table import make_part
+
+_LEN = struct.Struct("<I")
+
+
+def _append_record(fh, record: Any) -> None:
+    data = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    fh.write(_LEN.pack(len(data)))
+    fh.write(data)
+    fh.flush()
+
+
+def _read_records(path: str) -> list:
+    """Read framed records; a truncated tail (torn write) is ignored."""
+    records = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "rb") as fh:
+        while True:
+            header = fh.read(_LEN.size)
+            if len(header) < _LEN.size:
+                break
+            (length,) = _LEN.unpack(header)
+            data = fh.read(length)
+            if len(data) < length:
+                break
+            records.append(pickle.loads(data))
+    return records
+
+
+class _DiskPart:
+    """One part: in-memory view + on-disk log and segment."""
+
+    def __init__(self, directory: str, ordered: bool):
+        self.directory = directory
+        self.ordered = ordered
+        self.view: PartView = make_part(ordered)
+        self.log_path = os.path.join(directory, "write.log")
+        self.segment_path = os.path.join(directory, "segment.dat")
+        os.makedirs(directory, exist_ok=True)
+        self._recover()
+        self._log = open(self.log_path, "ab")
+        self.lock = threading.RLock()
+
+    def _recover(self) -> None:
+        for key, value in _read_records(self.segment_path):
+            self.view.put(key, value)
+        for op, key, value in _read_records(self.log_path):
+            if op == "put":
+                self.view.put(key, value)
+            else:
+                self.view.delete(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        with self.lock:
+            self.view.put(key, value)
+            _append_record(self._log, ("put", key, value))
+
+    def delete(self, key: Any) -> bool:
+        with self.lock:
+            present = self.view.delete(key)
+            if present:
+                _append_record(self._log, ("del", key, None))
+            return present
+
+    def flush(self) -> None:
+        """Write the whole part as one sorted segment; truncate the log."""
+        with self.lock:
+            pairs = sorted(self.view.items(), key=lambda kv: repr(kv[0]))
+            tmp = self.segment_path + ".tmp"
+            with open(tmp, "wb") as fh:
+                for pair in pairs:
+                    _append_record(fh, pair)
+            os.replace(tmp, self.segment_path)
+            self._log.close()
+            self._log = open(self.log_path, "wb")
+            self._log.flush()
+
+    def close(self) -> None:
+        with self.lock:
+            self._log.close()
+
+
+class PersistentTable(Table):
+    """A disk-backed table."""
+
+    def __init__(self, spec: TableSpec, n_parts: int, store: "PersistentKVStore"):
+        super().__init__(spec, n_parts)
+        self._store = store
+        self._dropped = False
+        base = os.path.join(store.directory, "tables", spec.name)
+        self._parts = [
+            _DiskPart(os.path.join(base, f"part-{i:04d}"), spec.ordered) for i in range(n_parts)
+        ]
+
+    def _check(self) -> None:
+        if self._dropped:
+            raise TableDroppedError(self.name)
+
+    def get(self, key: Any) -> Any:
+        self._check()
+        return self._parts[self.part_of(key)].view.get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._check()
+        if self.ubiquitous and self.size() >= self.spec.ubiquity_limit and self.get(key) is None:
+            raise UbiquityViolationError(
+                f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
+            )
+        self._parts[self.part_of(key)].put(key, value)
+
+    def delete(self, key: Any) -> bool:
+        self._check()
+        return self._parts[self.part_of(key)].delete(key)
+
+    def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        self._check()
+        indices = range(self.n_parts) if parts is None else sorted(set(parts))
+        results = [consumer.process_part(i, self._parts[i].view) for i in indices]
+        return fold_part_results(consumer, results)
+
+    def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        self._check()
+        indices = range(self.n_parts) if parts is None else sorted(set(parts))
+        results = []
+        for i in indices:
+            consumer.setup_part(i)
+            for key, value in self._parts[i].view.items():
+                if consumer.consume(key, value):
+                    break
+            results.append(consumer.finish_part(i))
+        return fold_part_results(consumer, results)
+
+    def run_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Any:
+        self._check()
+        if not 0 <= part_index < self.n_parts:
+            raise IndexError(f"part {part_index} out of range for {self.name!r}")
+        return fn(part_index, self._DurableView(self._parts[part_index]))
+
+    class _DurableView(PartView):
+        """Part view whose writes go through the log (handed to mobile code)."""
+
+        def __init__(self, part: _DiskPart):
+            self._part = part
+
+        def get(self, key: Any) -> Any:
+            return self._part.view.get(key)
+
+        def put(self, key: Any, value: Any) -> None:
+            self._part.put(key, value)
+
+        def delete(self, key: Any) -> bool:
+            return self._part.delete(key)
+
+        def items(self):
+            return self._part.view.items()
+
+        def __len__(self) -> int:
+            return len(self._part.view)
+
+    def flush(self) -> None:
+        """Flush all parts to sorted segments."""
+        self._check()
+        for part in self._parts:
+            part.flush()
+
+    def size(self) -> int:
+        self._check()
+        return sum(len(p.view) for p in self._parts)
+
+    def clear(self) -> None:
+        self._check()
+        for part in self._parts:
+            for key, _ in part.view.items():
+                part.delete(key)
+
+    def _close(self) -> None:
+        for part in self._parts:
+            part.close()
+
+    def _mark_dropped(self) -> None:
+        self._dropped = True
+
+
+class PersistentKVStore(KVStore):
+    """Disk-backed store rooted at a directory; survives close/reopen."""
+
+    _META = "tables.meta"
+
+    def __init__(self, directory: str, default_n_parts: int = 4):
+        if default_n_parts <= 0:
+            raise ValueError("default_n_parts must be positive")
+        self.directory = directory
+        self._default_n_parts = default_n_parts
+        self._tables: dict = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        os.makedirs(directory, exist_ok=True)
+        self._meta_path = os.path.join(directory, self._META)
+        for spec, n_parts in _read_records(self._meta_path):
+            if spec.name not in self._tables:
+                self._tables[spec.name] = PersistentTable(spec, n_parts, self)
+
+    @property
+    def default_n_parts(self) -> int:
+        return self._default_n_parts
+
+    def _persist_meta(self) -> None:
+        """Write the table catalog.
+
+        Tables with a custom ``key_hash`` are *ephemeral*: a function
+        cannot be persisted, so they are excluded from the catalog and
+        will not exist after a reopen.  That matches their use — the
+        EBSP engine's private transport tables, dropped at job end.
+        """
+        tmp = self._meta_path + ".tmp"
+        with open(tmp, "wb") as fh:
+            for table in self._tables.values():
+                if table.spec.key_hash is None:
+                    _append_record(fh, (table.spec, table.n_parts))
+        os.replace(tmp, self._meta_path)
+
+    def create_table(self, spec: TableSpec) -> Table:
+        n_parts = resolve_n_parts(spec, self)
+        with self._lock:
+            if spec.name in self._tables:
+                raise TableExistsError(spec.name)
+            if spec.key_hash is not None:
+                # ephemeral table: clear any orphaned data from a prior
+                # session so recovery does not resurrect stale entries
+                import shutil
+
+                shutil.rmtree(
+                    os.path.join(self.directory, "tables", spec.name), ignore_errors=True
+                )
+            table = PersistentTable(spec, n_parts, self)
+            self._tables[spec.name] = table
+            self._persist_meta()
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            table = self._tables.pop(name, None)
+            if table is None:
+                raise NoSuchTableError(name)
+            table._mark_dropped()
+            table._close()
+            self._persist_meta()
+        import shutil
+
+        shutil.rmtree(os.path.join(self.directory, "tables", name), ignore_errors=True)
+
+    def get_table(self, name: str) -> Table:
+        with self._lock:
+            table = self._tables.get(name)
+        if table is None:
+            raise NoSuchTableError(name)
+        return table
+
+    def list_tables(self) -> list:
+        with self._lock:
+            return sorted(self._tables)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            for table in self._tables.values():
+                table._close()
+
+    def __enter__(self) -> "PersistentKVStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,496 @@
+"""The WebSphere-eXtreme-Scale analog store.
+
+The paper's primary store is WXS: "an elastic in-memory key/value store
+supporting data partitioning, replication, and the ability to execute
+mobile code adjacent to the data" (Section IV-B), whose shards support
+"an ACID transaction over all the entries in a shard of co-placed
+replicated tables" (Section IV-A) — the property the outlined fault
+tolerance scheme relies on.
+
+This module implements the closest synthetic equivalent:
+
+- the key space is divided into a fixed number of *shards*; part ``p``
+  of every table maps to shard ``p % n_shards``, so equal-part tables
+  are co-placed shard-by-shard;
+- each shard has a primary replica and ``replication`` backup replicas;
+  writes apply to the primary and propagate synchronously (marshalled)
+  to backups — or asynchronously with a configurable lag window when
+  ``sync_replication=False``, which is what makes promotion lossy and
+  recovery interesting;
+- :meth:`ReplicatedKVStore.shard_transaction` gives atomic multi-table
+  write batches within one shard;
+- :meth:`ReplicatedKVStore.fail_primary` injects a primary failure and
+  :meth:`ReplicatedKVStore.promote_backup` recovers by promoting a
+  backup (discarding unreplicated writes), which the EBSP recovery
+  machinery (:mod:`repro.ebsp.recovery`) builds on;
+- collocated code runs on a per-shard worker thread next to the
+  primary replica.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import (
+    NoSuchTableError,
+    ShardFailedError,
+    TableDroppedError,
+    TableExistsError,
+    TransactionError,
+    UbiquityViolationError,
+)
+from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
+from repro.kvstore.local import fold_part_results, resolve_n_parts
+from repro.kvstore.memory_table import make_part
+from repro.serde import Codec, SerdeStats
+
+
+class _Replica:
+    """One copy of a shard's data: {(table, part): PartView}."""
+
+    def __init__(self) -> None:
+        self.parts: dict = {}
+        # Monotone counter of the last replicated write batch applied.
+        self.applied_batch = 0
+
+    def part(self, table_name: str, part_index: int, ordered: bool) -> PartView:
+        key = (table_name, part_index)
+        view = self.parts.get(key)
+        if view is None:
+            view = make_part(ordered)
+            self.parts[key] = view
+        return view
+
+
+class _Shard:
+    """A shard: primary + backups, a lock, and a collocated executor."""
+
+    def __init__(self, index: int, replication: int):
+        self.index = index
+        self.lock = threading.RLock()
+        self.primary = _Replica()
+        self.backups = [_Replica() for _ in range(replication)]
+        self.failed = False
+        self.next_batch = 1
+        # Write batches not yet applied to each backup (async mode).
+        self.pending: list = [[] for _ in range(replication)]
+        self.executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"shard{index}")
+
+    def shutdown(self) -> None:
+        self.executor.shutdown(wait=False)
+
+
+class ReplicatedKVStore(KVStore):
+    """In-memory, sharded, replicated store with shard transactions.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards ("data container processes"; the paper's
+        SUMMA runs used 10).
+    replication:
+        Backup replicas per shard.
+    sync_replication:
+        When true (default) every write batch reaches all backups
+        before the write returns, so promotion after a failure loses
+        nothing.  When false, batches queue per backup and apply only
+        on :meth:`sync_backups` / naturally lagging, modeling the lossy
+        window real deployments have.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        replication: int = 1,
+        sync_replication: bool = True,
+        default_n_parts: Optional[int] = None,
+    ):
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if replication < 0:
+            raise ValueError("replication must be >= 0")
+        self.n_shards = n_shards
+        self.replication = replication
+        self.sync_replication = sync_replication
+        self._default_n_parts = default_n_parts if default_n_parts is not None else n_shards
+        self._shards = [_Shard(i, replication) for i in range(n_shards)]
+        self._tables: dict = {}
+        self._lock = threading.Lock()
+        self.stats = SerdeStats()
+        self._codec = Codec(self.stats)
+        self._closed = False
+
+    # -- shard plumbing -----------------------------------------------------
+    @property
+    def default_n_parts(self) -> int:
+        return self._default_n_parts
+
+    def shard_of_part(self, part_index: int) -> int:
+        return part_index % self.n_shards
+
+    def _shard(self, part_index: int) -> _Shard:
+        shard = self._shards[self.shard_of_part(part_index)]
+        if shard.failed:
+            raise ShardFailedError(shard.index)
+        return shard
+
+    def _apply_batch(self, shard: _Shard, writes: list) -> None:
+        """Apply a write batch to the primary and replicate it.
+
+        A write is ``(table_name, part_index, ordered, key, value_or_None)``
+        where ``None`` means delete.  Caller holds the shard lock.
+        """
+        for table_name, part_index, ordered, key, value in writes:
+            view = shard.primary.part(table_name, part_index, ordered)
+            if value is None:
+                view.delete(key)
+            else:
+                view.put(key, value)
+        if not shard.backups:
+            return
+        batch_id = shard.next_batch
+        shard.next_batch += 1
+        marshalled = self._codec.dumps((batch_id, writes))
+        if self.sync_replication:
+            for backup in shard.backups:
+                self._apply_to_backup(backup, marshalled)
+        else:
+            for pending in shard.pending:
+                pending.append(marshalled)
+
+    def _apply_to_backup(self, backup: _Replica, marshalled: bytes) -> None:
+        batch_id, writes = self._codec.loads(marshalled)
+        for table_name, part_index, ordered, key, value in writes:
+            view = backup.part(table_name, part_index, ordered)
+            if value is None:
+                view.delete(key)
+            else:
+                view.put(key, value)
+        backup.applied_batch = batch_id
+
+    # -- failure injection / recovery -------------------------------------------
+    def sync_backups(self, shard_index: Optional[int] = None) -> None:
+        """Drain pending replication batches (async mode)."""
+        shards = self._shards if shard_index is None else [self._shards[shard_index]]
+        for shard in shards:
+            with shard.lock:
+                for backup, pending in zip(shard.backups, shard.pending):
+                    for marshalled in pending:
+                        self._apply_to_backup(backup, marshalled)
+                    pending.clear()
+
+    def fail_primary(self, shard_index: int) -> None:
+        """Simulate a crash of the shard's primary replica."""
+        shard = self._shards[shard_index]
+        with shard.lock:
+            shard.failed = True
+
+    def promote_backup(self, shard_index: int) -> int:
+        """Promote the freshest backup to primary; return batches lost.
+
+        With synchronous replication nothing is lost.  With async
+        replication, writes queued but not yet applied to the promoted
+        backup are gone — the situation EBSP recovery must repair.
+        """
+        shard = self._shards[shard_index]
+        with shard.lock:
+            if not shard.failed:
+                raise TransactionError(f"shard {shard_index} primary has not failed")
+            if not shard.backups:
+                raise TransactionError(f"shard {shard_index} has no backup to promote")
+            best = max(range(len(shard.backups)), key=lambda i: shard.backups[i].applied_batch)
+            lost = len(shard.pending[best]) if not self.sync_replication else 0
+            shard.primary = shard.backups[best]
+            shard.backups = [
+                b for i, b in enumerate(shard.backups) if i != best
+            ] + [_Replica()]
+            shard.pending = [[] for _ in shard.backups]
+            shard.failed = False
+            return lost
+
+    def shard_transaction(self, shard_index: int) -> "ShardTransaction":
+        """Open an atomic multi-table write batch on one shard."""
+        return ShardTransaction(self, shard_index)
+
+    # -- KVStore interface ------------------------------------------------------
+    def create_table(self, spec: TableSpec) -> Table:
+        n_parts = resolve_n_parts(spec, self)
+        with self._lock:
+            if spec.name in self._tables:
+                raise TableExistsError(spec.name)
+            table = ReplicatedTable(spec, n_parts, self)
+            self._tables[spec.name] = table
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            table = self._tables.pop(name, None)
+        if table is None:
+            raise NoSuchTableError(name)
+        table._mark_dropped()
+        for shard in self._shards:
+            with shard.lock:
+                for replica in [shard.primary] + shard.backups:
+                    for key in [k for k in replica.parts if k[0] == name]:
+                        del replica.parts[key]
+
+    def get_table(self, name: str) -> Table:
+        with self._lock:
+            table = self._tables.get(name)
+        if table is None:
+            raise NoSuchTableError(name)
+        return table
+
+    def list_tables(self) -> list:
+        with self._lock:
+            return sorted(self._tables)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.shutdown()
+
+    def __enter__(self) -> "ReplicatedKVStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ShardTransaction:
+    """Atomic multi-table write batch against one shard.
+
+    Usage::
+
+        with store.shard_transaction(shard_idx) as txn:
+            txn.put("states", part, key, value)
+            txn.delete("pending", part, old_key)
+
+    All writes apply together under the shard lock at ``__exit__``; an
+    exception inside the block discards them.  Writes to parts that do
+    not live on this shard are rejected.
+    """
+
+    def __init__(self, store: ReplicatedKVStore, shard_index: int):
+        self._store = store
+        self._shard_index = shard_index
+        self._writes: list = []
+        self._done = False
+
+    def _table_info(self, table_name: str, part_index: int) -> TableSpec:
+        table = self._store.get_table(table_name)
+        if self._store.shard_of_part(part_index) != self._shard_index:
+            raise TransactionError(
+                f"part {part_index} of {table_name!r} is not on shard {self._shard_index}"
+            )
+        if not 0 <= part_index < table.n_parts:
+            raise TransactionError(f"part {part_index} out of range for {table_name!r}")
+        return table.spec
+
+    def put(self, table_name: str, part_index: int, key: Any, value: Any) -> None:
+        spec = self._table_info(table_name, part_index)
+        if value is None:
+            raise TransactionError("None is not a storable value; use delete()")
+        self._writes.append((table_name, part_index, spec.ordered, key, value))
+
+    def delete(self, table_name: str, part_index: int, key: Any) -> None:
+        spec = self._table_info(table_name, part_index)
+        self._writes.append((table_name, part_index, spec.ordered, key, None))
+
+    def commit(self) -> None:
+        if self._done:
+            raise TransactionError("transaction already finished")
+        self._done = True
+        shard = self._store._shards[self._shard_index]
+        if shard.failed:
+            raise ShardFailedError(self._shard_index)
+        with shard.lock:
+            self._store._apply_batch(shard, self._writes)
+
+    def abort(self) -> None:
+        self._done = True
+        self._writes = []
+
+    def __enter__(self) -> "ShardTransaction":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None and not self._done:
+            self.commit()
+        elif not self._done:
+            self.abort()
+
+
+class _ReplicatingView(PartView):
+    """Part view whose writes go through the shard replication path.
+
+    Handed to collocated mobile code so that its mutations are durable
+    across primary failover, exactly like table-level operations.
+    """
+
+    __slots__ = ("_store", "_shard", "_table_name", "_part_index", "_ordered")
+
+    def __init__(self, store: "ReplicatedKVStore", shard: _Shard, table_name: str, part_index: int, ordered: bool):
+        self._store = store
+        self._shard = shard
+        self._table_name = table_name
+        self._part_index = part_index
+        self._ordered = ordered
+
+    def _primary(self) -> PartView:
+        return self._shard.primary.part(self._table_name, self._part_index, self._ordered)
+
+    def get(self, key: Any) -> Any:
+        with self._shard.lock:
+            return self._primary().get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        if value is None:
+            raise ValueError("None is not a storable value; use delete()")
+        with self._shard.lock:
+            self._store._apply_batch(
+                self._shard, [(self._table_name, self._part_index, self._ordered, key, value)]
+            )
+
+    def delete(self, key: Any) -> bool:
+        with self._shard.lock:
+            present = self._primary().get(key) is not None
+            if present:
+                self._store._apply_batch(
+                    self._shard, [(self._table_name, self._part_index, self._ordered, key, None)]
+                )
+            return present
+
+    def items(self):
+        with self._shard.lock:
+            return self._primary().items()
+
+    def range_items(self, lo: Any = None, hi: Any = None):
+        with self._shard.lock:
+            return self._primary().range_items(lo, hi)
+
+    def __len__(self) -> int:
+        with self._shard.lock:
+            return len(self._primary())
+
+
+class ReplicatedTable(Table):
+    """A table stored in a :class:`ReplicatedKVStore`."""
+
+    def __init__(self, spec: TableSpec, n_parts: int, store: ReplicatedKVStore):
+        super().__init__(spec, n_parts)
+        self._store = store
+        self._dropped = False
+
+    def _check(self) -> None:
+        if self._dropped:
+            raise TableDroppedError(self.name)
+
+    def _view(self, part_index: int) -> PartView:
+        shard = self._store._shard(part_index)
+        return shard.primary.part(self.name, part_index, self.ordered)
+
+    # -- point operations ------------------------------------------------------
+    def get(self, key: Any) -> Any:
+        self._check()
+        part_index = self.part_of(key)
+        shard = self._store._shard(part_index)
+        with shard.lock:
+            return self._view(part_index).get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._check()
+        if value is None:
+            raise ValueError("None is not a storable value; use delete()")
+        if self.ubiquitous and self.size() >= self.spec.ubiquity_limit and self.get(key) is None:
+            raise UbiquityViolationError(
+                f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
+            )
+        part_index = self.part_of(key)
+        shard = self._store._shard(part_index)
+        with shard.lock:
+            self._store._apply_batch(shard, [(self.name, part_index, self.ordered, key, value)])
+
+    def delete(self, key: Any) -> bool:
+        self._check()
+        part_index = self.part_of(key)
+        shard = self._store._shard(part_index)
+        with shard.lock:
+            present = self._view(part_index).get(key) is not None
+            if present:
+                self._store._apply_batch(
+                    shard, [(self.name, part_index, self.ordered, key, None)]
+                )
+            return present
+
+    # -- enumeration ----------------------------------------------------------
+    def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        self._check()
+        indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
+        futures = []
+        for i in indices:
+            shard = self._store._shard(i)
+            view = shard.primary.part(self.name, i, self.ordered)
+            futures.append(shard.executor.submit(consumer.process_part, i, view))
+        return fold_part_results(consumer, [f.result() for f in futures])
+
+    def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        self._check()
+        indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
+
+        def _run(part_index: int, view: PartView) -> Any:
+            consumer.setup_part(part_index)
+            for key, value in view.items():
+                if consumer.consume(key, value):
+                    break
+            return consumer.finish_part(part_index)
+
+        futures = []
+        for i in indices:
+            shard = self._store._shard(i)
+            view = shard.primary.part(self.name, i, self.ordered)
+            futures.append(shard.executor.submit(_run, i, view))
+        return fold_part_results(consumer, [f.result() for f in futures])
+
+    # -- collocated compute ------------------------------------------------------
+    def run_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Any:
+        """Run mobile code at the primary; its writes replicate.
+
+        The view handed to *fn* routes puts/deletes through the shard's
+        replication path, so collocated writes survive a failover just
+        like table-level writes do.
+        """
+        self._check()
+        if not 0 <= part_index < self.n_parts:
+            raise IndexError(f"part {part_index} out of range for {self.name!r}")
+        shard = self._store._shard(part_index)
+        view = _ReplicatingView(self._store, shard, self.name, part_index, self.ordered)
+        return shard.executor.submit(fn, part_index, view).result()
+
+    # -- whole-table helpers -----------------------------------------------------
+    def size(self) -> int:
+        self._check()
+        total = 0
+        for i in range(self.n_parts):
+            shard = self._store._shard(i)
+            with shard.lock:
+                total += len(shard.primary.part(self.name, i, self.ordered))
+        return total
+
+    def clear(self) -> None:
+        self._check()
+        for i in range(self.n_parts):
+            shard = self._store._shard(i)
+            with shard.lock:
+                view = shard.primary.part(self.name, i, self.ordered)
+                for key, _ in view.items():
+                    self._store._apply_batch(
+                        shard, [(self.name, i, self.ordered, key, None)]
+                    )
+
+    def _mark_dropped(self) -> None:
+        self._dropped = True

@@ -1,0 +1,76 @@
+"""MapReduce and iterated MapReduce emulated atop K/V EBSP.
+
+The paper's Figure 2 places MapReduce above the K/V EBSP layer, and
+its evaluation baselines ("MapReduce variants") emulate the MapReduce
+programming model inside Ripple: one BSP component per key, two BSP
+steps per map-reduce couplet — the map-like step reads state from a
+K/V table and sends messages (the shuffle), the reduce-like step
+combines the messages and writes state back to the table.
+
+This package provides the general form of that emulation:
+:class:`Mapper`/:class:`Reducer` client code, :func:`run_mapreduce`
+for one couplet, and :class:`IteratedMapReduce` for chained couplets
+with a convergence test — paying, by construction, the two
+synchronizations and the extra round of table I/O per iteration that
+Section V-A measures.
+"""
+
+from repro.mapreduce.api import MapReduceSpec, Mapper, Reducer
+from repro.mapreduce.engine import MapReduceResult, run_mapreduce
+from repro.mapreduce.iterated import IteratedMapReduce, IterationDecision
+from repro.mapreduce.library import (
+    CollectReducer,
+    CountReducer,
+    FlatMapper,
+    FnMapper,
+    FnReducer,
+    IdentityMapper,
+    MaxReducer,
+    MeanReducer,
+    MinReducer,
+    ProjectionMapper,
+    SumReducer,
+    group_aggregate,
+    join_tables,
+    top_k,
+    word_count,
+)
+from repro.mapreduce.formats import (
+    dump_csv,
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    load_text_lines,
+)
+
+__all__ = [
+    "Mapper",
+    "Reducer",
+    "MapReduceSpec",
+    "run_mapreduce",
+    "MapReduceResult",
+    "IteratedMapReduce",
+    "IterationDecision",
+    # library
+    "IdentityMapper",
+    "FnMapper",
+    "FlatMapper",
+    "ProjectionMapper",
+    "FnReducer",
+    "SumReducer",
+    "CountReducer",
+    "MinReducer",
+    "MaxReducer",
+    "MeanReducer",
+    "CollectReducer",
+    "word_count",
+    "group_aggregate",
+    "join_tables",
+    "top_k",
+    # formats
+    "load_csv",
+    "dump_csv",
+    "load_jsonl",
+    "dump_jsonl",
+    "load_text_lines",
+]

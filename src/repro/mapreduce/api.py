@@ -1,0 +1,53 @@
+"""Client-facing MapReduce interfaces."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.ebsp.aggregators import Aggregator
+
+
+class Mapper(abc.ABC):
+    """Map phase: invoked once per input (key, value) pair."""
+
+    @abc.abstractmethod
+    def map(self, key: Any, value: Any, emit: Callable[[Any, Any], None]) -> None:
+        """Process one input pair; ``emit(k2, v2)`` produces intermediate pairs."""
+
+
+class Reducer(abc.ABC):
+    """Reduce phase: invoked once per intermediate key."""
+
+    @abc.abstractmethod
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        """Process one intermediate key's values; ``emit(k3, v3)`` produces output."""
+
+
+@dataclass
+class MapReduceSpec:
+    """One map-reduce couplet.
+
+    Parameters
+    ----------
+    mapper, reducer:
+        The client code.
+    combiner:
+        Optional associative pairwise combiner over intermediate
+        values; mapped onto the EBSP message combiner, so it runs
+        before the shuffle crosses partitions.
+    sorted_reduce:
+        Whether reduce invocations within a part must be ordered by
+        key (maps onto the EBSP ``needs-order`` property; Hadoop
+        always sorts, Ripple only when asked).
+    aggregators:
+        Named aggregators readable by the iterated driver's
+        convergence test (e.g. a changed-record counter).
+    """
+
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Optional[Callable[[Any, Any], Any]] = None
+    sorted_reduce: bool = False
+    aggregators: Dict[str, Aggregator] = field(default_factory=dict)

@@ -1,0 +1,134 @@
+"""File ↔ table import/export helpers ("formats").
+
+The paper criticizes Hadoop's ``InputFormat``/``OutputFormat`` for
+baking HDFS specifics and task placement into every job (Section VI).
+Ripple's answer is that data movement in and out of the platform is
+ordinary client code against the store API — so these helpers are just
+that: functions that stream common file formats into tables and back,
+usable with any store and imposing nothing on job execution.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Callable, Iterable, Optional
+
+from repro.kvstore.api import KVStore, Table, TableSpec
+
+
+def _target_table(store: KVStore, table_name: str, n_parts: Optional[int]) -> Table:
+    if store.has_table(table_name):
+        return store.get_table(table_name)
+    return store.create_table(TableSpec(name=table_name, n_parts=n_parts))
+
+
+def load_csv(
+    store: KVStore,
+    path: str,
+    table_name: str,
+    key_column: str,
+    n_parts: Optional[int] = None,
+    batch_size: int = 1_000,
+) -> int:
+    """Load a CSV with a header row; each row becomes ``key -> dict``.
+
+    Returns the number of rows loaded.  Rows stream in batches so huge
+    files never materialize in memory.
+    """
+    table = _target_table(store, table_name, n_parts)
+    loaded = 0
+    batch: list = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or key_column not in reader.fieldnames:
+            raise ValueError(f"CSV {path!r} has no column {key_column!r}")
+        for row in reader:
+            batch.append((row[key_column], dict(row)))
+            if len(batch) >= batch_size:
+                table.put_many(batch)
+                loaded += len(batch)
+                batch = []
+    if batch:
+        table.put_many(batch)
+        loaded += len(batch)
+    return loaded
+
+
+def dump_csv(store: KVStore, table_name: str, path: str, columns: Iterable[str]) -> int:
+    """Write a table of dict values out as CSV; returns rows written."""
+    table = store.get_table(table_name)
+    columns = list(columns)
+    written = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for _, value in sorted(table.items(), key=lambda kv: repr(kv[0])):
+            writer.writerow({c: value.get(c, "") for c in columns})
+            written += 1
+    return written
+
+
+def load_jsonl(
+    store: KVStore,
+    path: str,
+    table_name: str,
+    key_of: Callable[[Any], Any],
+    n_parts: Optional[int] = None,
+    batch_size: int = 1_000,
+) -> int:
+    """Load a JSON-lines file; ``key_of(record)`` derives each key."""
+    table = _target_table(store, table_name, n_parts)
+    loaded = 0
+    batch: list = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            batch.append((key_of(record), record))
+            if len(batch) >= batch_size:
+                table.put_many(batch)
+                loaded += len(batch)
+                batch = []
+    if batch:
+        table.put_many(batch)
+        loaded += len(batch)
+    return loaded
+
+
+def dump_jsonl(store: KVStore, table_name: str, path: str) -> int:
+    """Write every (key, value) pair as one JSON object per line."""
+    table = store.get_table(table_name)
+    written = 0
+    with open(path, "w") as fh:
+        for key, value in sorted(table.items(), key=lambda kv: repr(kv[0])):
+            fh.write(json.dumps({"key": key, "value": value}, default=str))
+            fh.write("\n")
+            written += 1
+    return written
+
+
+def load_text_lines(
+    store: KVStore,
+    path: str,
+    table_name: str,
+    n_parts: Optional[int] = None,
+    batch_size: int = 1_000,
+) -> int:
+    """Load a text file as ``line_number -> line`` (the word-count shape)."""
+    table = _target_table(store, table_name, n_parts)
+    loaded = 0
+    batch: list = []
+    with open(path) as fh:
+        for number, line in enumerate(fh):
+            batch.append((number, line.rstrip("\n")))
+            if len(batch) >= batch_size:
+                table.put_many(batch)
+                loaded += len(batch)
+                batch = []
+    if batch:
+        table.put_many(batch)
+        loaded += len(batch)
+    return loaded

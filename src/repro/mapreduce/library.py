@@ -1,0 +1,264 @@
+"""A small standard library of mappers, reducers, and composite jobs.
+
+These mirror the convenience classes a Hadoop-style ecosystem grows —
+but expressed against the store-portable MapReduce layer.  The join is
+the interesting one: because Ripple's output tables are created
+*co-partitioned* with their inputs (a key/value store that honors
+placement requests — the paper's contrast with Hadoop's placement
+opacity), a reduce-side join of two tables never shuffles rows that
+are already collocated further than its own reduce step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import JobSpecError
+from repro.kvstore.api import KVStore, TableSpec
+from repro.mapreduce.api import Mapper, MapReduceSpec, Reducer
+from repro.mapreduce.engine import MapReduceResult, run_mapreduce
+
+
+class IdentityMapper(Mapper):
+    """Emit every input pair unchanged."""
+
+    def map(self, key: Any, value: Any, emit: Callable[[Any, Any], None]) -> None:
+        emit(key, value)
+
+
+class FnMapper(Mapper):
+    """Adapt ``fn(key, value) -> iterable of (k2, v2)`` into a Mapper."""
+
+    def __init__(self, fn: Callable[[Any, Any], Iterable[Tuple[Any, Any]]]):
+        self._fn = fn
+
+    def map(self, key: Any, value: Any, emit: Callable[[Any, Any], None]) -> None:
+        for k2, v2 in self._fn(key, value):
+            emit(k2, v2)
+
+
+class FlatMapper(Mapper):
+    """Tokenize values with *split* and emit ``(token, 1)`` per token."""
+
+    def __init__(self, split: Callable[[Any], Iterable[Any]] = lambda v: v.split()):
+        self._split = split
+
+    def map(self, key: Any, value: Any, emit: Callable[[Any, Any], None]) -> None:
+        for token in self._split(value):
+            emit(token, 1)
+
+
+class ProjectionMapper(Mapper):
+    """Re-key records by a field of the value (dict or tuple index)."""
+
+    def __init__(self, field: Any):
+        self._field = field
+
+    def map(self, key: Any, value: Any, emit: Callable[[Any, Any], None]) -> None:
+        emit(value[self._field], value)
+
+
+class FnReducer(Reducer):
+    """Adapt ``fn(key, values) -> v3`` into a single-emit Reducer."""
+
+    def __init__(self, fn: Callable[[Any, List[Any]], Any]):
+        self._fn = fn
+
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        emit(key, self._fn(key, values))
+
+
+class SumReducer(Reducer):
+    """Emit the sum of each key's values."""
+
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        emit(key, sum(values))
+
+
+class CountReducer(Reducer):
+    """Emit the number of values per key."""
+
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        emit(key, len(values))
+
+
+class MinReducer(Reducer):
+    """Emit the minimum value per key."""
+
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        emit(key, min(values))
+
+
+class MaxReducer(Reducer):
+    """Emit the maximum value per key."""
+
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        emit(key, max(values))
+
+
+class MeanReducer(Reducer):
+    """Emit the arithmetic mean of each key's values."""
+
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        emit(key, sum(values) / len(values))
+
+
+class CollectReducer(Reducer):
+    """Gather all values per key into a (sorted when possible) list."""
+
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        try:
+            emit(key, sorted(values))
+        except TypeError:
+            emit(key, list(values))
+
+
+# ---------------------------------------------------------------------------
+# Canned whole-job helpers
+# ---------------------------------------------------------------------------
+
+
+def word_count(
+    store: KVStore,
+    input_table: str,
+    output_table: str,
+    split: Callable[[Any], Iterable[Any]] = lambda v: v.split(),
+    **engine_kwargs: Any,
+) -> MapReduceResult:
+    """Count tokens across all values of *input_table*."""
+    spec = MapReduceSpec(FlatMapper(split), SumReducer(), combiner=lambda a, b: a + b)
+    return run_mapreduce(store, spec, input_table, output_table, **engine_kwargs)
+
+
+def group_aggregate(
+    store: KVStore,
+    input_table: str,
+    output_table: str,
+    key_of: Callable[[Any, Any], Any],
+    value_of: Callable[[Any, Any], Any],
+    reducer: Reducer,
+    combiner: Optional[Callable[[Any, Any], Any]] = None,
+    **engine_kwargs: Any,
+) -> MapReduceResult:
+    """Group records by ``key_of(key, value)`` and reduce each group."""
+    mapper = FnMapper(lambda k, v: [(key_of(k, v), value_of(k, v))])
+    spec = MapReduceSpec(mapper, reducer, combiner=combiner)
+    return run_mapreduce(store, spec, input_table, output_table, **engine_kwargs)
+
+
+class _TaggedJoinReducer(Reducer):
+    """Inner-join reducer over ('L', row) / ('R', row) tagged values."""
+
+    def __init__(self, join: Callable[[Any, Any, Any], Any]):
+        self._join = join
+
+    def reduce(self, key: Any, values: List[Any], emit: Callable[[Any, Any], None]) -> None:
+        left_rows = [row for tag, row in values if tag == "L"]
+        right_rows = [row for tag, row in values if tag == "R"]
+        for left in left_rows:
+            for right in right_rows:
+                emit(key, self._join(key, left, right))
+
+
+def join_tables(
+    store: KVStore,
+    left_table: str,
+    right_table: str,
+    output_table: str,
+    left_key: Callable[[Any, Any], Any],
+    right_key: Callable[[Any, Any], Any],
+    join: Callable[[Any, Any, Any], Any] = lambda key, left, right: (left, right),
+    **engine_kwargs: Any,
+) -> MapReduceResult:
+    """Reduce-side inner join of two tables on derived keys.
+
+    Both inputs are scanned (tagged 'L'/'R'); matching pairs meet at
+    the join key's component and *join(key, left, right)* rows land in
+    *output_table* — created co-partitioned with *left_table*, so a
+    subsequent job joining against the output finds it collocated (the
+    convenient co-location Hadoop cannot promise; paper Section VI).
+    """
+    left = store.get_table(left_table)
+    right = store.get_table(right_table)
+    if left.n_parts != right.n_parts:
+        raise JobSpecError(
+            f"join inputs must be co-partitioned: {left_table!r} has "
+            f"{left.n_parts} parts, {right_table!r} has {right.n_parts}"
+        )
+
+    # stage both sides into one tagged staging table, then run the join
+    # couplet over it
+    staging_name = f"__join_staging_{output_table}"
+    if store.has_table(staging_name):
+        store.drop_table(staging_name)
+    staging = store.create_table(TableSpec(name=staging_name, like=left_table))
+    staging.put_many(
+        ((("L", key), ("L", left_key(key, value), value)) for key, value in left.items())
+    )
+    staging.put_many(
+        ((("R", key), ("R", right_key(key, value), value)) for key, value in right.items())
+    )
+
+    mapper = FnMapper(lambda k, v: [(v[1], (v[0], v[2]))])
+    spec = MapReduceSpec(mapper, _TaggedJoinReducer(join))
+    try:
+        return run_mapreduce(store, spec, staging_name, output_table, **engine_kwargs)
+    finally:
+        store.drop_table(staging_name)
+
+
+def top_k(
+    store: KVStore,
+    input_table: str,
+    k: int,
+    score_of: Callable[[Any, Any], Any] = lambda key, value: value,
+    **engine_kwargs: Any,
+) -> List[Tuple[Any, Any]]:
+    """The k highest-scoring (key, value) pairs of a table.
+
+    Implemented with per-part partial top-k folded through the part
+    consumer — a pure storage-layer aggregation, no job needed.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    import heapq
+    import threading
+
+    from repro.kvstore.api import FnPairConsumer
+
+    heaps: Dict[int, list] = {}
+    # parts may be enumerated concurrently (each on its own thread);
+    # track "which part am I consuming" per thread
+    current_part = threading.local()
+
+    def setup(part: int) -> None:
+        current_part.index = part
+        heaps[part] = []
+
+    def consume(key: Any, value: Any) -> bool:
+        heap = heaps[current_part.index]
+        entry = (score_of(key, value), repr(key), key, value)
+        if len(heap) < k:
+            heapq.heappush(heap, entry)
+        else:
+            heapq.heappushpop(heap, entry)
+        return False
+
+    def finish(part: int) -> list:
+        return heaps[part]
+
+    def combine(a: list, b: list) -> list:
+        merged = list(a)
+        for entry in b:
+            if len(merged) < k:
+                heapq.heappush(merged, entry)
+            else:
+                heapq.heappushpop(merged, entry)
+        return merged
+
+    table = store.get_table(input_table)
+    top = table.enumerate_pairs(
+        FnPairConsumer(consume, setup=setup, finish=finish, combine=combine)
+    )
+    ranked = sorted(top or [], reverse=True)
+    return [(key, value) for _, _, key, value in ranked]

@@ -1,0 +1,19 @@
+"""Message-queuing SPI and implementations (paper Section III-B).
+
+A *queue set* is placed like a given key/value table: one queue per
+part.  Messages can be put into any queue of the set from anywhere;
+mobile client code runs in each part and reads (with a timeout) from
+that part's local queue.
+"""
+
+from repro.messaging.api import MessageQueuing, QueueSet, QueueWorkerContext
+from repro.messaging.local_queue import LocalMessageQueuing
+from repro.messaging.table_queue import TableMessageQueuing
+
+__all__ = [
+    "MessageQueuing",
+    "QueueSet",
+    "QueueWorkerContext",
+    "LocalMessageQueuing",
+    "TableMessageQueuing",
+]

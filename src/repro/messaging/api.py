@@ -1,0 +1,98 @@
+"""Message-queuing SPI (paper Section III-B).
+
+The abstraction is centered on the *queue set*: a named group of
+queues, one per part of a table the set is placed like.  Clients can
+put a message into any queue of the set from anywhere in the system;
+worker code runs "in" each part and reads (with a timeout) from its
+local queue.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional
+
+
+class QueueWorkerContext(abc.ABC):
+    """Handed to mobile worker code running in one part of a queue set."""
+
+    @property
+    @abc.abstractmethod
+    def part_index(self) -> int:
+        """Which part's queue this worker reads."""
+
+    @property
+    @abc.abstractmethod
+    def n_parts(self) -> int:
+        ...
+
+    @abc.abstractmethod
+    def read(self, timeout: Optional[float] = None) -> Any:
+        """Pop the next local message, blocking up to *timeout* seconds.
+
+        Returns ``None`` on timeout.  ``None`` is therefore not a legal
+        message payload.
+        """
+
+    @abc.abstractmethod
+    def put(self, part_index: int, message: Any) -> None:
+        """Send *message* to another part's queue of the same set."""
+
+
+class QueueSet(abc.ABC):
+    """A group of queues placed like the parts of some table."""
+
+    def __init__(self, name: str, n_parts: int):
+        self._name = name
+        self._n_parts = n_parts
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def n_parts(self) -> int:
+        return self._n_parts
+
+    @abc.abstractmethod
+    def put(self, part_index: int, message: Any) -> None:
+        """Enqueue *message* for the worker of *part_index*.
+
+        Messages put by one sender into one queue are read in the order
+        they were put — the per-(sender, receiver) FIFO guarantee the
+        EBSP ``incremental`` property relies on.
+        """
+
+    @abc.abstractmethod
+    def run_workers(self, worker: Callable[[QueueWorkerContext], Any]) -> list:
+        """Run *worker* once per part, concurrently; gather return values.
+
+        Blocks until every worker returns.  The worker receives a
+        :class:`QueueWorkerContext` bound to its part.
+        """
+
+    @abc.abstractmethod
+    def pending(self, part_index: int) -> int:
+        """Messages currently queued for *part_index* (diagnostic)."""
+
+    def close(self) -> None:
+        """Release resources.  Idempotent."""
+
+
+class MessageQueuing(abc.ABC):
+    """Factory/namespace for queue sets within some larger system."""
+
+    @abc.abstractmethod
+    def create_queue_set(self, name: str, n_parts: int) -> QueueSet:
+        """Create a queue set with one queue per part."""
+
+    @abc.abstractmethod
+    def delete_queue_set(self, name: str) -> None:
+        ...
+
+    @abc.abstractmethod
+    def get_queue_set(self, name: str) -> QueueSet:
+        ...
+
+    def close(self) -> None:
+        """Release resources.  Idempotent."""

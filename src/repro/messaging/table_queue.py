@@ -1,0 +1,168 @@
+"""Generic queue-set implementation layered on the Table interface.
+
+This mirrors the paper's prototype (Section IV-B): "Our current
+implementation uses a generic implementation of the message queuing
+interface based on a private extension in the Table interface.  Each
+new queue set is implemented by such a new table."
+
+Each queue set creates one table in the backing store.  A message put
+into queue *p* is stored under key ``(p, seq)`` where ``seq`` is a
+monotonically increasing per-part sequence number, and the table's
+``key_hash`` sends the key to part *p* — so the message physically
+lands where its reader lives.  Readers keep a cursor of the next
+sequence number and poll the table (condition variables stand in for
+the store's change notification, the "private extension").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.errors import NoSuchQueueSetError, QueueError
+from repro.kvstore.api import KVStore, TableSpec
+from repro.messaging.api import MessageQueuing, QueueSet, QueueWorkerContext
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class _TableContext(QueueWorkerContext):
+    def __init__(self, queue_set: "TableQueueSet", part_index: int):
+        self._queue_set = queue_set
+        self._part_index = part_index
+        self._cursor = 0
+
+    @property
+    def part_index(self) -> int:
+        return self._part_index
+
+    @property
+    def n_parts(self) -> int:
+        return self._queue_set.n_parts
+
+    def read(self, timeout: Optional[float] = None) -> Any:
+        qs = self._queue_set
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cond = qs._conds[self._part_index]
+        while True:
+            key = (self._part_index, self._cursor)
+            message = qs._table.get(key)
+            if message is not None:
+                qs._table.delete(key)
+                self._cursor += 1
+                return message
+            with cond:
+                # Re-check under the lock: a put may have landed between
+                # the get above and acquiring the condition.
+                if qs._table.get(key) is not None:
+                    continue
+                if deadline is None:
+                    cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    cond.wait(remaining)
+                    if time.monotonic() >= deadline and qs._table.get(key) is None:
+                        return None
+
+    def put(self, part_index: int, message: Any) -> None:
+        self._queue_set.put(part_index, message)
+
+
+class TableQueueSet(QueueSet):
+    """A queue set stored in one table of the backing K/V store."""
+
+    def __init__(self, name: str, n_parts: int, store: KVStore):
+        if n_parts <= 0:
+            raise QueueError("a queue set needs at least one part")
+        super().__init__(name, n_parts)
+        self._store = store
+        self._table_name = f"__queue__{name}"
+        self._table = store.create_table(
+            TableSpec(
+                name=self._table_name,
+                n_parts=n_parts,
+                key_hash=lambda key: key[0],
+            )
+        )
+        self._seq_lock = threading.Lock()
+        self._next_seq = [0] * n_parts
+        self._conds = [threading.Condition() for _ in range(n_parts)]
+        self._deleted = False
+
+    def put(self, part_index: int, message: Any) -> None:
+        if self._deleted:
+            raise NoSuchQueueSetError(self.name)
+        if message is None:
+            raise QueueError("None is not a legal message payload")
+        if not 0 <= part_index < self.n_parts:
+            raise QueueError(f"part {part_index} out of range for queue set {self.name!r}")
+        with self._seq_lock:
+            seq = self._next_seq[part_index]
+            self._next_seq[part_index] = seq + 1
+        self._table.put((part_index, seq), message)
+        with self._conds[part_index]:
+            self._conds[part_index].notify_all()
+
+    def run_workers(self, worker: Callable[[QueueWorkerContext], Any]) -> list:
+        if self._deleted:
+            raise NoSuchQueueSetError(self.name)
+        with ThreadPoolExecutor(
+            max_workers=self.n_parts, thread_name_prefix=f"tqs-{self.name}"
+        ) as pool:
+            futures = [
+                pool.submit(worker, _TableContext(self, i)) for i in range(self.n_parts)
+            ]
+            return [f.result() for f in futures]
+
+    def pending(self, part_index: int) -> int:
+        with self._seq_lock:
+            upper = self._next_seq[part_index]
+        count = 0
+        for seq in range(upper):
+            if self._table.get((part_index, seq)) is not None:
+                count += 1
+        return count
+
+    def _drop(self) -> None:
+        self._deleted = True
+        try:
+            self._store.drop_table(self._table_name)
+        except Exception:
+            pass
+        for cond in self._conds:
+            with cond:
+                cond.notify_all()
+
+
+class TableMessageQueuing(MessageQueuing):
+    """Queue sets layered on an arbitrary :class:`KVStore`."""
+
+    def __init__(self, store: KVStore):
+        self._store = store
+        self._sets: dict = {}
+        self._lock = threading.Lock()
+
+    def create_queue_set(self, name: str, n_parts: int) -> QueueSet:
+        with self._lock:
+            if name in self._sets:
+                raise QueueError(f"queue set {name!r} already exists")
+            queue_set = TableQueueSet(name, n_parts, self._store)
+            self._sets[name] = queue_set
+            return queue_set
+
+    def delete_queue_set(self, name: str) -> None:
+        with self._lock:
+            queue_set = self._sets.pop(name, None)
+        if queue_set is None:
+            raise NoSuchQueueSetError(name)
+        queue_set._drop()
+
+    def get_queue_set(self, name: str) -> QueueSet:
+        with self._lock:
+            queue_set = self._sets.get(name)
+        if queue_set is None:
+            raise NoSuchQueueSetError(name)
+        return queue_set

@@ -1,0 +1,89 @@
+"""Serialization ("marshalling") used to model cross-partition traffic.
+
+The paper's parallel debugging store emulates a distributed key/value
+store inside one process: "Communication between emulated partitions
+involves marshalling and un-marshalling, while local operations do not"
+(Section V-A).  This module provides that marshalling, plus counters so
+benchmarks and tests can observe how many bytes crossed partition
+boundaries.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class SerdeStats:
+    """Counters for marshalling activity, safe to read concurrently."""
+
+    marshalled_objects: int = 0
+    marshalled_bytes: int = 0
+    unmarshalled_objects: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_marshal(self, nbytes: int) -> None:
+        with self._lock:
+            self.marshalled_objects += 1
+            self.marshalled_bytes += nbytes
+
+    def record_unmarshal(self) -> None:
+        with self._lock:
+            self.unmarshalled_objects += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.marshalled_objects = 0
+            self.marshalled_bytes = 0
+            self.unmarshalled_objects = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "marshalled_objects": self.marshalled_objects,
+                "marshalled_bytes": self.marshalled_bytes,
+                "unmarshalled_objects": self.unmarshalled_objects,
+            }
+
+
+class Codec:
+    """A pickle-based codec with optional statistics collection.
+
+    Stores use one codec per store so that benchmarks can attribute
+    marshalling costs to a particular store instance.
+    """
+
+    def __init__(self, stats: SerdeStats | None = None, protocol: int = pickle.HIGHEST_PROTOCOL):
+        self.stats = stats if stats is not None else SerdeStats()
+        self._protocol = protocol
+
+    def dumps(self, obj: Any) -> bytes:
+        data = pickle.dumps(obj, protocol=self._protocol)
+        self.stats.record_marshal(len(data))
+        return data
+
+    def loads(self, data: bytes) -> Any:
+        obj = pickle.loads(data)
+        self.stats.record_unmarshal()
+        return obj
+
+    def roundtrip(self, obj: Any) -> Any:
+        """Marshal and immediately unmarshal *obj*.
+
+        This is what a cross-partition operation does to its arguments
+        and results: the object that arrives on the far side is a copy,
+        never an alias, exactly as it would be over a real network.
+        """
+        return self.loads(self.dumps(obj))
+
+
+#: A shared codec for callers that do not care about attribution.
+DEFAULT_CODEC = Codec()
+
+
+def deep_copy_via_marshal(obj: Any) -> Any:
+    """Copy *obj* the way the network would: by marshalling it."""
+    return DEFAULT_CODEC.roundtrip(obj)

@@ -1,0 +1,1 @@
+"""Operator tooling: store inspection and maintenance CLIs."""

@@ -1,0 +1,103 @@
+"""Inspect a persistent store from the command line.
+
+Usage::
+
+    python -m repro.tools.inspect DIR                    # list tables
+    python -m repro.tools.inspect DIR TABLE              # table summary
+    python -m repro.tools.inspect DIR TABLE --items N    # peek at pairs
+    python -m repro.tools.inspect DIR TABLE --get KEY    # one lookup
+    python -m repro.tools.inspect DIR TABLE --range LO HI  # ordered scan
+
+Works on directories created by
+:class:`~repro.kvstore.persistent.PersistentKVStore` — the on-disk
+store (the HBase-analog).  Keys given on the command line are parsed
+as int when possible, else used as strings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, List
+
+from repro.errors import NoSuchTableError, StoreError
+from repro.kvstore.persistent import PersistentKVStore
+
+
+def _parse_key(raw: str) -> Any:
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _summarize(store: PersistentKVStore, table_name: str, args: argparse.Namespace) -> int:
+    table = store.get_table(table_name)
+    print(f"table {table_name!r}: {table.size()} entries, {table.n_parts} parts"
+          f"{', ordered' if table.ordered else ''}"
+          f"{', ubiquitous' if table.ubiquitous else ''}")
+    if args.get is not None:
+        key = _parse_key(args.get)
+        value = table.get(key)
+        if value is None:
+            print(f"  {key!r}: <absent>")
+            return 1
+        print(f"  {key!r}: {value!r}")
+    if args.range is not None:
+        lo, hi = (_parse_key(raw) for raw in args.range)
+        try:
+            for key, value in table.range_scan(lo, hi):
+                print(f"  {key!r}: {value!r}")
+        except StoreError as exc:
+            print(f"  error: {exc}", file=sys.stderr)
+            return 1
+    if args.items:
+        shown = 0
+        for key, value in table.items():
+            print(f"  {key!r}: {value!r}")
+            shown += 1
+            if shown >= args.items:
+                remaining = table.size() - shown
+                if remaining > 0:
+                    print(f"  ... and {remaining} more")
+                break
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.inspect", description="Inspect a persistent Ripple store."
+    )
+    parser.add_argument("directory", help="store directory")
+    parser.add_argument("table", nargs="?", help="table to summarize")
+    parser.add_argument("--items", type=int, default=0, metavar="N", help="show up to N pairs")
+    parser.add_argument("--get", metavar="KEY", help="look up one key")
+    parser.add_argument("--range", nargs=2, metavar=("LO", "HI"), help="ordered range scan")
+    args = parser.parse_args(argv)
+
+    try:
+        store = PersistentKVStore(args.directory)
+    except Exception as exc:
+        print(f"cannot open store at {args.directory!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.table is None:
+            tables = store.list_tables()
+            if not tables:
+                print("(no tables)")
+                return 0
+            for name in tables:
+                table = store.get_table(name)
+                print(f"{name}: {table.size()} entries, {table.n_parts} parts")
+            return 0
+        try:
+            return _summarize(store, args.table, args)
+        except NoSuchTableError:
+            print(f"no such table: {args.table!r}", file=sys.stderr)
+            return 1
+    finally:
+        store.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

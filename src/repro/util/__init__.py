@@ -1,0 +1,5 @@
+"""Small shared utilities (hashing, statistics, validation)."""
+
+from repro.util.hashing import stable_hash, part_for_key
+
+__all__ = ["stable_hash", "part_for_key"]

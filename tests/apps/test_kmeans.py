@@ -1,0 +1,122 @@
+"""K-means on EBSP against the plain Lloyd's reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.kmeans import (
+    CentroidAggregator,
+    gaussian_blobs,
+    reference_kmeans,
+    run_kmeans,
+)
+from repro.kvstore.local import LocalKVStore
+
+
+@pytest.fixture
+def store():
+    instance = LocalKVStore(default_n_parts=4)
+    yield instance
+    instance.close()
+
+
+def initial_from(points, k):
+    return np.vstack([points[key] for key in sorted(points)[:k]])
+
+
+class TestAgainstReference:
+    def test_identical_assignments_and_centroids(self, store):
+        points = gaussian_blobs(120, k=3, seed=4)
+        initial = initial_from(points, 3)
+        expected_centroids, expected_assignments, _ = reference_kmeans(
+            points, initial, max_iterations=50
+        )
+        result = run_kmeans(store, points, k=3, initial_centroids=initial)
+        assert result.assignments == expected_assignments
+        assert np.allclose(result.centroids, expected_centroids)
+
+    def test_iteration_counts_match(self, store):
+        points = gaussian_blobs(80, k=4, seed=9)
+        initial = initial_from(points, 4)
+        _, _, expected_iterations = reference_kmeans(points, initial, 50)
+        result = run_kmeans(store, points, k=4, initial_centroids=initial)
+        assert result.iterations == expected_iterations
+
+    def test_separated_blobs_recovered(self, store):
+        points = gaussian_blobs(90, k=3, seed=11, separation=10.0, spread=0.2)
+        result = run_kmeans(store, points, k=3)
+        # points generated round-robin: i % 3 is ground truth; clustering
+        # must be a relabeling of it
+        mapping = {}
+        for key, cluster in result.assignments.items():
+            truth = key % 3
+            mapping.setdefault(cluster, truth)
+            assert mapping[cluster] == truth
+
+    def test_k_equals_n(self, store):
+        points = {i: np.array([float(i), 0.0]) for i in range(4)}
+        result = run_kmeans(store, points, k=4)
+        assert sorted(result.assignments.values()) == [0, 1, 2, 3]
+
+    def test_single_cluster(self, store):
+        points = gaussian_blobs(30, k=1, seed=2)
+        result = run_kmeans(store, points, k=1)
+        assert set(result.assignments.values()) == {0}
+        assert np.allclose(
+            result.centroids[0], np.mean(np.vstack(list(points.values())), axis=0)
+        )
+
+    def test_validation(self, store):
+        points = {0: np.zeros(2), 1: np.ones(2)}
+        with pytest.raises(ValueError):
+            run_kmeans(store, points, k=0)
+        with pytest.raises(ValueError):
+            run_kmeans(store, points, k=5)
+        with pytest.raises(ValueError):
+            run_kmeans(store, points, k=2, initial_centroids=np.zeros((3, 2)))
+
+
+class TestCentroidAggregator:
+    def test_fold(self):
+        agg = CentroidAggregator(2)
+        partial = agg.create()
+        partial = agg.add(partial, np.array([1.0, 2.0]))
+        partial = agg.add(partial, np.array([3.0, 4.0]))
+        vec_sum, count = agg.finish(partial)
+        assert np.allclose(vec_sum, [4.0, 6.0])
+        assert count == 2
+
+    def test_merge(self):
+        agg = CentroidAggregator(1)
+        a = agg.add(agg.create(), np.array([1.0]))
+        b = agg.add(agg.create(), np.array([5.0]))
+        vec_sum, count = agg.merge(a, b)
+        assert vec_sum[0] == 6.0 and count == 2
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            CentroidAggregator(0)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    n=st.integers(min_value=8, max_value=40),
+    k=st.integers(min_value=1, max_value=4),
+    dims=st.integers(min_value=1, max_value=3),
+)
+def test_ebsp_kmeans_equals_lloyd_property(seed, n, k, dims):
+    """Random data: the EBSP job IS Lloyd's algorithm, step for step."""
+    rng = np.random.default_rng(seed)
+    points = {i: rng.standard_normal(dims) for i in range(n)}
+    initial = np.vstack([points[i] for i in range(k)])
+    expected_centroids, expected_assignments, _ = reference_kmeans(points, initial, 30)
+    store = LocalKVStore(default_n_parts=3)
+    try:
+        result = run_kmeans(store, points, k=k, initial_centroids=initial, max_iterations=30)
+        assert result.assignments == expected_assignments
+        assert np.allclose(result.centroids, expected_centroids)
+    finally:
+        store.close()

@@ -1,0 +1,232 @@
+"""Incremental SSSP: both variants against BFS ground truth (§V-C)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.sssp import (
+    ChangeBatch,
+    DynamicGraphWorkload,
+    FullScanSSSP,
+    INFINITY,
+    SelectiveSSSP,
+    reference_distances,
+)
+from repro.apps.sssp.common import adjacency_from_edges, apply_batch_to_adjacency
+from repro.kvstore.local import LocalKVStore
+
+
+def fresh_pair(adjacency, source):
+    """Both variants loaded with the same graph and solved."""
+    s1, s2 = LocalKVStore(default_n_parts=4), LocalKVStore(default_n_parts=4)
+    selective = SelectiveSSSP(s1, source)
+    selective.load(adjacency)
+    selective.initial_solve()
+    full = FullScanSSSP(s2, source)
+    full.load(adjacency)
+    full.initial_solve()
+    return selective, full
+
+
+def check_against_reference(variant, adjacency, source):
+    reference = reference_distances(adjacency, source)
+    distances = variant.distances()
+    mismatches = {v for v in reference if distances.get(v) != reference[v]}
+    assert not mismatches, f"{len(mismatches)} wrong annotations, e.g. {sorted(mismatches)[:5]}"
+
+
+SMALL = adjacency_from_edges(range(8), [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (6, 7)])
+
+
+class TestInitialSolve:
+    def test_both_variants_match_bfs(self):
+        selective, full = fresh_pair(SMALL, source=0)
+        check_against_reference(selective, SMALL, 0)
+        check_against_reference(full, SMALL, 0)
+
+    def test_unreachable_is_infinity(self):
+        selective, full = fresh_pair(SMALL, source=0)
+        assert selective.distances()[6] == INFINITY
+        assert full.distances()[6] == INFINITY
+
+    def test_source_is_zero(self):
+        selective, full = fresh_pair(SMALL, source=2)
+        assert selective.distances()[2] == 0
+        assert full.distances()[2] == 0
+
+
+class TestPrimitiveChanges:
+    def _apply_and_check(self, batch, source=0, base=None):
+        adjacency = {v: set(ns) for v, ns in (base or SMALL).items()}
+        selective, full = fresh_pair(adjacency, source)
+        apply_batch_to_adjacency(adjacency, batch)
+        selective.update(batch)
+        full.update(batch)
+        check_against_reference(selective, adjacency, source)
+        check_against_reference(full, adjacency, source)
+        return selective, full
+
+    def test_edge_addition_shortens_paths(self):
+        self._apply_and_check(ChangeBatch(add_edges=((0, 3),)))
+
+    def test_edge_addition_connects_component(self):
+        self._apply_and_check(ChangeBatch(add_edges=((5, 6),)))
+
+    def test_edge_removal_lengthens_paths(self):
+        self._apply_and_check(ChangeBatch(remove_edges=((0, 1),)))
+
+    def test_edge_removal_disconnects(self):
+        # removing 0-4 cuts {4,5} off entirely: the hard +∞ case
+        self._apply_and_check(ChangeBatch(remove_edges=((0, 4),)))
+
+    def test_noop_add_existing_edge(self):
+        selective, full = self._apply_and_check(ChangeBatch(add_edges=((0, 1),)))
+
+    def test_noop_remove_missing_edge(self):
+        self._apply_and_check(ChangeBatch(remove_edges=((0, 7),)))
+
+    def test_add_vertex(self):
+        self._apply_and_check(ChangeBatch(add_vertices=(99,)))
+
+    def test_add_vertex_then_connect(self):
+        self._apply_and_check(
+            ChangeBatch(add_vertices=(99,), add_edges=((99, 0),))
+        )
+
+    def test_remove_isolated_vertex(self):
+        base = {v: set(ns) for v, ns in SMALL.items()}
+        base[99] = set()
+        self._apply_and_check(ChangeBatch(remove_vertices=(99,)), base=base)
+
+    def test_remove_connected_vertex_is_noop(self):
+        """Only neighbor-free vertices may be removed (paper's primitive)."""
+        selective, full = self._apply_and_check(ChangeBatch(remove_vertices=(1,)))
+        assert 1 in selective.distances()
+
+    def test_mixed_batch(self):
+        self._apply_and_check(
+            ChangeBatch(add_edges=((3, 6), (5, 7)), remove_edges=((1, 2),))
+        )
+
+    def test_deletion_free_batch_single_wave(self):
+        adjacency = {v: set(ns) for v, ns in SMALL.items()}
+        s = LocalKVStore(default_n_parts=4)
+        full = FullScanSSSP(s, 0)
+        full.load(adjacency)
+        full.initial_solve()
+        batch = ChangeBatch(add_edges=((0, 3),))
+        assert not batch.has_deletions
+        full.update(batch)  # exercises the one-wave path
+
+
+class TestSelectiveEnablementAdvantage:
+    def test_untouched_region_never_invoked(self):
+        """The point of §V-C: only the ripple region runs."""
+        # a long path 0-1-2-...-19 plus a separate clique
+        path = {i: {i - 1, i + 1} for i in range(1, 19)}
+        path[0] = {1}
+        path[19] = {18}
+        clique_vertices = range(100, 110)
+        for v in clique_vertices:
+            path[v] = {u for u in clique_vertices if u != v}
+        store = LocalKVStore(default_n_parts=4)
+        selective = SelectiveSSSP(store, 0)
+        selective.load(path)
+        selective.initial_solve()
+
+        before = selective.distances()
+        batch = ChangeBatch(add_edges=((0, 5),))
+        steps = selective.update(batch)
+        after = selective.distances()
+        # the clique annotations are untouched and still correct
+        for v in clique_vertices:
+            assert after[v] == before[v] == INFINITY
+        # only a few ripple steps were needed
+        assert 0 < steps < 20
+
+    def test_empty_batch_zero_steps(self):
+        store = LocalKVStore(default_n_parts=4)
+        selective = SelectiveSSSP(store, 0)
+        selective.load(SMALL)
+        selective.initial_solve()
+        assert selective.update(ChangeBatch()) == 0
+
+
+class TestNoSyncComposition:
+    """Selective enablement + the no-sync switch compose: the same
+    incremental job runs barrier-free and stays correct."""
+
+    def test_selective_updates_without_barriers(self):
+        workload = DynamicGraphWorkload(
+            n_vertices=100, n_edges=400, batches=6, changes_per_batch=15, seed=77
+        )
+        adjacency = {v: set(ns) for v, ns in workload.initial_adjacency.items()}
+        store = LocalKVStore(default_n_parts=4)
+        selective = SelectiveSSSP(store, workload.source)
+        selective.load(adjacency)
+        selective.initial_solve(synchronize=False)
+        check_against_reference(selective, adjacency, workload.source)
+        for batch in workload.change_batches:
+            apply_batch_to_adjacency(adjacency, batch)
+            selective.update(batch, synchronize=False)
+            check_against_reference(selective, adjacency, workload.source)
+
+    def test_job_is_no_sync_eligible(self):
+        from repro.apps.sssp.incremental import _SelectiveJob
+        from repro.ebsp.runner import plan_for
+
+        job = _SelectiveJob("t", 0, 100, [0])
+        assert plan_for(job).no_sync
+
+
+class TestWorkloadSequence:
+    def test_ten_batches_stay_correct(self):
+        workload = DynamicGraphWorkload(
+            n_vertices=120, n_edges=500, batches=10, changes_per_batch=25, seed=42
+        )
+        adjacency = {v: set(ns) for v, ns in workload.initial_adjacency.items()}
+        selective, full = fresh_pair(adjacency, workload.source)
+        for batch in workload.change_batches:
+            apply_batch_to_adjacency(adjacency, batch)
+            selective.update(batch)
+            full.update(batch)
+            check_against_reference(selective, adjacency, workload.source)
+            check_against_reference(full, adjacency, workload.source)
+
+    def test_workload_deterministic(self):
+        a = DynamicGraphWorkload(n_vertices=50, n_edges=100, seed=5)
+        b = DynamicGraphWorkload(n_vertices=50, n_edges=100, seed=5)
+        assert a.source == b.source
+        assert a.change_batches == b.change_batches
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=5, max_value=30),
+    edge_factor=st.integers(min_value=1, max_value=3),
+    n_changes=st.integers(min_value=1, max_value=15),
+)
+def test_selective_variant_random_graphs_property(seed, n, edge_factor, n_changes):
+    """Random graph + random batch: selective == BFS, always."""
+    import numpy as np
+
+    from repro.apps.sssp.workload import random_change_batch
+
+    rng = np.random.default_rng(seed)
+    edges = [
+        (int(rng.integers(n)), int(rng.integers(n))) for _ in range(n * edge_factor)
+    ]
+    adjacency = adjacency_from_edges(range(n), [e for e in edges if e[0] != e[1]])
+    source = int(rng.integers(n))
+    store = LocalKVStore(default_n_parts=3)
+    selective = SelectiveSSSP(store, source)
+    selective.load(adjacency)
+    selective.initial_solve()
+    batch = random_change_batch(n, n_changes, rng)
+    apply_batch_to_adjacency(adjacency, batch)
+    selective.update(batch)
+    reference = reference_distances(adjacency, source)
+    distances = selective.distances()
+    assert all(distances.get(v) == reference[v] for v in reference)

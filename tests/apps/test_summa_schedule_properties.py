@@ -1,0 +1,75 @@
+"""Properties of the BSP-ified SUMMA schedule over arbitrary grids."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.summa import BlockGrid, multiplications_per_step, schedule_length, summa_multiply
+from repro.kvstore.local import LocalKVStore
+
+grids = st.tuples(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+).flatmap(
+    lambda mn: st.tuples(
+        st.just(mn[0]),
+        st.just(mn[1]),
+        st.integers(min_value=1, max_value=min(mn)),
+    )
+)
+
+
+@given(grids)
+def test_total_multiplications(grid):
+    m, n, l = grid
+    assert sum(multiplications_per_step(m, n, l)) == m * n * l
+
+
+@given(grids)
+def test_no_step_exceeds_component_count(grid):
+    """≤1 multiply per component per step bounds every step by M·N."""
+    m, n, l = grid
+    assert all(0 <= muls <= m * n for muls in multiplications_per_step(m, n, l))
+
+
+@given(grids)
+def test_schedule_at_least_critical_path(grid):
+    """A block needs (extent-1) relay hops to reach its last consumer,
+    and each component multiplies l times, so the schedule cannot be
+    shorter than either bound."""
+    m, n, l = grid
+    length = schedule_length(m, n, l)
+    assert length >= l
+    assert length >= max(m, n) - 1 + 1  # last hop arrives, then multiplies
+
+
+@given(grids)
+def test_first_step_exactly_one_for_square_grids(grid):
+    m, n, l = grid
+    per_step = multiplications_per_step(m, n, l)
+    # only (0,0) holds both a0 and b0 initially... unless the grid is a
+    # single row/column, where more components start ready
+    if m > 1 and n > 1:
+        assert per_step[0] == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    grid=grids,
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_live_sync_job_takes_exactly_schedule_steps(grid, seed):
+    """The engine's step count equals the analytic schedule length —
+    the schedule is not merely an approximation of the job."""
+    m, n, l = grid
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((2 * m, 2 * l))
+    b = rng.standard_normal((2 * l, 2 * n))
+    store = LocalKVStore(default_n_parts=3)
+    try:
+        c, result = summa_multiply(store, a, b, BlockGrid(m, n, l), synchronize=True)
+        assert np.allclose(c, a @ b)
+        assert result.steps == schedule_length(m, n, l)
+    finally:
+        store.close()

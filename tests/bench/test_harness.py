@@ -1,0 +1,120 @@
+"""The benchmark harness utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.harness import TrialStats, bench_scale, bench_trials, format_table, run_trials
+
+
+class TestTrialStats:
+    def test_mean_and_stddev(self):
+        stats = TrialStats((1.0, 2.0, 3.0))
+        assert stats.mean == 2.0
+        assert stats.stddev == pytest.approx(1.0)  # sample stddev
+        assert stats.n == 3
+
+    def test_single_trial_no_stddev(self):
+        stats = TrialStats((5.0,))
+        assert stats.stddev == 0.0
+
+    def test_str_is_paper_style(self):
+        assert str(TrialStats((28.1, 28.9))) == "28.50 ± 0.57"
+
+
+class TestRunTrials:
+    def test_times_each_trial(self):
+        calls = {"n": 0}
+
+        def work():
+            calls["n"] += 1
+
+        stats = run_trials(work, trials=4)
+        assert calls["n"] == 4
+        assert stats.n == 4
+        assert all(v >= 0 for v in stats.values)
+
+    def test_setup_untimed_value_passed(self):
+        received = []
+
+        def setup():
+            return "fixture"
+
+        def work(arg):
+            received.append(arg)
+
+        run_trials(work, trials=2, setup=setup)
+        assert received == ["fixture", "fixture"]
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Blong"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # all rows share the same width
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+
+class TestEnvKnobs:
+    def test_scale_default(self, monkeypatch):
+        monkeypatch.delenv("RIPPLE_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_scale_parse(self, monkeypatch):
+        monkeypatch.setenv("RIPPLE_BENCH_SCALE", "8")
+        assert bench_scale() == 8.0
+
+    def test_scale_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("RIPPLE_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("RIPPLE_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_trials_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("RIPPLE_BENCH_TRIALS", raising=False)
+        assert bench_trials(7) == 7
+        monkeypatch.setenv("RIPPLE_BENCH_TRIALS", "11")
+        assert bench_trials(7) == 11
+
+    def test_trials_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("RIPPLE_BENCH_TRIALS", "0")
+        with pytest.raises(ValueError):
+            bench_trials(3)
+
+
+class TestExperimentsSmoke:
+    """The experiment runners at postage-stamp scale."""
+
+    def test_table1_rows(self):
+        from repro.bench.experiments import run_table1
+
+        rows = run_table1(scale=0.05, trials=1, iterations=2)
+        assert len(rows) == 3
+        for row in rows:
+            assert row.direct.mean > 0 and row.mapreduce.mean > 0
+
+    def test_table2(self):
+        from repro.bench.experiments import PAPER_TABLE2, run_table2
+
+        result = run_table2(block_size=4)
+        assert result["analytic"] == PAPER_TABLE2
+        assert result["measured"] == PAPER_TABLE2
+
+    def test_summa_timing(self):
+        from repro.bench.experiments import run_summa_timing
+
+        sync, nosync = run_summa_timing(matrix_size=24, trials=1)
+        assert sync.mean > 0 and nosync.mean > 0
+
+    def test_sssp_timing(self):
+        from repro.bench.experiments import run_sssp_timing
+
+        selective, full_scan = run_sssp_timing(scale=0.05, trials=1)
+        assert full_scan.mean > selective.mean

@@ -1,0 +1,58 @@
+"""Shared fixtures: every store implementation behind one parameter.
+
+``store`` parametrizes a test over all four KVStore implementations —
+the cheap way to keep them conformant to the SPI (and the test-suite
+analog of the paper's store-portability claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore.local import LocalKVStore
+from repro.kvstore.partitioned import PartitionedKVStore
+from repro.kvstore.persistent import PersistentKVStore
+from repro.kvstore.replicated import ReplicatedKVStore
+
+STORE_KINDS = ["local", "partitioned", "replicated", "persistent"]
+
+
+def make_store(kind: str, tmp_path, n_parts: int = 4):
+    if kind == "local":
+        return LocalKVStore(default_n_parts=n_parts)
+    if kind == "partitioned":
+        return PartitionedKVStore(n_partitions=n_parts)
+    if kind == "replicated":
+        return ReplicatedKVStore(n_shards=n_parts, replication=1)
+    if kind == "persistent":
+        return PersistentKVStore(str(tmp_path / "store"), default_n_parts=n_parts)
+    raise ValueError(kind)
+
+
+@pytest.fixture(params=STORE_KINDS)
+def store(request, tmp_path):
+    instance = make_store(request.param, tmp_path)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture(params=["local", "partitioned", "replicated"])
+def fast_store(request, tmp_path):
+    """In-memory stores only, for heavier workloads."""
+    instance = make_store(request.param, tmp_path)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def local_store():
+    instance = LocalKVStore(default_n_parts=4)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def partitioned_store():
+    instance = PartitionedKVStore(n_partitions=4)
+    yield instance
+    instance.close()

@@ -1,0 +1,124 @@
+"""Small configurable jobs shared by the engine tests."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.ebsp.aggregators import Aggregator
+from repro.ebsp.exporters import Exporter
+from repro.ebsp.job import Compute, ComputeContext, Job
+from repro.ebsp.loaders import Loader
+from repro.ebsp.properties import JobProperties
+
+
+class FnCompute(Compute):
+    """Compute built from a function; optional combiner/state-merger."""
+
+    def __init__(
+        self,
+        fn: Callable[[ComputeContext], bool],
+        combiner: Optional[Callable[[Any, Any], Any]] = None,
+        state_merger: Optional[Callable[[Any, Any], Any]] = None,
+    ):
+        self._fn = fn
+        self._combiner = combiner
+        self._state_merger = state_merger
+
+    def compute(self, ctx: ComputeContext) -> bool:
+        return bool(self._fn(ctx))
+
+    def combine_messages(self, ctx: Any, key: Any, m1: Any, m2: Any) -> Any:
+        if self._combiner is None:
+            return None
+        return self._combiner(m1, m2)
+
+    def combine_states(self, ctx: Any, key: Any, s1: Any, s2: Any) -> Any:
+        if self._state_merger is None:
+            return super().combine_states(ctx, key, s1, s2)
+        return self._state_merger(s1, s2)
+
+
+def make_compute_class(fn, combiner=None):
+    """Build a Compute *subclass with a combiner override* only when one
+    is requested — the engine detects combiners by override, so tests
+    must not always override."""
+    if combiner is None:
+
+        class _NoCombiner(Compute):
+            def compute(self, ctx):
+                return bool(fn(ctx))
+
+        return _NoCombiner()
+    return FnCompute(fn, combiner=combiner)
+
+
+class TestJob(Job):
+    """Fully parameterized job for engine tests."""
+
+    __test__ = False  # not a pytest test class
+
+    def __init__(
+        self,
+        fn: Callable[[ComputeContext], bool],
+        state_tables: Optional[List[str]] = None,
+        loaders: Optional[List[Loader]] = None,
+        aggregators: Optional[Dict[str, Aggregator]] = None,
+        combiner: Optional[Callable[[Any, Any], Any]] = None,
+        state_merger: Optional[Callable[[Any, Any], Any]] = None,
+        properties: Optional[JobProperties] = None,
+        broadcast: Optional[str] = None,
+        direct_exporter: Optional[Exporter] = None,
+        state_exporters: Optional[Dict[str, Exporter]] = None,
+        aborter: Optional[Callable[[int, Dict[str, Any]], bool]] = None,
+        reference: Optional[str] = None,
+    ):
+        self._fn = fn
+        self._state_tables = state_tables if state_tables is not None else ["state"]
+        self._loaders = loaders or []
+        self._aggregators = aggregators or {}
+        self._combiner = combiner
+        self._state_merger = state_merger
+        self._properties = properties or JobProperties()
+        self._broadcast = broadcast
+        self._direct_exporter = direct_exporter
+        self._state_exporters = state_exporters or {}
+        self._aborter_fn = aborter
+        self._reference = reference
+
+    def state_table_names(self) -> List[str]:
+        return list(self._state_tables)
+
+    def get_compute(self) -> Compute:
+        if self._combiner is None and self._state_merger is None:
+            return make_compute_class(self._fn)
+        return FnCompute(self._fn, self._combiner, self._state_merger)
+
+    def aggregators(self) -> Dict[str, Aggregator]:
+        return dict(self._aggregators)
+
+    def loaders(self) -> List[Loader]:
+        return list(self._loaders)
+
+    def properties(self) -> JobProperties:
+        return self._properties
+
+    def broadcast_table(self) -> Optional[str]:
+        return self._broadcast
+
+    def reference_table(self) -> Optional[str]:
+        return self._reference
+
+    def direct_output_exporter(self) -> Optional[Exporter]:
+        return self._direct_exporter
+
+    def state_exporters(self) -> Dict[str, Exporter]:
+        return dict(self._state_exporters)
+
+    @property
+    def has_aborter(self) -> bool:
+        return self._aborter_fn is not None
+
+    def aborter(self, step_num: int, aggregates: Dict[str, Any]) -> bool:
+        if self._aborter_fn is None:
+            return False
+        return self._aborter_fn(step_num, aggregates)

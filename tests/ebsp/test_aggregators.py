@@ -1,0 +1,121 @@
+"""Aggregator semantics + the algebraic properties the engine relies on."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ebsp.aggregators import (
+    Aggregator,
+    AndAggregator,
+    CollectAggregator,
+    CountAggregator,
+    MaxAggregator,
+    MinAggregator,
+    OrAggregator,
+    SumAggregator,
+    TopKAggregator,
+)
+
+
+def fold(agg: Aggregator, values):
+    partial = agg.create()
+    for value in values:
+        partial = agg.add(partial, value)
+    return agg.finish(partial)
+
+
+class TestBehaviour:
+    def test_sum(self):
+        assert fold(SumAggregator(), [1, 2, 3]) == 6
+
+    def test_sum_custom_zero(self):
+        assert fold(SumAggregator(0.0), [0.5, 0.25]) == 0.75
+
+    def test_count_ignores_values(self):
+        assert fold(CountAggregator(), ["a", "b", "c"]) == 3
+
+    def test_min_empty_is_none(self):
+        assert fold(MinAggregator(), []) is None
+
+    def test_min(self):
+        assert fold(MinAggregator(), [5, 2, 9]) == 2
+
+    def test_max(self):
+        assert fold(MaxAggregator(), [5, 2, 9]) == 9
+
+    def test_and(self):
+        assert fold(AndAggregator(), [True, True]) is True
+        assert fold(AndAggregator(), [True, False]) is False
+        assert fold(AndAggregator(), []) is True
+
+    def test_or(self):
+        assert fold(OrAggregator(), [False, True]) is True
+        assert fold(OrAggregator(), []) is False
+
+    def test_topk(self):
+        assert fold(TopKAggregator(3), [5, 1, 9, 7, 3]) == [9, 7, 5]
+
+    def test_topk_with_key(self):
+        agg = TopKAggregator(2, key=lambda pair: pair[0])
+        result = fold(agg, [(1, "lo"), (9, "hi"), (5, "mid")])
+        assert [score for score, _ in result] == [9, 5]
+
+    def test_topk_fewer_than_k(self):
+        assert fold(TopKAggregator(5), [2, 1]) == [2, 1]
+
+    def test_collect(self):
+        assert sorted(fold(CollectAggregator(), [3, 1, 2])) == [1, 2, 3]
+
+    def test_collect_limit(self):
+        assert len(fold(CollectAggregator(limit=2), range(10))) == 2
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            TopKAggregator(0)
+        with pytest.raises(ValueError):
+            CollectAggregator(limit=0)
+
+
+_aggs = st.sampled_from(
+    [SumAggregator(), CountAggregator(), MinAggregator(), MaxAggregator(), AndAggregator(), OrAggregator()]
+)
+
+
+@given(_aggs, st.lists(st.integers(min_value=-100, max_value=100)), st.integers(min_value=0, max_value=10))
+def test_merge_equals_any_split(agg, values, split_at):
+    """merge(fold(left), fold(right)) == fold(all) — the property that
+    makes per-part partials correct regardless of how keys partition."""
+    split_at = min(split_at, len(values))
+    left, right = values[:split_at], values[split_at:]
+
+    def partial(vals):
+        p = agg.create()
+        for v in vals:
+            p = agg.add(p, v)
+        return p
+
+    merged = agg.merge(partial(left), partial(right))
+    assert agg.finish(merged) == agg.finish(partial(values))
+
+
+@given(_aggs, st.lists(st.integers(min_value=-50, max_value=50), max_size=20))
+def test_merge_commutative(agg, values):
+    half = len(values) // 2
+    a, b = values[:half], values[half:]
+
+    def partial(vals):
+        p = agg.create()
+        for v in vals:
+            p = agg.add(p, v)
+        return p
+
+    assert agg.finish(agg.merge(partial(a), partial(b))) == agg.finish(
+        agg.merge(partial(b), partial(a))
+    )
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1), st.integers(min_value=1, max_value=5))
+def test_topk_matches_sorted(values, k):
+    agg = TopKAggregator(k)
+    assert fold(agg, values) == sorted(values, reverse=True)[:k]

@@ -1,0 +1,92 @@
+"""Aborter helper combinators, standalone and inside a job."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ebsp.aggregators import SumAggregator
+from repro.ebsp.convergence import (
+    after_steps,
+    any_of,
+    when_aggregate_below,
+    when_aggregate_stable,
+    when_aggregate_zero,
+)
+from repro.ebsp.loaders import EnableKeysLoader
+from repro.ebsp.runner import run_job
+
+from tests.ebsp.jobs import TestJob
+
+
+class TestCombinators:
+    def test_zero_waits_for_warmup(self):
+        aborter = when_aggregate_zero("changed", warmup_steps=2)
+        assert not aborter(0, {"changed": 0})
+        assert not aborter(1, {"changed": 0})
+        assert aborter(2, {"changed": 0})
+        assert not aborter(2, {"changed": 5})
+
+    def test_zero_treats_missing_as_zero(self):
+        aborter = when_aggregate_zero("changed")
+        assert aborter(1, {})
+
+    def test_below(self):
+        aborter = when_aggregate_below("residual", 1e-3)
+        assert not aborter(1, {"residual": 0.5})
+        assert aborter(1, {"residual": 1e-4})
+
+    def test_below_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            when_aggregate_below("r", 0)
+
+    def test_stable_needs_consecutive_repeats(self):
+        aborter = when_aggregate_stable("value", patience=2)
+        assert not aborter(0, {"value": 1.0})   # no history yet
+        assert not aborter(1, {"value": 1.0})   # streak 1
+        assert aborter(2, {"value": 1.0})       # streak 2
+        aborter2 = when_aggregate_stable("value", patience=2)
+        aborter2(0, {"value": 1.0})
+        aborter2(1, {"value": 2.0})             # moved: streak resets
+        assert not aborter2(2, {"value": 2.0})
+
+    def test_after_steps(self):
+        aborter = after_steps(3)
+        assert not aborter(1, {})
+        assert aborter(2, {})
+
+    def test_any_of(self):
+        aborter = any_of(after_steps(10), when_aggregate_zero("done"))
+        assert aborter(1, {"done": 0})
+        assert not aborter(1, {"done": 3})
+
+    def test_any_of_empty(self):
+        with pytest.raises(ValueError):
+            any_of()
+
+
+class TestInsideJob:
+    def test_converging_job_stops_itself(self, local_store):
+        """A job that 'changes' fewer components each step stops when
+        the changed-counter hits zero."""
+
+        def fn(ctx):
+            remaining = sum(ctx.input_messages())
+            if remaining > 0:
+                ctx.aggregate_value("changed", 1)
+                ctx.output_message(ctx.key, remaining - 1)
+            else:
+                ctx.output_message(ctx.key, 0)  # keeps running; aborter must stop it
+            return False
+
+        stopper = when_aggregate_zero("changed", warmup_steps=1)
+        from repro.ebsp.loaders import MessageListLoader
+
+        job = TestJob(
+            fn,
+            loaders=[MessageListLoader([(0, 3)])],
+            aggregators={"changed": SumAggregator()},
+            aborter=stopper,
+        )
+        result = run_job(local_store, job, max_steps=50)
+        assert result.aborted
+        assert result.steps < 10

@@ -1,0 +1,183 @@
+"""Engine error paths and less-traveled corners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AggregatorError, ComputeError, JobSpecError
+from repro.ebsp.aggregators import SumAggregator
+from repro.ebsp.engine import SyncEngine
+from repro.ebsp.exporters import CollectingExporter
+from repro.ebsp.loaders import EnableKeysLoader, FunctionLoader, MessageListLoader
+from repro.ebsp.runner import run_job
+from repro.kvstore.api import TableSpec
+from repro.kvstore.local import LocalKVStore
+
+from tests.ebsp.jobs import TestJob
+
+
+@pytest.fixture
+def store():
+    instance = LocalKVStore(default_n_parts=4)
+    yield instance
+    instance.close()
+
+
+class TestLoaderErrors:
+    def test_loader_exception_propagates_and_cleans_up(self, store):
+        def bad_loader(ctx):
+            raise RuntimeError("loader boom")
+
+        job = TestJob(lambda ctx: False, loaders=[FunctionLoader(bad_loader)])
+        before = set(store.list_tables())
+        with pytest.raises(RuntimeError):
+            run_job(store, job)
+        # the private transport table must not leak
+        leaked = {t for t in set(store.list_tables()) - before if t.startswith("__ebsp")}
+        assert leaked == set()
+
+    def test_loader_bad_aggregator_name(self, store):
+        job = TestJob(
+            lambda ctx: False,
+            loaders=[FunctionLoader(lambda ctx: ctx.aggregate_value("ghost", 1))],
+        )
+        with pytest.raises(AggregatorError):
+            run_job(store, job)
+
+
+class TestMessageValidation:
+    def test_none_message_rejected(self, store):
+        def fn(ctx):
+            ctx.output_message(1, None)
+            return False
+
+        job = TestJob(fn, loaders=[EnableKeysLoader([0])])
+        with pytest.raises(ComputeError):
+            run_job(store, job)
+
+    def test_none_state_rejected(self, store):
+        def fn(ctx):
+            ctx.write_state(0, None)
+            return False
+
+        job = TestJob(fn, loaders=[EnableKeysLoader([0])])
+        with pytest.raises(ComputeError):
+            run_job(store, job)
+
+    def test_none_created_state_rejected(self, store):
+        def fn(ctx):
+            ctx.create_state(0, 9, None)
+            return False
+
+        job = TestJob(fn, loaders=[EnableKeysLoader([0])])
+        with pytest.raises(ComputeError):
+            run_job(store, job)
+
+
+class TestStatelessJobs:
+    def test_job_with_no_state_tables(self, store):
+        """All state in messages — legal per Section II."""
+        outputs = CollectingExporter()
+
+        def fn(ctx):
+            for value in ctx.input_messages():
+                if value < 3:
+                    ctx.output_message(ctx.key + 1, value + 1)
+                else:
+                    ctx.direct_job_output("final", value)
+            return False
+
+        job = TestJob(
+            fn,
+            state_tables=[],
+            loaders=[MessageListLoader([(0, 0)])],
+            direct_exporter=outputs,
+        )
+        result = run_job(store, job)
+        assert outputs.pairs == {"final": 3}
+        assert result.steps == 4
+
+
+class TestCombinerContract:
+    def test_combiner_exception_surfaces(self, store):
+        def fn(ctx):
+            if ctx.step_num == 0:
+                ctx.output_message(100, ctx.key)
+            return False
+
+        def bad_combiner(a, b):
+            raise ValueError("combiner boom")
+
+        job = TestJob(
+            fn, loaders=[EnableKeysLoader([0, 1])], combiner=bad_combiner
+        )
+        with pytest.raises(ValueError):
+            run_job(store, job)
+
+    def test_default_state_merge_raises_on_conflict(self, store):
+        def fn(ctx):
+            ctx.create_state(0, 99, {"from": ctx.key})
+            return False
+
+        job = TestJob(fn, loaders=[EnableKeysLoader([0, 1])])
+        # two creations for key 99, no combine_states override
+        with pytest.raises(ValueError):
+            run_job(store, job)
+
+
+class TestEngineConfiguration:
+    def test_zero_max_steps(self, store):
+        job = TestJob(lambda ctx: False, loaders=[EnableKeysLoader([0])])
+        result = run_job(store, job, max_steps=0)
+        assert result.steps == 0
+        assert result.compute_invocations == 0
+
+    def test_tiny_spill_batch(self, store):
+        received = []
+
+        def fn(ctx):
+            if ctx.step_num == 0:
+                for target in range(20):
+                    ctx.output_message(100 + target, target)
+            else:
+                received.extend(ctx.input_messages())
+            return False
+
+        job = TestJob(fn, loaders=[EnableKeysLoader([0])])
+        run_job(store, job, spill_batch=1)
+        assert sorted(received) == list(range(20))
+
+    def test_counters_present(self, store):
+        def fn(ctx):
+            if ctx.step_num == 0:
+                ctx.output_message(ctx.key + 1, "m")
+            return False
+
+        job = TestJob(fn, loaders=[EnableKeysLoader([0])])
+        result = run_job(store, job)
+        counters = result.counters
+        assert counters["compute_invocations"] == 2
+        assert counters["messages_sent"] == 1
+        assert counters["barriers"] == 2
+        assert counters["records_spilled"] >= 2  # enable + message
+
+    def test_combined_counter(self, store):
+        def fn(ctx):
+            if ctx.step_num == 0:
+                ctx.output_message(100, 1)
+                ctx.output_message(100, 2)
+            return False
+
+        job = TestJob(
+            fn, loaders=[EnableKeysLoader([0])], combiner=lambda a, b: a + b
+        )
+        result = run_job(store, job)
+        assert result.counters.get("messages_combined", 0) == 1
+
+    def test_engine_reuse_rejected_implicitly_by_fresh_tables(self, store):
+        """Two sequential engines on one store work; private tables are
+        uniquely named per job."""
+        job1 = TestJob(lambda ctx: False, loaders=[EnableKeysLoader([0])])
+        job2 = TestJob(lambda ctx: False, loaders=[EnableKeysLoader([0])])
+        run_job(store, job1)
+        run_job(store, job2)  # no TableExistsError

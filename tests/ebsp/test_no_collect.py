@@ -1,0 +1,143 @@
+"""The no-collect execution special case (§II-A)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import PropertyViolationError
+from repro.ebsp.engine import SyncEngine
+from repro.ebsp.loaders import EnableKeysLoader, MessageListLoader
+from repro.ebsp.properties import JobProperties
+from repro.ebsp.runner import plan_for, run_job
+
+from tests.ebsp.jobs import TestJob
+
+NO_COLLECT = JobProperties(one_msg=True, no_continue=True)
+
+
+class TestNoCollectPath:
+    def test_plan_selects_no_collect(self):
+        job = TestJob(lambda ctx: False, properties=NO_COLLECT)
+        assert plan_for(job).no_collect
+
+    def test_chain_job_correct(self, fast_store):
+        """A forwarding chain runs correctly through the fused path."""
+        def fn(ctx):
+            for value in ctx.input_messages():
+                ctx.write_state(0, value)
+                if value < 10:
+                    ctx.output_message(value + 1, value + 1)
+            return False
+
+        job = TestJob(
+            fn, properties=NO_COLLECT, loaders=[MessageListLoader([(0, 0)])]
+        )
+        result = run_job(fast_store, job, synchronize=True)
+        assert result.steps == 11
+        assert fast_store.get_table("state").get(10) == 10
+
+    def test_loader_enable_works(self, fast_store):
+        invoked = []
+        lock = threading.Lock()
+
+        def fn(ctx):
+            with lock:
+                invoked.append((ctx.key, list(ctx.input_messages())))
+            return False
+
+        job = TestJob(fn, properties=NO_COLLECT, loaders=[EnableKeysLoader([4])])
+        run_job(fast_store, job, synchronize=True)
+        assert invoked == [(4, [])]
+
+    def test_enable_plus_message_single_invocation(self, fast_store):
+        invocations = []
+        lock = threading.Lock()
+
+        def fn(ctx):
+            with lock:
+                invocations.append(list(ctx.input_messages()))
+            return False
+
+        job = TestJob(
+            fn,
+            properties=NO_COLLECT,
+            loaders=[EnableKeysLoader([0]), MessageListLoader([(0, "m")])],
+        )
+        run_job(fast_store, job, synchronize=True)
+        assert invocations == [["m"]]
+
+    def test_one_msg_violation_detected(self, fast_store):
+        def fn(ctx):
+            if ctx.step_num == 0:
+                ctx.output_message(50, "a")
+                ctx.output_message(50, "b")
+            return False
+
+        job = TestJob(fn, properties=NO_COLLECT, loaders=[EnableKeysLoader([0])])
+        with pytest.raises(PropertyViolationError):
+            run_job(fast_store, job, synchronize=True)
+
+    def test_continue_violation_detected(self, fast_store):
+        job = TestJob(
+            lambda ctx: True,
+            properties=NO_COLLECT,
+            loaders=[EnableKeysLoader([0])],
+        )
+        with pytest.raises(PropertyViolationError):
+            run_job(fast_store, job, synchronize=True)
+
+    def test_create_state_through_no_collect(self, fast_store):
+        def fn(ctx):
+            if ctx.step_num == 0:
+                ctx.create_state(0, 77, "born")
+            return False
+
+        job = TestJob(fn, properties=NO_COLLECT, loaders=[EnableKeysLoader([0])])
+        run_job(fast_store, job, synchronize=True)
+        assert fast_store.get_table("state").get(77) == "born"
+
+    def test_sorted_when_needs_order(self, local_store):
+        order = []
+
+        def fn(ctx):
+            order.append(ctx.key)
+            return False
+
+        job = TestJob(
+            fn,
+            properties=JobProperties(one_msg=True, no_continue=True, needs_order=True),
+            loaders=[EnableKeysLoader([9, 1, 5, 13])],
+        )
+        run_job(local_store, job, synchronize=True)
+        table = local_store.get_table("state")
+        per_part = {}
+        for key in order:
+            per_part.setdefault(table.part_of(key), []).append(key)
+        for keys in per_part.values():
+            assert keys == sorted(keys)
+
+    def test_fault_tolerance_composes(self, fast_store):
+        from repro.ebsp.recovery import FailureInjector
+
+        injector = FailureInjector()
+        injector.schedule(part=0, step=1, times=1)
+
+        def fn(ctx):
+            for value in ctx.input_messages():
+                ctx.write_state(0, value)
+                if value < 4:
+                    ctx.output_message(0, value + 1)  # key 0 → part 0
+            return False
+
+        job = TestJob(fn, properties=NO_COLLECT, loaders=[MessageListLoader([(0, 1)])])
+        run_job(
+            fast_store,
+            job,
+            synchronize=True,
+            fault_tolerance=True,
+            failure_injector=injector,
+        )
+        assert injector.failures_injected == 1
+        assert fast_store.get_table("state").get(0) == 4

@@ -1,0 +1,100 @@
+"""The §II-A property → optimization implication rules."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.ebsp.properties import ExecutionPlan, JobProperties
+
+
+def derive(has_aggs=False, has_aborter=False, **props):
+    return ExecutionPlan.derive(JobProperties(**props), has_aggs, has_aborter)
+
+
+class TestImplications:
+    def test_no_sort_iff_not_needs_order(self):
+        assert derive().no_sort
+        assert not derive(needs_order=True).no_sort
+
+    def test_no_collect_needs_both(self):
+        assert derive(one_msg=True, no_continue=True).no_collect
+        assert not derive(one_msg=True).no_collect
+        assert not derive(no_continue=True).no_collect
+
+    def test_run_anywhere(self):
+        assert derive(one_msg=True, no_continue=True, rare_state=True).run_anywhere
+        assert not derive(one_msg=True, no_continue=True).run_anywhere
+        assert not derive(rare_state=True).run_anywhere
+
+    def test_no_sync_via_no_collect_and_no_ss_order(self):
+        assert derive(one_msg=True, no_continue=True, no_ss_order=True).no_sync
+
+    def test_no_sync_via_incremental(self):
+        assert derive(incremental=True).no_sync
+
+    def test_aggregators_block_no_sync(self):
+        assert not derive(has_aggs=True, incremental=True).no_sync
+
+    def test_aborter_blocks_no_sync(self):
+        assert not derive(has_aborter=True, incremental=True).no_sync
+
+    def test_no_ss_order_alone_insufficient(self):
+        assert not derive(no_ss_order=True).no_sync
+
+    def test_optimized_recovery_iff_deterministic(self):
+        assert derive(deterministic=True).optimized_recovery
+        assert not derive().optimized_recovery
+
+    def test_detected_flags_carried(self):
+        plan = derive(has_aggs=True, has_aborter=True)
+        assert not plan.no_agg
+        assert not plan.no_client_sync
+
+
+@given(
+    needs_order=st.booleans(),
+    no_continue=st.booleans(),
+    one_msg=st.booleans(),
+    rare_state=st.booleans(),
+    no_ss_order=st.booleans(),
+    incremental=st.booleans(),
+    deterministic=st.booleans(),
+    has_aggs=st.booleans(),
+    has_aborter=st.booleans(),
+)
+def test_implication_rules_hold_for_all_combinations(
+    needs_order,
+    no_continue,
+    one_msg,
+    rare_state,
+    no_ss_order,
+    incremental,
+    deterministic,
+    has_aggs,
+    has_aborter,
+):
+    """Exhaustive check of the paper's formulas over the whole space."""
+    props = JobProperties(
+        needs_order=needs_order,
+        no_continue=no_continue,
+        one_msg=one_msg,
+        rare_state=rare_state,
+        no_ss_order=no_ss_order,
+        incremental=incremental,
+        deterministic=deterministic,
+    )
+    plan = ExecutionPlan.derive(props, has_aggs, has_aborter)
+    assert plan.no_sort == (not needs_order)
+    assert plan.no_collect == (one_msg and no_continue)
+    assert plan.run_anywhere == (plan.no_collect and rare_state)
+    assert plan.no_sync == (
+        ((plan.no_collect and no_ss_order) or incremental)
+        and not has_aggs
+        and not has_aborter
+    )
+    assert plan.optimized_recovery == deterministic
+    # run-anywhere requires no-collect; no-collect requires one-msg
+    if plan.run_anywhere:
+        assert plan.no_collect
+    if plan.no_collect:
+        assert one_msg and no_continue

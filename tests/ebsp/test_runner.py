@@ -1,0 +1,91 @@
+"""The top-level runner: plan derivation and engine selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.ebsp.aggregators import SumAggregator
+from repro.ebsp.loaders import MessageListLoader
+from repro.ebsp.properties import JobProperties
+from repro.ebsp.runner import plan_for, run_job
+
+from tests.ebsp.jobs import TestJob
+
+NO_SYNC_PROPS = JobProperties(incremental=True, no_continue=True)
+
+
+class TestPlanFor:
+    def test_plain_job_synchronizes(self):
+        plan = plan_for(TestJob(lambda ctx: False))
+        assert not plan.no_sync
+        assert plan.no_sort  # nothing declared needs_order
+
+    def test_detects_aggregators(self):
+        job = TestJob(
+            lambda ctx: False,
+            properties=NO_SYNC_PROPS,
+            aggregators={"x": SumAggregator()},
+        )
+        assert not plan_for(job).no_sync
+
+    def test_detects_aborter(self):
+        job = TestJob(
+            lambda ctx: False,
+            properties=NO_SYNC_PROPS,
+            aborter=lambda step, aggs: False,
+        )
+        plan = plan_for(job)
+        assert not plan.no_client_sync
+        assert not plan.no_sync
+
+
+class TestDispatch:
+    def test_default_follows_plan(self, local_store):
+        job = TestJob(
+            lambda ctx: False,
+            properties=NO_SYNC_PROPS,
+            loaders=[MessageListLoader([(0, 1)])],
+        )
+        assert not run_job(local_store, job).synchronized
+
+    def test_plain_job_runs_synchronized(self, local_store):
+        job = TestJob(lambda ctx: False, loaders=[MessageListLoader([(0, 1)])])
+        assert run_job(local_store, job).synchronized
+
+    def test_explicit_sync_override(self, local_store):
+        job = TestJob(
+            lambda ctx: False,
+            properties=NO_SYNC_PROPS,
+            loaders=[MessageListLoader([(0, 1)])],
+        )
+        assert run_job(local_store, job, synchronize=True).synchronized
+
+    def test_explicit_async_on_ineligible_rejected(self, local_store):
+        job = TestJob(lambda ctx: False, loaders=[MessageListLoader([(0, 1)])])
+        with pytest.raises(JobSpecError):
+            run_job(local_store, job, synchronize=False)
+
+    def test_same_job_both_modes_same_answer(self, local_store):
+        """The paper's switch: semantics identical, barriers optional."""
+
+        def fn(ctx):
+            for value in ctx.input_messages():
+                ctx.write_state(0, (ctx.read_state(0) or 0) + value)
+                if value > 1:
+                    ctx.output_message(ctx.key + 1, value - 1)
+            return False
+
+        def build():
+            return TestJob(
+                fn,
+                properties=NO_SYNC_PROPS,
+                loaders=[MessageListLoader([(0, 5)])],
+            )
+
+        run_job(local_store, build(), synchronize=True)
+        sync_state = dict(local_store.get_table("state").items())
+        local_store.get_table("state").clear()
+        run_job(local_store, build(), synchronize=False)
+        async_state = dict(local_store.get_table("state").items())
+        assert async_state == sync_state == {0: 5, 1: 4, 2: 3, 3: 2, 4: 1}

@@ -1,0 +1,108 @@
+"""Huang's weight-throwing termination detection."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TerminationError
+from repro.ebsp.termination import ONE, WeightController, WeightPurse
+
+
+class TestController:
+    def test_starts_done(self):
+        # weight 1 with nothing granted: trivially terminated
+        controller = WeightController()
+        assert controller.held == ONE
+        assert not controller.is_done()  # done is only *signalled* by a return
+
+    def test_grant_then_return_signals_done(self):
+        controller = WeightController()
+        weight = controller.grant_for_message()
+        assert controller.held == Fraction(1, 2)
+        controller.return_weight(weight)
+        assert controller.is_done()
+        assert controller.held == ONE
+
+    def test_partial_return_not_done(self):
+        controller = WeightController()
+        w1 = controller.grant_for_message()
+        w2 = controller.grant_for_message()
+        controller.return_weight(w1)
+        assert not controller.is_done()
+        controller.return_weight(w2)
+        assert controller.is_done()
+
+    def test_over_return_rejected(self):
+        controller = WeightController()
+        controller.grant_for_message()
+        with pytest.raises(TerminationError):
+            controller.return_weight(ONE)
+
+    def test_non_positive_return_rejected(self):
+        controller = WeightController()
+        with pytest.raises(TerminationError):
+            controller.return_weight(Fraction(0))
+
+    def test_wait_with_timeout(self):
+        controller = WeightController()
+        weight = controller.grant_for_message()
+        assert controller.wait(timeout=0.01) is False
+        controller.return_weight(weight)
+        assert controller.wait(timeout=1) is True
+
+
+class TestPurse:
+    def test_receive_and_split(self):
+        purse = WeightPurse()
+        purse.receive(Fraction(1, 2))
+        grant = purse.take_for_message()
+        assert grant == Fraction(1, 4)
+        assert purse.weight == Fraction(1, 4)
+
+    def test_cannot_send_with_empty_purse(self):
+        purse = WeightPurse()
+        with pytest.raises(TerminationError):
+            purse.take_for_message()
+
+    def test_drain(self):
+        purse = WeightPurse()
+        purse.receive(Fraction(1, 8))
+        assert purse.drain() == Fraction(1, 8)
+        assert purse.empty
+
+    def test_non_positive_receive_rejected(self):
+        purse = WeightPurse()
+        with pytest.raises(TerminationError):
+            purse.receive(Fraction(0))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=40))
+def test_weight_conservation_invariant(script):
+    """Simulate an arbitrary forwarding pattern; total weight is always 1
+    and done fires exactly when all of it is back at the controller."""
+    controller = WeightController()
+    in_flight = []
+    purse = WeightPurse()
+    for action in script:
+        if action == 0:
+            in_flight.append(controller.grant_for_message())
+        elif action == 1 and in_flight:
+            purse.receive(in_flight.pop())
+        elif action == 2 and not purse.empty:
+            in_flight.append(purse.take_for_message())
+        elif action == 3 and not purse.empty:
+            controller.return_weight(purse.drain())
+        total = controller.held + purse.weight + sum(in_flight, Fraction(0))
+        assert total == ONE
+        assert controller.is_done() == (controller.held == ONE and controller.returns_received > 0) or not controller.is_done()
+    # drain everything home
+    while in_flight:
+        purse.receive(in_flight.pop())
+    if not purse.empty:
+        controller.return_weight(purse.drain())
+    if controller.returns_received:
+        assert controller.is_done()
+    assert controller.held == ONE

@@ -1,0 +1,174 @@
+"""Spill transport through the transport table (paper §IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ebsp.transport import (
+    CLIENT_SRC,
+    CONT,
+    CREATE,
+    MSG,
+    CombiningBundle,
+    SpillWriter,
+    collect_step_records,
+    create_transport_table,
+)
+from repro.kvstore.local import LocalKVStore
+from repro.util.hashing import part_for_key
+
+
+@pytest.fixture
+def setup():
+    store = LocalKVStore(default_n_parts=4)
+    transport = create_transport_table(store, "xport", 4)
+    yield store, transport
+    store.close()
+
+
+def part_of(key):
+    return part_for_key(key, 4)
+
+
+class TestSpillWriter:
+    def test_spill_lands_in_destination_part(self, setup):
+        store, transport = setup
+        writer = SpillWriter(transport, src_part=0, step=1, n_parts=4, part_of=part_of)
+        writer.add((MSG, 3, "hello"))  # int key 3 → part 3
+        writer.flush_all()
+        keys = [k for k, _ in transport.items()]
+        assert len(keys) == 1
+        dest_part, step, src_part, seq = keys[0]
+        assert dest_part == 3 and step == 1 and src_part == 0
+        assert transport.part_of(keys[0]) == 3
+
+    def test_batching_by_size(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport, src_part=0, step=0, n_parts=4, part_of=part_of, batch_size=3
+        )
+        for i in range(7):
+            writer.add((MSG, 4, i))  # all to part 0
+        # two full batches spilled eagerly, one partial still buffered
+        assert len(transport.items()) == 2
+        writer.flush_all()
+        assert len(transport.items()) == 3
+        assert writer.records_written == 7
+
+    def test_hold_defers_everything(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport, src_part=0, step=0, n_parts=4, part_of=part_of, batch_size=1, hold=True
+        )
+        for i in range(5):
+            writer.add((MSG, 0, i))
+        assert transport.items() == []
+        writer.flush_all()
+        assert writer.records_written == 5
+
+    def test_discard_drops_buffers(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport, src_part=0, step=0, n_parts=4, part_of=part_of, hold=True
+        )
+        writer.add((MSG, 0, "gone"))
+        writer.discard()
+        writer.flush_all()
+        assert transport.items() == []
+        assert writer.records_written == 0
+
+    def test_kind_counts(self, setup):
+        store, transport = setup
+        writer = SpillWriter(transport, src_part=0, step=0, n_parts=4, part_of=part_of)
+        writer.add((MSG, 0, "m"))
+        writer.add((MSG, 1, "m"))
+        writer.add((CONT, 2))
+        writer.flush_all()
+        assert writer.messages_added == 2
+        assert writer.continues_added == 1
+
+    def test_on_spill_callback(self, setup):
+        store, transport = setup
+        spilled = []
+        writer = SpillWriter(
+            transport,
+            src_part=1,
+            step=2,
+            n_parts=4,
+            part_of=part_of,
+            on_spill=spilled.append,
+        )
+        writer.add((MSG, 0, "x"))
+        writer.add((MSG, 0, "y"))
+        writer.flush_all()
+        assert spilled == [2]
+
+
+class TestCollect:
+    def _write(self, transport, step, records, src=0):
+        writer = SpillWriter(transport, src_part=src, step=step, n_parts=4, part_of=part_of)
+        for record in records:
+            writer.add(record)
+        writer.flush_all()
+
+    def test_only_requested_step_collected(self, setup):
+        store, transport = setup
+        self._write(transport, 1, [(MSG, 0, "now")])
+        self._write(transport, 2, [(MSG, 0, "later")])
+        view = transport._parts[0]  # LocalTable internals are fine in tests
+        bundles, consumed = collect_step_records(view, 1, None)
+        assert list(bundles[0].messages) == ["now"]
+        assert len(consumed) == 1
+
+    def test_messages_enable_continue_enables(self, setup):
+        store, transport = setup
+        self._write(transport, 0, [(MSG, 0, "m"), (CONT, 4)])
+        view = transport._parts[0]
+        bundles, _ = collect_step_records(view, 0, None)
+        assert bundles[0].enabled
+        assert bundles[4].enabled and bundles[4].messages == []
+
+    def test_creations_do_not_enable(self, setup):
+        store, transport = setup
+        self._write(transport, 0, [(CREATE, 0, 0, "state")])
+        view = transport._parts[0]
+        bundles, _ = collect_step_records(view, 0, None)
+        assert not bundles[0].enabled
+        assert bundles[0].created == [(0, "state")]
+
+    def test_unknown_kind_rejected(self, setup):
+        store, transport = setup
+        transport.put((0, 0, 0, 0), [("?", 0)])
+        view = transport._parts[0]
+        with pytest.raises(ValueError):
+            collect_step_records(view, 0, None)
+
+
+class TestCombiningBundle:
+    def test_combiner_applied_pairwise(self):
+        bundle = CombiningBundle()
+        for value in [1, 2, 3]:
+            bundle.add_message(value, lambda a, b: a + b)
+        assert bundle.messages == [6]
+
+    def test_decline_keeps_both(self):
+        bundle = CombiningBundle()
+        bundle.add_message("a", lambda a, b: None)
+        bundle.add_message("b", lambda a, b: None)
+        assert bundle.messages == ["a", "b"]
+
+    def test_partial_decline(self):
+        # combine only equal-parity ints
+        def combiner(a, b):
+            return a + b if (a % 2) == (b % 2) else None
+
+        bundle = CombiningBundle()
+        for value in [2, 4, 3]:
+            bundle.add_message(value, combiner)
+        assert bundle.messages == [6, 3]
+
+    def test_no_combiner(self):
+        bundle = CombiningBundle()
+        bundle.add_message(1, None)
+        bundle.add_message(2, None)
+        assert bundle.messages == [1, 2]

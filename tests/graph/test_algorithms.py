@@ -1,0 +1,250 @@
+"""The graph algorithm library against networkx / dense references."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph import load_graph
+from repro.graph.algorithms import (
+    bfs_distances,
+    connected_components,
+    degree_statistics,
+    graph_pagerank,
+    k_core,
+    label_propagation,
+    triangle_count,
+    weighted_sssp,
+)
+from repro.graph.generators import power_law_undirected_edges
+from repro.kvstore.local import LocalKVStore
+
+
+def undirected_adjacency(edges, n):
+    adjacency = {v: set() for v in range(n)}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return {v: sorted(ns) for v, ns in adjacency.items()}
+
+
+@pytest.fixture
+def store():
+    instance = LocalKVStore(default_n_parts=4)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def random_graph():
+    edges = power_law_undirected_edges(60, 150, seed=3)
+    return undirected_adjacency(edges, 60), edges
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, store, random_graph):
+        adjacency, edges = random_graph
+        graph = nx.Graph(edges)
+        graph.add_nodes_from(range(60))
+        load_graph(store, "g", adjacency)
+        labels = connected_components(store, "g")
+        for component in nx.connected_components(graph):
+            expected = min(component)
+            for vertex in component:
+                assert labels[vertex] == expected
+
+    def test_all_isolated(self, store):
+        load_graph(store, "g", {v: [] for v in range(5)})
+        labels = connected_components(store, "g")
+        assert labels == {v: v for v in range(5)}
+
+
+class TestBfs:
+    def test_matches_networkx(self, store, random_graph):
+        adjacency, edges = random_graph
+        graph = nx.Graph(edges)
+        graph.add_nodes_from(range(60))
+        load_graph(store, "g", adjacency)
+        distances = bfs_distances(store, "g", source=0)
+        expected = nx.single_source_shortest_path_length(graph, 0)
+        for vertex in range(60):
+            assert distances[vertex] == expected.get(vertex)
+
+    def test_unreachable_is_none(self, store):
+        load_graph(store, "g", {0: [1], 1: [0], 2: []})
+        distances = bfs_distances(store, "g", source=0)
+        assert distances == {0: 0, 1: 1, 2: None}
+
+
+class TestGraphPageRank:
+    def test_matches_raw_ebsp_variant(self, store):
+        """The graph-layer PageRank must agree with the §V-A app."""
+        from repro.apps.pagerank import (
+            PageRankConfig,
+            build_pagerank_table,
+            pagerank_direct,
+            read_ranks,
+        )
+        from repro.graph.generators import power_law_directed_graph
+
+        adjacency = power_law_directed_graph(80, 320, seed=5)
+        dedup = {v: np.unique(t) for v, t in adjacency.items()}
+        load_graph(store, "g", {v: t.tolist() for v, t in dedup.items()})
+        ranks_graph = graph_pagerank(store, "g", 80, iterations=6)
+
+        other = LocalKVStore(default_n_parts=4)
+        build_pagerank_table(other, "pr", adjacency)
+        pagerank_direct(other, "pr", 80, PageRankConfig(iterations=6))
+        ranks_app = read_ranks(other, "pr")
+        for v in ranks_app:
+            assert ranks_graph[v] == pytest.approx(ranks_app[v], abs=1e-12)
+
+    def test_ranks_sum_to_one(self, store, random_graph):
+        adjacency, _ = random_graph
+        load_graph(store, "g", adjacency)
+        ranks = graph_pagerank(store, "g", 60, iterations=5)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_bad_args(self):
+        from repro.graph.algorithms import GraphPageRank
+
+        with pytest.raises(ValueError):
+            GraphPageRank(0, 5)
+        with pytest.raises(ValueError):
+            GraphPageRank(5, 0)
+        with pytest.raises(ValueError):
+            GraphPageRank(5, 5, damping=1.5)
+
+
+class TestWeightedSSSP:
+    def test_matches_networkx_dijkstra(self, store):
+        edges = [(0, 1, 4.0), (0, 2, 1.0), (2, 1, 2.0), (1, 3, 5.0), (2, 3, 8.0)]
+        graph = nx.Graph()
+        graph.add_nodes_from(range(5))
+        adjacency = {v: [] for v in range(5)}
+        weights = {}
+        for u, v, w in edges:
+            graph.add_edge(u, v, weight=w)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            weights[(u, v)] = w
+            weights[(v, u)] = w
+        load_graph(store, "g", adjacency)
+        distances = weighted_sssp(store, "g", 0, weights)
+        expected = nx.single_source_dijkstra_path_length(graph, 0)
+        for vertex in range(5):
+            if vertex in expected:
+                assert distances[vertex] == pytest.approx(expected[vertex])
+            else:
+                assert distances[vertex] is None
+
+
+class TestDegreeStats:
+    def test_counts(self, store):
+        load_graph(store, "g", {0: [1, 2, 3], 1: [0], 2: [], 3: [0, 1]})
+        stats = degree_statistics(store, "g")
+        assert stats == {
+            "edges": 6,
+            "max_degree": 3,
+            "mean_degree": 1.5,
+            "vertices": 4,
+        }
+
+
+class TestTriangles:
+    def test_matches_networkx(self, store, random_graph):
+        adjacency, edges = random_graph
+        graph = nx.Graph(edges)
+        load_graph(store, "g", adjacency)
+        counted = triangle_count(store, "g")
+        expected = sum(nx.triangles(graph).values()) // 3
+        assert counted == expected
+
+    def test_single_triangle(self, store):
+        load_graph(store, "g", {0: [1, 2], 1: [0, 2], 2: [0, 1]})
+        assert triangle_count(store, "g") == 1
+
+    def test_square_has_none(self, store):
+        load_graph(store, "g", {0: [1, 3], 1: [0, 2], 2: [1, 3], 3: [0, 2]})
+        assert triangle_count(store, "g") == 0
+
+
+class TestKCore:
+    def test_matches_networkx(self, store, random_graph):
+        adjacency, edges = random_graph
+        graph = nx.Graph(edges)
+        graph.add_nodes_from(range(60))
+        load_graph(store, "g", adjacency)
+        membership = k_core(store, "g", k=2)
+        expected = set(nx.k_core(graph, 2).nodes())
+        assert {v for v, alive in membership.items() if alive} == expected
+
+    def test_triangle_is_own_2core(self, store):
+        load_graph(store, "g", {0: [1, 2, 3], 1: [0, 2], 2: [0, 1], 3: [0]})
+        membership = k_core(store, "g", k=2)
+        assert membership == {0: True, 1: True, 2: True, 3: False}
+
+    def test_cascading_removal(self, store):
+        # a path: every vertex has degree <= 2, so the 2-core of a pure
+        # path is empty — deaths cascade end to end
+        path = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        load_graph(store, "g", path)
+        membership = k_core(store, "g", k=2)
+        assert not any(membership.values())
+
+    def test_bad_k(self):
+        from repro.graph.algorithms import KCoreDecomposition
+
+        with pytest.raises(ValueError):
+            KCoreDecomposition(0)
+
+
+class TestLabelPropagation:
+    def test_two_cliques_get_two_labels(self, store):
+        clique_a = {v: [u for u in range(4) if u != v] for v in range(4)}
+        clique_b = {v: [u for u in range(10, 14) if u != v] for v in range(10, 14)}
+        bridge = {**clique_a, **clique_b}
+        bridge[3] = bridge[3] + [10]
+        bridge[10] = bridge[10] + [3]
+        load_graph(store, "g", bridge)
+        labels = label_propagation(store, "g")
+        assert len({labels[v] for v in range(3)}) == 1
+        assert len({labels[v] for v in range(11, 14)}) == 1
+
+    def test_deterministic(self, store):
+        adjacency = undirected_adjacency(power_law_undirected_edges(40, 100, seed=6), 40)
+        load_graph(store, "g1", adjacency)
+        load_graph(store, "g2", adjacency)
+        assert label_propagation(store, "g1") == label_propagation(store, "g2")
+
+    def test_superstep_cap_respected(self, store):
+        adjacency = undirected_adjacency(power_law_undirected_edges(30, 60, seed=8), 30)
+        load_graph(store, "g", adjacency)
+        label_propagation(store, "g", max_supersteps=3)  # must terminate
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    density=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_components_and_bfs_agree_with_networkx_property(n, density, seed):
+    edges = power_law_undirected_edges(n, n * density, seed=seed)
+    adjacency = undirected_adjacency(edges, n)
+    graph = nx.Graph(edges)
+    graph.add_nodes_from(range(n))
+    store = LocalKVStore(default_n_parts=3)
+    try:
+        load_graph(store, "g", adjacency)
+        labels = connected_components(store, "g")
+        for component in nx.connected_components(graph):
+            assert {labels[v] for v in component} == {min(component)}
+        load_graph(store, "g2", adjacency)
+        distances = bfs_distances(store, "g2", source=0)
+        expected = nx.single_source_shortest_path_length(graph, 0)
+        assert all(distances[v] == expected.get(v) for v in range(n))
+    finally:
+        store.close()

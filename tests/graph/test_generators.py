@@ -1,0 +1,81 @@
+"""Random graph generators (the paper's evaluation workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    adjacency_to_undirected,
+    power_law_directed_graph,
+    power_law_undirected_edges,
+    ring_graph,
+)
+
+
+class TestDirected:
+    def test_deterministic_from_seed(self):
+        a = power_law_directed_graph(100, 500, seed=9)
+        b = power_law_directed_graph(100, 500, seed=9)
+        assert set(a) == set(b)
+        for v in a:
+            assert np.array_equal(a[v], b[v])
+
+    def test_different_seeds_differ(self):
+        a = power_law_directed_graph(100, 500, seed=1)
+        b = power_law_directed_graph(100, 500, seed=2)
+        assert any(not np.array_equal(a[v], b[v]) for v in a)
+
+    def test_every_vertex_present(self):
+        adjacency = power_law_directed_graph(50, 100, seed=0)
+        assert set(adjacency) == set(range(50))
+
+    def test_edge_count(self):
+        adjacency = power_law_directed_graph(50, 333, seed=0)
+        assert sum(len(t) for t in adjacency.values()) == 333
+
+    def test_power_law_skew(self):
+        """Attachment is biased: the busiest vertices should take a
+        disproportionate share of endpoints."""
+        adjacency = power_law_directed_graph(1000, 20_000, seed=5, exponent=0.9)
+        in_degree = np.zeros(1000, dtype=np.int64)
+        out_degree = np.zeros(1000, dtype=np.int64)
+        for v, targets in adjacency.items():
+            out_degree[v] = len(targets)
+            for t in targets.tolist():
+                in_degree[t] += 1
+        top = np.sort(out_degree)[::-1][:50].sum()
+        assert top > 0.2 * out_degree.sum()  # top 5% vertices > 20% of edges
+
+    def test_sinks_exist_in_sparse_graphs(self):
+        """PageRank's W=0 case must actually occur in the workload."""
+        adjacency = power_law_directed_graph(500, 400, seed=3)
+        assert any(len(t) == 0 for t in adjacency.values())
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            power_law_directed_graph(0, 10, seed=0)
+        with pytest.raises(ValueError):
+            power_law_directed_graph(10, -1, seed=0)
+
+
+class TestUndirected:
+    def test_normalized_and_loop_free(self):
+        edges = power_law_undirected_edges(100, 1000, seed=4)
+        for u, v in edges:
+            assert u < v
+
+    def test_deterministic(self):
+        assert power_law_undirected_edges(50, 200, seed=8) == power_law_undirected_edges(
+            50, 200, seed=8
+        )
+
+
+class TestHelpers:
+    def test_ring(self):
+        ring = ring_graph(4)
+        assert {v: list(t) for v, t in ring.items()} == {0: [1], 1: [2], 2: [3], 3: [0]}
+
+    def test_adjacency_to_undirected(self):
+        adjacency = {0: np.array([1, 1, 0]), 1: np.array([0]), 2: np.array([], dtype=np.int64)}
+        assert adjacency_to_undirected(adjacency) == {(0, 1)}

@@ -1,0 +1,205 @@
+"""The Pregel-style Graph EBSP layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ebsp.aggregators import SumAggregator
+from repro.graph import (
+    VertexProgram,
+    VertexState,
+    load_graph,
+    ring_graph,
+    run_vertex_program,
+)
+
+
+class MinLabel(VertexProgram):
+    """Connected components by minimum-label propagation."""
+
+    def compute(self, v):
+        if v.superstep == 0:
+            v.value = v.vertex_id
+            v.send_to_neighbors(v.value)
+            return
+        best = min(list(v.messages()), default=v.value)
+        if best < v.value:
+            v.value = best
+            v.send_to_neighbors(best)
+        v.vote_to_halt()
+
+    def combine(self, m1, m2):
+        return min(m1, m2)
+
+
+def undirected(adjacency):
+    out = {v: set() for v in adjacency}
+    for v, targets in adjacency.items():
+        for t in targets:
+            out[v].add(t)
+            out[t].add(v)
+    return {v: sorted(ns) for v, ns in out.items()}
+
+
+class TestVertexPrograms:
+    def test_connected_components(self, fast_store):
+        adjacency = undirected({0: [1], 1: [2], 2: [], 3: [4], 4: [], 5: []})
+        load_graph(fast_store, "g", adjacency)
+        run_vertex_program(fast_store, MinLabel(), "g")
+        labels = {k: s.value for k, s in fast_store.get_table("g").items()}
+        assert labels == {0: 0, 1: 0, 2: 0, 3: 3, 4: 3, 5: 5}
+
+    def test_halted_vertex_reactivated_by_message(self, fast_store):
+        invocations = []
+
+        class Probe(VertexProgram):
+            def compute(self, v):
+                invocations.append((v.superstep, v.vertex_id))
+                if v.superstep == 0 and v.vertex_id == 0:
+                    pass  # stay active, send later
+                if v.superstep == 2 and v.vertex_id == 0:
+                    v.send(1, "wake-up")
+                    v.vote_to_halt()
+                    return
+                if v.vertex_id == 1:
+                    v.vote_to_halt()
+                    return
+                if v.superstep >= 3:
+                    v.vote_to_halt()
+
+        load_graph(fast_store, "g", {0: [], 1: []})
+        run_vertex_program(fast_store, Probe(), "g")
+        # vertex 1 halts at superstep 0, then runs again at 3 via message
+        assert (3, 1) in invocations
+        assert (1, 1) not in invocations and (2, 1) not in invocations
+
+    def test_all_halt_terminates(self, fast_store):
+        class HaltNow(VertexProgram):
+            def compute(self, v):
+                v.vote_to_halt()
+
+        load_graph(fast_store, "g", {i: [] for i in range(5)})
+        result = run_vertex_program(fast_store, HaltNow(), "g")
+        assert result.steps == 1
+
+    def test_max_supersteps(self, fast_store):
+        class Forever(VertexProgram):
+            def compute(self, v):
+                pass  # never halts
+
+        load_graph(fast_store, "g", {0: []})
+        result = run_vertex_program(fast_store, Forever(), "g", max_supersteps=4)
+        assert result.steps == 4
+
+    def test_aggregators(self, fast_store):
+        class Degrees(VertexProgram):
+            def compute(self, v):
+                v.aggregate("edges", len(v.edges))
+                v.vote_to_halt()
+
+        load_graph(fast_store, "g", {0: [1, 2], 1: [2], 2: []})
+        result = run_vertex_program(
+            fast_store, Degrees(), "g", aggregators={"edges": SumAggregator()}
+        )
+        assert result.aggregates == {"edges": 3}
+
+    def test_add_vertex_during_run(self, fast_store):
+        class Spawner(VertexProgram):
+            def compute(self, v):
+                if v.superstep == 0 and v.vertex_id == 0:
+                    v.add_vertex(99, value="spawned", edges=[0])
+                v.vote_to_halt()
+
+        load_graph(fast_store, "g", {0: []})
+        run_vertex_program(fast_store, Spawner(), "g")
+        spawned = fast_store.get_table("g").get(99)
+        assert spawned.value == "spawned"
+        assert list(spawned.edges) == [0]
+
+    def test_conflicting_add_vertex_merged(self, fast_store):
+        class Spawner(VertexProgram):
+            def compute(self, v):
+                if v.superstep == 0:
+                    v.add_vertex(99, value="spawned", edges=[v.vertex_id])
+                v.vote_to_halt()
+
+        load_graph(fast_store, "g", {0: [], 1: []})
+        run_vertex_program(fast_store, Spawner(), "g")
+        spawned = fast_store.get_table("g").get(99)
+        assert sorted(spawned.edges.tolist()) == [0, 1]
+
+    def test_add_and_remove_edges(self, fast_store):
+        class Rewire(VertexProgram):
+            def compute(self, v):
+                if v.superstep == 0 and v.vertex_id == 0:
+                    v.add_edge(2)
+                    v.add_edge(2)  # idempotent
+                    v.remove_edge(1)
+                v.vote_to_halt()
+
+        load_graph(fast_store, "g", {0: [1], 1: [], 2: []})
+        run_vertex_program(fast_store, Rewire(), "g")
+        assert list(fast_store.get_table("g").get(0).edges) == [2]
+
+    def test_remove_missing_edge_noop(self, fast_store):
+        class Remove(VertexProgram):
+            def compute(self, v):
+                v.remove_edge(99)
+                v.vote_to_halt()
+
+        load_graph(fast_store, "g", {0: [1], 1: []})
+        run_vertex_program(fast_store, Remove(), "g")
+        assert list(fast_store.get_table("g").get(0).edges) == [1]
+
+    def test_remove_self(self, fast_store):
+        class Suicide(VertexProgram):
+            def compute(self, v):
+                if v.vertex_id == 0:
+                    v.remove_self()
+                else:
+                    v.vote_to_halt()
+
+        load_graph(fast_store, "g", {0: [], 1: []})
+        run_vertex_program(fast_store, Suicide(), "g")
+        table = fast_store.get_table("g")
+        assert table.get(0) is None
+        assert table.get(1) is not None
+
+    def test_initially_active_subset(self, fast_store):
+        invoked = set()
+
+        class Probe(VertexProgram):
+            def compute(self, v):
+                invoked.add(v.vertex_id)
+                v.vote_to_halt()
+
+        load_graph(fast_store, "g", {i: [] for i in range(6)})
+        run_vertex_program(fast_store, Probe(), "g", initially_active=[2, 4])
+        assert invoked == {2, 4}
+
+    def test_ring_token_passing(self, fast_store):
+        class Token(VertexProgram):
+            def compute(self, v):
+                if v.superstep == 0:
+                    if v.vertex_id == 0:
+                        v.send_to_neighbors(1)
+                    v.vote_to_halt()
+                    return
+                for token in v.messages():
+                    v.value = token
+                    if token < 10:
+                        v.send_to_neighbors(token + 1)
+                v.vote_to_halt()
+
+        load_graph(fast_store, "ring", ring_graph(5))
+        run_vertex_program(fast_store, Token(), "ring")
+        values = {k: s.value for k, s in fast_store.get_table("ring").items()}
+        assert values[0] == 10  # token went around twice
+
+
+class TestVertexState:
+    def test_of_builds_int64_edges(self):
+        state = VertexState.of("v", [3, 1, 2])
+        assert state.edges.dtype == np.int64
+        assert list(state.edges) == [3, 1, 2]

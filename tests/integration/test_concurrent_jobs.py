@@ -1,0 +1,89 @@
+"""Multiple jobs sharing one store (the multi-analytics scenario the
+paper's architecture section motivates: 'running a new analysis need
+not involve changing existing data, it could use new tables')."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.ebsp.loaders import DictStateLoader, EnableKeysLoader, MessageListLoader
+from repro.ebsp.runner import run_job
+from repro.kvstore.api import TableSpec
+from repro.kvstore.partitioned import PartitionedKVStore
+
+from tests.ebsp.jobs import TestJob
+
+
+@pytest.fixture
+def store():
+    instance = PartitionedKVStore(n_partitions=4)
+    yield instance
+    instance.close()
+
+
+def counting_job(state_table: str, length: int):
+    def fn(ctx):
+        for value in ctx.input_messages():
+            ctx.write_state(0, value)
+            if value < length:
+                ctx.output_message(ctx.key, value + 1)
+        return False
+
+    return TestJob(
+        fn,
+        state_tables=[state_table],
+        loaders=[MessageListLoader([(0, 1)])],
+    )
+
+
+class TestConcurrentJobs:
+    def test_sequential_jobs_reuse_store(self, store):
+        run_job(store, counting_job("job_a", 5))
+        run_job(store, counting_job("job_b", 9))
+        assert store.get_table("job_a").get(0) == 5
+        assert store.get_table("job_b").get(0) == 9
+
+    def test_parallel_jobs_do_not_interfere(self, store):
+        """Two jobs run simultaneously on disjoint state tables; each
+        job's private transport table keeps their messages apart."""
+        errors = []
+
+        def run_one(name, length):
+            try:
+                run_job(store, counting_job(name, length))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_one, args=("left", 20)),
+            threading.Thread(target=run_one, args=("right", 30)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert store.get_table("left").get(0) == 20
+        assert store.get_table("right").get(0) == 30
+
+    def test_second_job_reads_first_jobs_output(self, store):
+        """Job 2 uses job 1's state table read-only — the factored-state
+        integration story of Section II."""
+        run_job(store, counting_job("phase1", 7))
+
+        collected = []
+
+        def fn(ctx):
+            collected.append(ctx.read_state(1))  # read phase1's output
+            ctx.write_state(0, "done")
+            return False
+
+        job = TestJob(
+            fn,
+            state_tables=["phase2", "phase1"],
+            loaders=[EnableKeysLoader([0])],
+        )
+        run_job(store, job)
+        assert collected == [7]

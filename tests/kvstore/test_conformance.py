@@ -1,0 +1,329 @@
+"""SPI conformance: every store must honor the Table/KVStore contract.
+
+These tests run against all four implementations via the ``store``
+fixture — the executable form of the paper's claim that everything
+above the SPI is store-independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import (
+    BadTableSpecError,
+    NoSuchTableError,
+    TableDroppedError,
+    TableExistsError,
+    UbiquityViolationError,
+)
+from repro.kvstore.api import FnPairConsumer, FnPartConsumer, TableSpec
+from repro.kvstore.local import LocalKVStore
+
+
+class TestTableBasics:
+    def test_put_get(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        table.put("k", "v")
+        assert table.get("k") == "v"
+
+    def test_get_missing_returns_none(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        assert table.get("nope") is None
+
+    def test_overwrite(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        table.put("k", 1)
+        table.put("k", 2)
+        assert table.get("k") == 2
+
+    def test_delete_present(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        table.put("k", 1)
+        assert table.delete("k") is True
+        assert table.get("k") is None
+
+    def test_delete_absent(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        assert table.delete("k") is False
+
+    def test_none_value_rejected(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        with pytest.raises((ValueError, Exception)):
+            table.put("k", None)
+
+    def test_contains(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        table.put("k", 0.5)
+        assert table.contains("k")
+        assert not table.contains("other")
+
+    def test_size_and_clear(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        table.put_many((i, i * i) for i in range(20))
+        assert table.size() == 20
+        table.clear()
+        assert table.size() == 0
+
+    def test_put_many_get_many(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        table.put_many([(i, str(i)) for i in range(10)])
+        got = table.get_many(range(10))
+        assert got == {i: str(i) for i in range(10)}
+
+    def test_items_materializes_everything(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        pairs = {i: -i for i in range(15)}
+        table.put_many(pairs.items())
+        assert dict(table.items()) == pairs
+
+    def test_varied_key_types(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        keys = [0, 1, -5, "s", b"b", (1, "x"), 2.5]
+        for i, key in enumerate(keys):
+            table.put(key, i)
+        for i, key in enumerate(keys):
+            assert table.get(key) == i
+
+    def test_part_of_stable_and_in_range(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=3))
+        for key in ["a", "b", 1, 2, (3,)]:
+            part = table.part_of(key)
+            assert 0 <= part < 3
+            assert table.part_of(key) == part
+
+
+class TestEnumeration:
+    def test_enumerate_pairs_visits_all(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=3))
+        table.put_many((i, i) for i in range(30))
+        seen = []
+        table.enumerate_pairs(FnPairConsumer(lambda k, v: seen.append(k)))
+        assert sorted(seen) == list(range(30))
+
+    def test_enumerate_pairs_early_stop_per_part(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=3))
+        table.put_many((i, i) for i in range(30))
+        counts = {"n": 0}
+
+        def consume(k, v):
+            counts["n"] += 1
+            return True  # stop after the first pair of each part
+
+        table.enumerate_pairs(FnPairConsumer(consume))
+        assert counts["n"] <= 3
+
+    def test_enumerate_pairs_combines_part_results(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+        table.put_many((i, i) for i in range(40))
+        sums = {}
+
+        def setup(part):
+            sums[part] = 0
+
+        class State:
+            part = None
+
+        def consume(k, v):
+            sums[State.part] += v
+            return False
+
+        # track current part through setup
+        def setup2(part):
+            State.part = part
+            sums[part] = 0
+
+        total = table.enumerate_pairs(
+            FnPairConsumer(
+                consume,
+                setup=setup2,
+                finish=lambda part: sums[part],
+                combine=lambda a, b: a + b,
+            )
+        )
+        assert total == sum(range(40))
+
+    def test_enumerate_parts_processes_each_once(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=5))
+        table.put_many((i, 1) for i in range(25))
+        count = table.enumerate_parts(
+            FnPartConsumer(lambda idx, part: len(part), lambda a, b: a + b)
+        )
+        assert count == 25
+
+    def test_enumerate_parts_subset(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+        table.put_many((i, 1) for i in range(20))
+        visited = []
+        table.enumerate_parts(
+            FnPartConsumer(lambda idx, part: visited.append(idx), lambda a, b: None),
+            parts=[1, 3],
+        )
+        assert sorted(visited) == [1, 3]
+
+    def test_ordered_table_sorted_iteration(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=2, ordered=True))
+        for key in [9, 3, 7, 1, 5, 0, 8, 2]:
+            table.put(key, key)
+        seen_per_part = {}
+
+        class State:
+            part = None
+
+        def consume(k, v):
+            seen_per_part.setdefault(State.part, []).append(k)
+            return False
+
+        def setup(part):
+            State.part = part
+
+        table.enumerate_pairs(FnPairConsumer(consume, setup=setup))
+        for keys in seen_per_part.values():
+            assert keys == sorted(keys)
+
+
+class TestCollocatedCompute:
+    def test_run_collocated_reads_and_writes(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=2))
+        table.put(0, 10)  # int key 0 → part 0
+
+        def mobile(part_index, view):
+            value = view.get(0)
+            view.put(0, value + 1)
+            return value
+
+        assert table.run_collocated(0, mobile) == 10
+        assert table.get(0) == 11
+
+    def test_run_collocated_bad_part(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=2))
+        with pytest.raises(IndexError):
+            table.run_collocated(5, lambda i, v: None)
+
+
+class TestCoPartitioning:
+    def test_like_inherits_parts(self, store):
+        store.create_table(TableSpec(name="base", n_parts=3))
+        twin = store.create_table(TableSpec(name="twin", like="base"))
+        assert twin.n_parts == 3
+
+    def test_like_same_key_mapping(self, store):
+        base = store.create_table(TableSpec(name="base", n_parts=5))
+        twin = store.create_table(TableSpec(name="twin", like="base"))
+        for key in range(50):
+            assert base.part_of(key) == twin.part_of(key)
+
+    def test_like_unknown_table(self, store):
+        with pytest.raises(NoSuchTableError):
+            store.create_table(TableSpec(name="t", like="ghost"))
+
+
+class TestUbiquitousTables:
+    def test_single_part(self, store):
+        table = store.create_table(TableSpec(name="u", ubiquitous=True))
+        assert table.n_parts == 1
+
+    def test_limit_enforced(self, store):
+        table = store.create_table(
+            TableSpec(name="u", ubiquitous=True, ubiquity_limit=3)
+        )
+        for i in range(3):
+            table.put(i, i)
+        with pytest.raises(UbiquityViolationError):
+            table.put(99, 99)
+
+    def test_overwrite_within_limit_ok(self, store):
+        table = store.create_table(
+            TableSpec(name="u", ubiquitous=True, ubiquity_limit=2)
+        )
+        table.put("a", 1)
+        table.put("b", 2)
+        table.put("a", 3)  # overwrite, not growth
+        assert table.get("a") == 3
+
+
+class TestStoreNamespace:
+    def test_create_duplicate_rejected(self, store):
+        store.create_table(TableSpec(name="t"))
+        with pytest.raises(TableExistsError):
+            store.create_table(TableSpec(name="t"))
+
+    def test_drop_then_recreate(self, store):
+        store.create_table(TableSpec(name="t"))
+        store.drop_table("t")
+        store.create_table(TableSpec(name="t"))  # no error
+
+    def test_drop_unknown(self, store):
+        with pytest.raises(NoSuchTableError):
+            store.drop_table("ghost")
+
+    def test_get_unknown(self, store):
+        with pytest.raises(NoSuchTableError):
+            store.get_table("ghost")
+
+    def test_dropped_handle_unusable(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        store.drop_table("t")
+        with pytest.raises(TableDroppedError):
+            table.put("k", 1)
+
+    def test_list_tables_sorted(self, store):
+        for name in ["zeta", "alpha", "mid"]:
+            store.create_table(TableSpec(name=name))
+        assert store.list_tables() == ["alpha", "mid", "zeta"]
+
+    def test_get_or_create(self, store):
+        t1 = store.get_or_create_table(TableSpec(name="t"))
+        t2 = store.get_or_create_table(TableSpec(name="t"))
+        assert t1 is t2
+
+
+class TestSpecValidation:
+    def test_empty_name(self):
+        with pytest.raises(BadTableSpecError):
+            TableSpec(name="").validate()
+
+    def test_bad_parts(self):
+        with pytest.raises(BadTableSpecError):
+            TableSpec(name="t", n_parts=0).validate()
+
+    def test_parts_and_like_conflict(self):
+        with pytest.raises(BadTableSpecError):
+            TableSpec(name="t", n_parts=2, like="x").validate()
+
+    def test_ubiquitous_like_conflict(self):
+        with pytest.raises(BadTableSpecError):
+            TableSpec(name="t", ubiquitous=True, like="x").validate()
+
+    def test_negative_replication(self):
+        with pytest.raises(BadTableSpecError):
+            TableSpec(name="t", replication=-1).validate()
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete", "get"]),
+            st.integers(min_value=0, max_value=40),
+            st.integers(),
+        ),
+        max_size=80,
+    )
+)
+def test_table_behaves_like_dict(ops):
+    """Model-based property: any op sequence matches a plain dict."""
+    store = LocalKVStore(default_n_parts=3)
+    table = store.create_table(TableSpec(name="t"))
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            table.put(key, value)
+            model[key] = value
+        elif op == "delete":
+            assert table.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert table.get(key) == model.get(key)
+    assert dict(table.items()) == model
+    assert table.size() == len(model)

@@ -1,0 +1,131 @@
+"""The in-memory part implementations (hash + ordered)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kvstore.memory_table import HashPart, OrderedPart, make_part
+
+
+class TestHashPart:
+    def test_basic_ops(self):
+        part = HashPart()
+        part.put("k", 1)
+        assert part.get("k") == 1
+        assert part.delete("k")
+        assert not part.delete("k")
+        assert part.get("k") is None
+
+    def test_none_rejected(self):
+        with pytest.raises(ValueError):
+            HashPart().put("k", None)
+
+    def test_items_snapshot_safe_during_mutation(self):
+        part = HashPart()
+        for i in range(10):
+            part.put(i, i)
+        for key, _ in part.items():
+            part.delete(key)  # must not raise
+        assert len(part) == 0
+
+    def test_len(self):
+        part = HashPart()
+        part.put(1, 1)
+        part.put(2, 2)
+        part.put(1, 10)  # overwrite
+        assert len(part) == 2
+
+
+class TestOrderedPart:
+    def test_sorted_iteration(self):
+        part = OrderedPart()
+        for key in [5, 1, 9, 3]:
+            part.put(key, key)
+        assert [k for k, _ in part.items()] == [1, 3, 5, 9]
+
+    def test_delete_hides_from_iteration(self):
+        part = OrderedPart()
+        for key in range(6):
+            part.put(key, key)
+        part.delete(3)
+        assert [k for k, _ in part.items()] == [0, 1, 2, 4, 5]
+
+    def test_reinsert_after_delete(self):
+        part = OrderedPart()
+        part.put(1, "a")
+        part.delete(1)
+        part.put(1, "b")
+        assert part.get(1) == "b"
+        assert list(part.items()) == [(1, "b")]
+
+    def test_range_items(self):
+        part = OrderedPart()
+        for key in range(0, 20, 2):
+            part.put(key, key)
+        assert [k for k, _ in part.range_items(4, 11)] == [4, 6, 8, 10]
+        assert [k for k, _ in part.range_items(hi=5)] == [0, 2, 4]
+        assert [k for k, _ in part.range_items(lo=15)] == [16, 18]
+
+    def test_range_skips_deleted(self):
+        part = OrderedPart()
+        for key in range(5):
+            part.put(key, key)
+        part.delete(2)
+        assert [k for k, _ in part.range_items(1, 4)] == [1, 3]
+
+    def test_first_key(self):
+        part = OrderedPart()
+        assert part.first_key() is None
+        part.put(7, 7)
+        part.put(3, 3)
+        assert part.first_key() == 3
+        part.delete(3)
+        assert part.first_key() == 7
+
+    def test_clear(self):
+        part = OrderedPart()
+        part.put(1, 1)
+        part.clear()
+        assert len(part) == 0
+        assert list(part.items()) == []
+
+    def test_interleaved_puts_and_scans(self):
+        """Compaction is lazy; scans interleaved with inserts stay sorted."""
+        part = OrderedPart()
+        part.put(10, 10)
+        assert [k for k, _ in part.items()] == [10]
+        part.put(5, 5)
+        assert [k for k, _ in part.items()] == [5, 10]
+        part.put(7, 7)
+        part.delete(10)
+        assert [k for k, _ in part.items()] == [5, 7]
+
+
+def test_make_part():
+    assert isinstance(make_part(ordered=False), HashPart)
+    assert isinstance(make_part(ordered=True), OrderedPart)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.integers(min_value=0, max_value=20),
+        ),
+        max_size=60,
+    )
+)
+def test_ordered_part_matches_sorted_dict(ops):
+    """Model check: OrderedPart ≡ dict + sorted() under any op sequence."""
+    part = OrderedPart()
+    model = {}
+    for op, key in ops:
+        if op == "put":
+            part.put(key, key * 2)
+            model[key] = key * 2
+        else:
+            assert part.delete(key) == (key in model)
+            model.pop(key, None)
+    assert list(part.items()) == sorted(model.items())
+    assert len(part) == len(model)

@@ -1,0 +1,155 @@
+"""Behaviour specific to the parallel debugging store (paper §V-A)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.kvstore.api import FnPairConsumer, FnPartConsumer, TableSpec
+from repro.kvstore.partitioned import PartitionedKVStore, _here
+
+
+@pytest.fixture
+def store():
+    instance = PartitionedKVStore(n_partitions=4)
+    yield instance
+    instance.close()
+
+
+class TestMarshalling:
+    def test_cross_partition_ops_marshal(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+        before = store.stats.snapshot()["marshalled_objects"]
+        # keys 0..3 land on parts 0..3; the client thread is on no
+        # partition, so every op crosses a boundary
+        for key in range(4):
+            table.put(key, {"v": key})
+        after = store.stats.snapshot()["marshalled_objects"]
+        assert after > before
+
+    def test_remote_get_returns_copy(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=2))
+        original = {"list": [1, 2, 3]}
+        table.put(0, original)
+        fetched = table.get(0)
+        fetched["list"].append(4)
+        assert table.get(0)["list"] == [1, 2, 3]
+
+    def test_collocated_access_is_local(self, store):
+        """Mobile code touching its own part must not marshal."""
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+        table.put(1, "x")  # part 1
+
+        def mobile(part_index, view):
+            before = store.stats.snapshot()["marshalled_objects"]
+            view.get(1)
+            view.put(1, "y")
+            after = store.stats.snapshot()["marshalled_objects"]
+            return after - before
+
+        # run_collocated itself marshals the result, but the inner ops don't
+        assert table.run_collocated(1, mobile) == 0
+
+    def test_collocated_sees_partition_marker(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+        marker = table.run_collocated(2, lambda i, v: _here())
+        assert marker == 2
+
+
+class TestParallelism:
+    def test_enumerate_parts_runs_concurrently(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+        barrier = threading.Barrier(4, timeout=10)
+
+        def process(part_index, view):
+            # all four parts must be inside process_part at once for the
+            # barrier to release; a serial implementation would deadlock
+            barrier.wait()
+            return 1
+
+        total = table.enumerate_parts(FnPartConsumer(process, lambda a, b: a + b))
+        assert total == 4
+
+    def test_collocated_enumeration_of_own_table(self, store):
+        """Mobile code may enumerate a table that has a part on its own
+        partition (the inline path that avoids self-deadlock)."""
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+        table.put_many((i, 1) for i in range(8))
+
+        def mobile(part_index, view):
+            return table.enumerate_parts(
+                FnPartConsumer(lambda i, v: len(v), lambda a, b: a + b)
+            )
+
+        assert table.run_collocated(0, mobile) == 8
+
+    def test_concurrent_puts_from_many_threads(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+
+        def worker(base):
+            for i in range(100):
+                table.put(base + i, base + i)
+
+        threads = [threading.Thread(target=worker, args=(b * 1000,)) for b in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert table.size() == 400
+
+
+class TestPartMapping:
+    def test_more_parts_than_partitions(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=10))
+        table.put_many((i, i) for i in range(100))
+        assert table.size() == 100
+        assert sorted(k for k, _ in table.items()) == list(range(100))
+
+    def test_tables_with_equal_parts_are_collocated(self, store):
+        a = store.create_table(TableSpec(name="a", n_parts=4))
+        b = store.create_table(TableSpec(name="b", like="a"))
+        a.put(2, "in-a")
+        b.put(2, "in-b")
+
+        def mobile(part_index, view):
+            # the co-partitioned table's same-numbered part is local:
+            # reading it from here must not marshal
+            before = store.stats.snapshot()["marshalled_objects"]
+            value = b.get(2)
+            after = store.stats.snapshot()["marshalled_objects"]
+            return value, after - before
+
+        value, marshals = a.run_collocated(a.part_of(2), mobile)
+        assert value == "in-b"
+        assert marshals == 0
+
+    def test_custom_key_hash_controls_placement(self, store):
+        table = store.create_table(
+            TableSpec(name="t", n_parts=4, key_hash=lambda key: key[0])
+        )
+        assert table.part_of((3, "anything")) == 3
+        assert table.part_of((1, "x")) == 1
+
+
+class TestLifecycle:
+    def test_close_idempotent(self, store):
+        store.close()
+        store.close()
+
+    def test_context_manager(self, tmp_path):
+        with PartitionedKVStore(n_partitions=2) as s:
+            t = s.create_table(TableSpec(name="t"))
+            t.put(1, 1)
+            assert t.get(1) == 1
+
+    def test_drop_removes_partition_data(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=4))
+        table.put_many((i, i) for i in range(10))
+        store.drop_table("t")
+        table2 = store.create_table(TableSpec(name="t", n_parts=4))
+        assert table2.size() == 0
+
+    def test_bad_partition_count(self):
+        with pytest.raises(ValueError):
+            PartitionedKVStore(n_partitions=0)

@@ -1,0 +1,110 @@
+"""Stateful (rule-based) model checking of the store SPI.
+
+Hypothesis drives random interleavings of table creation, point
+operations, co-partitioned twins, and drops against two stores at once
+— the trivially-correct LocalKVStore and the threaded
+PartitionedKVStore — asserting they never disagree.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import NoSuchTableError, TableExistsError
+from repro.kvstore.api import TableSpec
+from repro.kvstore.local import LocalKVStore
+from repro.kvstore.partitioned import PartitionedKVStore
+
+_KEYS = st.integers(min_value=0, max_value=30)
+_VALUES = st.integers()
+_NAMES = st.sampled_from(["alpha", "beta", "gamma"])
+
+
+class StoreEquivalence(RuleBasedStateMachine):
+    tables = Bundle("tables")
+
+    @initialize()
+    def setup(self):
+        self.reference = LocalKVStore(default_n_parts=3)
+        self.subject = PartitionedKVStore(n_partitions=3)
+
+    def teardown(self):
+        self.subject.close()
+
+    @rule(target=tables, name=_NAMES, ordered=st.booleans())
+    def create_table(self, name, ordered):
+        spec = TableSpec(name=name, n_parts=3, ordered=ordered)
+        try:
+            expected = self.reference.create_table(spec)
+            created = True
+        except TableExistsError:
+            created = False
+        if created:
+            self.subject.create_table(spec)
+            return name
+        else:
+            try:
+                self.subject.create_table(spec)
+                raise AssertionError("subject accepted a duplicate table")
+            except TableExistsError:
+                return name
+
+    @rule(name=tables, key=_KEYS, value=_VALUES)
+    def put(self, name, key, value):
+        try:
+            self.reference.get_table(name).put(key, value)
+            ok = True
+        except NoSuchTableError:
+            ok = False
+        if ok:
+            self.subject.get_table(name).put(key, value)
+
+    @rule(name=tables, key=_KEYS)
+    def get(self, name, key):
+        try:
+            expected = self.reference.get_table(name).get(key)
+        except NoSuchTableError:
+            return
+        assert self.subject.get_table(name).get(key) == expected
+
+    @rule(name=tables, key=_KEYS)
+    def delete(self, name, key):
+        try:
+            expected = self.reference.get_table(name).delete(key)
+        except NoSuchTableError:
+            return
+        assert self.subject.get_table(name).delete(key) == expected
+
+    @rule(name=tables)
+    def drop(self, name):
+        try:
+            self.reference.drop_table(name)
+            dropped = True
+        except NoSuchTableError:
+            dropped = False
+        if dropped:
+            self.subject.drop_table(name)
+
+    @invariant()
+    def same_catalog_and_contents(self):
+        if not hasattr(self, "reference"):
+            return
+        assert self.subject.list_tables() == self.reference.list_tables()
+        for name in self.reference.list_tables():
+            ref = dict(self.reference.get_table(name).items())
+            sub = dict(self.subject.get_table(name).items())
+            assert sub == ref, f"table {name!r} diverged"
+
+
+StoreEquivalence.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestStoreEquivalence = StoreEquivalence.TestCase

@@ -1,0 +1,79 @@
+"""CSV / JSONL / text import-export helpers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mapreduce.formats import (
+    dump_csv,
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    load_text_lines,
+)
+
+
+class TestCsv:
+    def test_roundtrip(self, local_store, tmp_path):
+        src = tmp_path / "people.csv"
+        src.write_text("id,name,age\nu1,ada,36\nu2,bob,41\n")
+        loaded = load_csv(local_store, str(src), "people", key_column="id")
+        assert loaded == 2
+        table = local_store.get_table("people")
+        assert table.get("u1") == {"id": "u1", "name": "ada", "age": "36"}
+
+        out = tmp_path / "out.csv"
+        written = dump_csv(local_store, "people", str(out), columns=["id", "name"])
+        assert written == 2
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "id,name"
+        assert sorted(lines[1:]) == ["u1,ada", "u2,bob"]
+
+    def test_missing_key_column(self, local_store, tmp_path):
+        src = tmp_path / "bad.csv"
+        src.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_csv(local_store, str(src), "t", key_column="id")
+
+    def test_batching(self, local_store, tmp_path):
+        src = tmp_path / "many.csv"
+        src.write_text("id\n" + "\n".join(f"k{i}" for i in range(25)) + "\n")
+        loaded = load_csv(local_store, str(src), "t", key_column="id", batch_size=4)
+        assert loaded == 25
+        assert local_store.get_table("t").size() == 25
+
+
+class TestJsonl:
+    def test_roundtrip(self, local_store, tmp_path):
+        src = tmp_path / "events.jsonl"
+        records = [{"id": i, "kind": "click" if i % 2 else "view"} for i in range(5)]
+        src.write_text("\n".join(json.dumps(r) for r in records) + "\n\n")
+        loaded = load_jsonl(local_store, str(src), "events", key_of=lambda r: r["id"])
+        assert loaded == 5
+        assert local_store.get_table("events").get(3)["kind"] == "click"
+
+        out = tmp_path / "out.jsonl"
+        written = dump_jsonl(local_store, "events", str(out))
+        assert written == 5
+        dumped = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {d["key"] for d in dumped} == set(range(5))
+
+
+class TestTextLines:
+    def test_line_numbered(self, local_store, tmp_path):
+        src = tmp_path / "corpus.txt"
+        src.write_text("first line\nsecond line\n")
+        loaded = load_text_lines(local_store, str(src), "corpus")
+        assert loaded == 2
+        assert local_store.get_table("corpus").get(1) == "second line"
+
+    def test_feeds_word_count(self, local_store, tmp_path):
+        from repro.mapreduce.library import word_count
+
+        src = tmp_path / "corpus.txt"
+        src.write_text("a b\nb c\n")
+        load_text_lines(local_store, str(src), "corpus")
+        word_count(local_store, "corpus", "counts")
+        assert dict(local_store.get_table("counts").items()) == {"a": 1, "b": 2, "c": 1}

@@ -1,0 +1,176 @@
+"""The MapReduce standard library: canned mappers/reducers, joins, top-k."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.kvstore.api import TableSpec
+from repro.mapreduce.library import (
+    CollectReducer,
+    CountReducer,
+    FlatMapper,
+    FnMapper,
+    FnReducer,
+    IdentityMapper,
+    MaxReducer,
+    MeanReducer,
+    MinReducer,
+    ProjectionMapper,
+    SumReducer,
+    group_aggregate,
+    join_tables,
+    top_k,
+    word_count,
+)
+from repro.mapreduce.api import MapReduceSpec
+from repro.mapreduce.engine import run_mapreduce
+
+
+class TestCannedPieces:
+    def test_word_count_helper(self, local_store):
+        docs = local_store.create_table(TableSpec(name="docs"))
+        docs.put_many([(0, "x y x"), (1, "y")])
+        word_count(local_store, "docs", "counts")
+        assert dict(local_store.get_table("counts").items()) == {"x": 2, "y": 2}
+
+    def test_fn_mapper_reducer(self, local_store):
+        data = local_store.create_table(TableSpec(name="data"))
+        data.put_many([(i, i) for i in range(6)])
+        spec = MapReduceSpec(
+            FnMapper(lambda k, v: [(v % 2, v)]),
+            FnReducer(lambda k, values: sum(values)),
+        )
+        run_mapreduce(local_store, spec, "data", "out")
+        assert dict(local_store.get_table("out").items()) == {0: 0 + 2 + 4, 1: 1 + 3 + 5}
+
+    def test_projection_mapper(self, local_store):
+        rows = local_store.create_table(TableSpec(name="rows"))
+        rows.put_many(
+            [(1, {"city": "NYC", "n": 3}), (2, {"city": "SF", "n": 5}), (3, {"city": "NYC", "n": 2})]
+        )
+        spec = MapReduceSpec(
+            ProjectionMapper("city"),
+            FnReducer(lambda k, values: sum(r["n"] for r in values)),
+        )
+        run_mapreduce(local_store, spec, "rows", "by_city")
+        assert dict(local_store.get_table("by_city").items()) == {"NYC": 5, "SF": 5}
+
+    @pytest.mark.parametrize(
+        "reducer,expected",
+        [
+            (SumReducer(), 10),
+            (CountReducer(), 4),
+            (MinReducer(), 1),
+            (MaxReducer(), 4),
+            (MeanReducer(), 2.5),
+            (CollectReducer(), [1, 2, 3, 4]),
+        ],
+    )
+    def test_standard_reducers(self, local_store, reducer, expected):
+        data = local_store.create_table(TableSpec(name="data"))
+        data.put_many([(i, i) for i in [1, 2, 3, 4]])
+        spec = MapReduceSpec(FnMapper(lambda k, v: [("all", v)]), reducer)
+        run_mapreduce(local_store, spec, "data", "out")
+        assert local_store.get_table("out").get("all") == expected
+
+    def test_group_aggregate(self, local_store):
+        sales = local_store.create_table(TableSpec(name="sales"))
+        sales.put_many(
+            [(i, {"region": "east" if i % 2 else "west", "amount": i * 10}) for i in range(1, 7)]
+        )
+        group_aggregate(
+            local_store,
+            "sales",
+            "by_region",
+            key_of=lambda k, v: v["region"],
+            value_of=lambda k, v: v["amount"],
+            reducer=SumReducer(),
+            combiner=lambda a, b: a + b,
+        )
+        out = dict(local_store.get_table("by_region").items())
+        assert out == {"east": 10 + 30 + 50, "west": 20 + 40 + 60}
+
+
+class TestJoin:
+    def test_inner_join(self, fast_store):
+        users = fast_store.create_table(TableSpec(name="users", n_parts=3))
+        users.put_many(
+            [(1, {"uid": "u1", "name": "ada"}), (2, {"uid": "u2", "name": "bob"}), (3, {"uid": "u3", "name": "cyd"})]
+        )
+        orders = fast_store.create_table(TableSpec(name="orders", like="users"))
+        orders.put_many(
+            [(100, {"uid": "u1", "total": 5}), (101, {"uid": "u1", "total": 7}), (102, {"uid": "u3", "total": 2})]
+        )
+        join_tables(
+            fast_store,
+            "users",
+            "orders",
+            "user_orders",
+            left_key=lambda k, v: v["uid"],
+            right_key=lambda k, v: v["uid"],
+            join=lambda key, user, order: (user["name"], order["total"]),
+        )
+        # emit overwrites per join key; the reducer emitted both u1 rows
+        # under key "u1" — the last lands in the table. Collect variant:
+        out = dict(fast_store.get_table("user_orders").items())
+        assert set(out) == {"u1", "u3"}
+        assert out["u3"] == ("cyd", 2)
+
+    def test_unmatched_rows_dropped(self, local_store):
+        left = local_store.create_table(TableSpec(name="l", n_parts=2))
+        left.put(1, {"k": "a"})
+        right = local_store.create_table(TableSpec(name="r", like="l"))
+        right.put(2, {"k": "b"})
+        join_tables(
+            local_store,
+            "l",
+            "r",
+            "out",
+            left_key=lambda k, v: v["k"],
+            right_key=lambda k, v: v["k"],
+        )
+        assert local_store.get_table("out").size() == 0
+
+    def test_mismatched_partitioning_rejected(self, local_store):
+        local_store.create_table(TableSpec(name="l", n_parts=2))
+        local_store.create_table(TableSpec(name="r", n_parts=3))
+        with pytest.raises(JobSpecError):
+            join_tables(
+                local_store, "l", "r", "out",
+                left_key=lambda k, v: v, right_key=lambda k, v: v,
+            )
+
+    def test_staging_table_cleaned_up(self, local_store):
+        local_store.create_table(TableSpec(name="l", n_parts=2)).put(1, {"k": "x"})
+        local_store.create_table(TableSpec(name="r", like="l")).put(2, {"k": "x"})
+        join_tables(
+            local_store, "l", "r", "out",
+            left_key=lambda k, v: v["k"], right_key=lambda k, v: v["k"],
+        )
+        assert not any(t.startswith("__join_staging") for t in local_store.list_tables())
+
+
+class TestTopK:
+    def test_top_k_by_value(self, fast_store):
+        scores = fast_store.create_table(TableSpec(name="scores", n_parts=3))
+        scores.put_many((f"p{i}", i * 3 % 17) for i in range(30))
+        expected = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)[:5]
+        ranked = top_k(fast_store, "scores", 5)
+        assert [value for _, value in ranked] == [value for _, value in expected]
+
+    def test_top_k_custom_score(self, local_store):
+        rows = local_store.create_table(TableSpec(name="rows"))
+        rows.put_many([(i, {"score": -i}) for i in range(10)])
+        ranked = top_k(local_store, "rows", 3, score_of=lambda k, v: v["score"])
+        assert [v["score"] for _, v in ranked] == [0, -1, -2]
+
+    def test_k_larger_than_table(self, local_store):
+        rows = local_store.create_table(TableSpec(name="rows"))
+        rows.put_many([(i, i) for i in range(3)])
+        assert len(top_k(local_store, "rows", 10)) == 3
+
+    def test_bad_k(self, local_store):
+        local_store.create_table(TableSpec(name="rows"))
+        with pytest.raises(ValueError):
+            top_k(local_store, "rows", 0)

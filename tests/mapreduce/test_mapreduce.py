@@ -1,0 +1,180 @@
+"""MapReduce emulation atop K/V EBSP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.kvstore.api import TableSpec
+from repro.mapreduce import (
+    IteratedMapReduce,
+    IterationDecision,
+    Mapper,
+    MapReduceSpec,
+    Reducer,
+    run_mapreduce,
+)
+
+
+class WordCountMapper(Mapper):
+    def map(self, key, value, emit):
+        for word in value.split():
+            emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, emit):
+        emit(key, sum(values))
+
+
+class IdentityMapper(Mapper):
+    def map(self, key, value, emit):
+        emit(key, value)
+
+
+class TestSingleCouplet:
+    def test_word_count(self, fast_store):
+        docs = fast_store.create_table(TableSpec(name="docs"))
+        docs.put_many([(0, "a b a"), (1, "b c"), (2, "a c c")])
+        run_mapreduce(
+            fast_store,
+            MapReduceSpec(WordCountMapper(), SumReducer()),
+            "docs",
+            "counts",
+        )
+        counts = dict(fast_store.get_table("counts").items())
+        assert counts == {"a": 3, "b": 2, "c": 3}
+
+    def test_combiner_preserves_result(self, fast_store):
+        docs = fast_store.create_table(TableSpec(name="docs"))
+        docs.put_many([(i, "x y " * 5) for i in range(10)])
+        run_mapreduce(
+            fast_store,
+            MapReduceSpec(WordCountMapper(), SumReducer(), combiner=lambda a, b: a + b),
+            "docs",
+            "counts",
+        )
+        counts = dict(fast_store.get_table("counts").items())
+        assert counts == {"x": 50, "y": 50}
+
+    def test_exactly_two_steps(self, fast_store):
+        docs = fast_store.create_table(TableSpec(name="docs"))
+        docs.put(0, "hello")
+        result = run_mapreduce(
+            fast_store, MapReduceSpec(WordCountMapper(), SumReducer()), "docs", "out"
+        )
+        assert result.job_result.steps == 2
+        assert result.barriers == 2
+
+    def test_output_copartitioned_with_input(self, fast_store):
+        fast_store.create_table(TableSpec(name="docs", n_parts=3))
+        fast_store.get_table("docs").put(0, "w")
+        run_mapreduce(
+            fast_store, MapReduceSpec(WordCountMapper(), SumReducer()), "docs", "out"
+        )
+        assert fast_store.get_table("out").n_parts == 3
+
+    def test_mismatched_existing_output_rejected(self, fast_store):
+        fast_store.create_table(TableSpec(name="docs", n_parts=3))
+        fast_store.create_table(TableSpec(name="out", n_parts=2))
+        with pytest.raises(JobSpecError):
+            run_mapreduce(
+                fast_store, MapReduceSpec(WordCountMapper(), SumReducer()), "docs", "out"
+            )
+
+    def test_in_place_output(self, fast_store):
+        """output == input: map reads complete before reduce writes."""
+        table = fast_store.create_table(TableSpec(name="data"))
+        table.put_many([(i, i) for i in range(10)])
+
+        class Doubler(Reducer):
+            def reduce(self, key, values, emit):
+                emit(key, sum(values) * 2)
+
+        run_mapreduce(
+            fast_store, MapReduceSpec(IdentityMapper(), Doubler()), "data", "data"
+        )
+        assert dict(fast_store.get_table("data").items()) == {i: i * 2 for i in range(10)}
+
+    def test_reduce_can_emit_foreign_keys(self, fast_store):
+        table = fast_store.create_table(TableSpec(name="data"))
+        table.put_many([(i, i) for i in range(5)])
+
+        class Redirect(Reducer):
+            def reduce(self, key, values, emit):
+                emit(f"moved-{key}", values[0])
+
+        run_mapreduce(
+            fast_store, MapReduceSpec(IdentityMapper(), Redirect()), "data", "out"
+        )
+        out = dict(fast_store.get_table("out").items())
+        assert out == {f"moved-{i}": i for i in range(5)}
+
+    def test_sorted_reduce_property(self, local_store):
+        table = local_store.create_table(TableSpec(name="data"))
+        table.put_many([(i, i) for i in range(12)])
+        order = []
+
+        class Recorder(Reducer):
+            def reduce(self, key, values, emit):
+                order.append(key)
+
+        run_mapreduce(
+            local_store,
+            MapReduceSpec(IdentityMapper(), Recorder(), sorted_reduce=True),
+            "data",
+            "out",
+        )
+        per_part = {}
+        t = local_store.get_table("data")
+        for key in order:
+            per_part.setdefault(t.part_of(key), []).append(key)
+        for keys in per_part.values():
+            assert keys == sorted(keys)
+
+
+class TestIterated:
+    def test_runs_until_cap(self, fast_store):
+        table = fast_store.create_table(TableSpec(name="data"))
+        table.put(0, 0)
+
+        class Increment(Reducer):
+            def reduce(self, key, values, emit):
+                emit(key, values[0] + 1)
+
+        driver = IteratedMapReduce(
+            lambda i: MapReduceSpec(IdentityMapper(), Increment()),
+            "data",
+            max_iterations=5,
+        )
+        outcome = driver.run(fast_store)
+        assert outcome.iterations == 5
+        assert fast_store.get_table("data").get(0) == 5
+        # the structural cost the paper measures: 2 barriers per iteration
+        assert outcome.total_barriers == 10
+
+    def test_until_predicate_stops_early(self, fast_store):
+        table = fast_store.create_table(TableSpec(name="data"))
+        table.put(0, 0)
+
+        class Increment(Reducer):
+            def reduce(self, key, values, emit):
+                emit(key, values[0] + 1)
+
+        def until(store, iteration, result):
+            if store.get_table("data").get(0) >= 3:
+                return IterationDecision.STOP
+            return IterationDecision.CONTINUE
+
+        driver = IteratedMapReduce(
+            lambda i: MapReduceSpec(IdentityMapper(), Increment()),
+            "data",
+            max_iterations=100,
+            until=until,
+        )
+        outcome = driver.run(fast_store)
+        assert outcome.iterations == 3
+
+    def test_bad_iteration_cap(self):
+        with pytest.raises(ValueError):
+            IteratedMapReduce(lambda i: None, "t", max_iterations=0)

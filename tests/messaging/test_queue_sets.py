@@ -1,0 +1,164 @@
+"""Queue-set conformance across both implementations (paper §III-B)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import NoSuchQueueSetError, QueueError
+from repro.kvstore.local import LocalKVStore
+from repro.messaging.local_queue import LocalMessageQueuing, LocalQueueSet
+from repro.messaging.table_queue import TableMessageQueuing
+
+
+@pytest.fixture(params=["local", "table"])
+def queuing(request):
+    if request.param == "local":
+        yield LocalMessageQueuing()
+    else:
+        store = LocalKVStore(default_n_parts=4)
+        yield TableMessageQueuing(store)
+        store.close()
+
+
+class TestQueueSetBasics:
+    def test_put_then_worker_reads(self, queuing):
+        qs = queuing.create_queue_set("q", 3)
+        qs.put(1, "hello")
+
+        def worker(ctx):
+            if ctx.part_index == 1:
+                return ctx.read(timeout=2)
+            return ctx.read(timeout=0.05)
+
+        results = qs.run_workers(worker)
+        assert results[1] == "hello"
+        assert results[0] is None and results[2] is None
+
+    def test_read_timeout_returns_none(self, queuing):
+        qs = queuing.create_queue_set("q", 1)
+        start = time.monotonic()
+        results = qs.run_workers(lambda ctx: ctx.read(timeout=0.05))
+        assert results == [None]
+        assert time.monotonic() - start < 2
+
+    def test_per_sender_fifo_order(self, queuing):
+        """Messages from one sender to one queue arrive in send order —
+        the guarantee the EBSP `incremental` property rests on."""
+        qs = queuing.create_queue_set("q", 2)
+        for i in range(50):
+            qs.put(0, i)
+
+        def worker(ctx):
+            if ctx.part_index != 0:
+                return []
+            got = []
+            for _ in range(50):
+                got.append(ctx.read(timeout=2))
+            return got
+
+        results = qs.run_workers(worker)
+        assert results[0] == list(range(50))
+
+    def test_workers_can_message_each_other(self, queuing):
+        qs = queuing.create_queue_set("q", 2)
+        qs.put(0, 1)
+
+        def worker(ctx):
+            if ctx.part_index == 0:
+                value = ctx.read(timeout=2)
+                ctx.put(1, value + 1)
+                return value
+            return ctx.read(timeout=2)
+
+        results = qs.run_workers(worker)
+        assert results == [1, 2]
+
+    def test_none_message_rejected(self, queuing):
+        qs = queuing.create_queue_set("q", 1)
+        with pytest.raises(QueueError):
+            qs.put(0, None)
+
+    def test_pending_counts(self, queuing):
+        qs = queuing.create_queue_set("q", 2)
+        qs.put(0, "a")
+        qs.put(0, "b")
+        assert qs.pending(0) == 2
+        assert qs.pending(1) == 0
+
+
+class TestNamespace:
+    def test_duplicate_name_rejected(self, queuing):
+        queuing.create_queue_set("q", 1)
+        with pytest.raises(QueueError):
+            queuing.create_queue_set("q", 1)
+
+    def test_delete_then_put_rejected(self, queuing):
+        qs = queuing.create_queue_set("q", 1)
+        queuing.delete_queue_set("q")
+        with pytest.raises(NoSuchQueueSetError):
+            qs.put(0, "late")
+
+    def test_delete_unknown(self, queuing):
+        with pytest.raises(NoSuchQueueSetError):
+            queuing.delete_queue_set("ghost")
+
+    def test_get_roundtrip(self, queuing):
+        qs = queuing.create_queue_set("q", 2)
+        assert queuing.get_queue_set("q") is qs
+
+    def test_zero_parts_rejected(self, queuing):
+        with pytest.raises(QueueError):
+            queuing.create_queue_set("q", 0)
+
+
+class TestTableQueueInternals:
+    def test_queue_table_is_private(self):
+        store = LocalKVStore(default_n_parts=2)
+        queuing = TableMessageQueuing(store)
+        queuing.create_queue_set("q", 2)
+        assert "__queue__q" in store.list_tables()
+        queuing.delete_queue_set("q")
+        assert "__queue__q" not in store.list_tables()
+        store.close()
+
+    def test_messages_placed_at_destination_part(self):
+        store = LocalKVStore(default_n_parts=3)
+        queuing = TableMessageQueuing(store)
+        qs = queuing.create_queue_set("q", 3)
+        qs.put(2, "payload")
+        table = store.get_table("__queue__q")
+        assert table.part_of((2, 0)) == 2
+        assert table.get((2, 0)) == "payload"
+        store.close()
+
+
+class TestWorkStealing:
+    def test_steal_takes_from_longest(self):
+        qs = LocalQueueSet("q", 3)
+        for i in range(5):
+            qs.put(1, f"m{i}")
+        qs.put(2, "lone")
+        stolen = qs.steal(exclude=0)
+        assert stolen == "m4"  # from the tail of the longest queue
+
+    def test_steal_nothing_available(self):
+        qs = LocalQueueSet("q", 2)
+        qs.put(0, "mine")
+        assert qs.steal(exclude=0) is None
+
+    def test_blocked_reader_wakes_on_put(self):
+        qs = LocalQueueSet("q", 1)
+        result = {}
+
+        def reader():
+            result["value"] = qs._queues[0].read(timeout=5)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        qs.put(0, "wake")
+        thread.join(timeout=5)
+        assert result["value"] == "wake"

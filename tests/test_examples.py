@@ -1,0 +1,45 @@
+"""Every example script must run clean (small arguments where supported).
+
+Examples are documentation that executes; this keeps them from rotting.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("pagerank_web_ranking.py", ["300", "3000"]),
+    ("summa_matrix_multiply.py", ["60"]),
+    ("incremental_shortest_paths.py", ["200", "1500"]),
+    ("pregel_social_circles.py", []),
+    ("kmeans_clustering.py", ["150", "3"]),
+    ("analytics_pipeline.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, args):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script} printed nothing"
+
+
+def test_example_inventory_matches_directory():
+    """Every example on disk is exercised above (no forgotten scripts)."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert on_disk == covered

@@ -1,0 +1,73 @@
+"""Marshalling codec and statistics."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.serde import Codec, SerdeStats, deep_copy_via_marshal
+
+
+class TestCodec:
+    def test_roundtrip_returns_equal_copy(self):
+        codec = Codec()
+        obj = {"a": [1, 2, 3], "b": (4, 5)}
+        copy = codec.roundtrip(obj)
+        assert copy == obj
+        assert copy is not obj
+        assert copy["a"] is not obj["a"]
+
+    def test_roundtrip_numpy(self):
+        codec = Codec()
+        arr = np.arange(10)
+        out = codec.roundtrip(arr)
+        assert np.array_equal(out, arr)
+        assert out is not arr
+
+    def test_stats_counted(self):
+        stats = SerdeStats()
+        codec = Codec(stats)
+        codec.roundtrip("hello")
+        snap = stats.snapshot()
+        assert snap["marshalled_objects"] == 1
+        assert snap["unmarshalled_objects"] == 1
+        assert snap["marshalled_bytes"] > 0
+
+    def test_stats_reset(self):
+        stats = SerdeStats()
+        codec = Codec(stats)
+        codec.dumps([1, 2, 3])
+        stats.reset()
+        assert stats.snapshot() == {
+            "marshalled_objects": 0,
+            "marshalled_bytes": 0,
+            "unmarshalled_objects": 0,
+        }
+
+    def test_stats_thread_safe(self):
+        stats = SerdeStats()
+        codec = Codec(stats)
+
+        def worker():
+            for _ in range(200):
+                codec.roundtrip(42)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.snapshot()["marshalled_objects"] == 800
+
+    @given(
+        st.recursive(
+            st.one_of(st.integers(), st.text(), st.none(), st.booleans()),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=5), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    def test_roundtrip_identity_property(self, obj):
+        assert deep_copy_via_marshal(obj) == obj

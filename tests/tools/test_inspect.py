@@ -1,0 +1,63 @@
+"""The store-inspection CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore.api import TableSpec
+from repro.kvstore.persistent import PersistentKVStore
+from repro.tools.inspect import main
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    path = str(tmp_path / "store")
+    with PersistentKVStore(path) as store:
+        plain = store.create_table(TableSpec(name="plain", n_parts=2))
+        plain.put_many([("a", 1), ("b", 2), ("c", 3)])
+        ordered = store.create_table(TableSpec(name="ordered", n_parts=2, ordered=True))
+        ordered.put_many((i, i * i) for i in range(10))
+    return path
+
+
+class TestInspect:
+    def test_list_tables(self, store_dir, capsys):
+        assert main([store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "plain: 3 entries" in out
+        assert "ordered: 10 entries" in out
+
+    def test_table_summary(self, store_dir, capsys):
+        assert main([store_dir, "plain"]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out and "2 parts" in out
+
+    def test_items_peek(self, store_dir, capsys):
+        assert main([store_dir, "plain", "--items", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "... and 1 more" in out
+
+    def test_get_present(self, store_dir, capsys):
+        assert main([store_dir, "plain", "--get", "a"]) == 0
+        assert "'a': 1" in capsys.readouterr().out
+
+    def test_get_absent(self, store_dir, capsys):
+        assert main([store_dir, "plain", "--get", "zzz"]) == 1
+        assert "<absent>" in capsys.readouterr().out
+
+    def test_range_scan(self, store_dir, capsys):
+        assert main([store_dir, "ordered", "--range", "3", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "3: 9" in out and "5: 25" in out and "6: 36" not in out
+
+    def test_range_on_unordered_fails(self, store_dir, capsys):
+        assert main([store_dir, "plain", "--range", "0", "5"]) == 1
+
+    def test_unknown_table(self, store_dir, capsys):
+        assert main([store_dir, "ghost"]) == 1
+
+    def test_empty_store(self, tmp_path, capsys):
+        path = str(tmp_path / "fresh")
+        PersistentKVStore(path).close()
+        assert main([path]) == 0
+        assert "(no tables)" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Stable hashing and key→part assignment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.hashing import part_for_key, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_int_hash_is_value(self):
+        # the Java-heritage fast path: Integer.hashCode() == the value
+        assert stable_hash(7) == 7
+        assert stable_hash(0) == 0
+
+    def test_negative_int_masked(self):
+        assert 0 <= stable_hash(-3) <= 0xFFFFFFFF
+
+    def test_bool_not_int(self):
+        assert stable_hash(True) != stable_hash(1)
+        assert stable_hash(False) != stable_hash(0)
+
+    def test_str_vs_bytes_distinct(self):
+        assert stable_hash("ab") != stable_hash(b"ab")
+
+    def test_tuple_order_matters(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_frozenset_order_free(self):
+        assert stable_hash(frozenset([1, 2, 3])) == stable_hash(frozenset([3, 2, 1]))
+
+    def test_none_supported(self):
+        assert isinstance(stable_hash(None), int)
+
+    def test_nested_tuples(self):
+        assert stable_hash((1, ("a", 2.5))) == stable_hash((1, ("a", 2.5)))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash([1, 2])
+
+    def test_custom_ripple_hash_overrides(self):
+        class Pinned:
+            def __init__(self, h):
+                self._h = h
+
+            def __ripple_hash__(self):
+                return self._h
+
+        assert stable_hash(Pinned(42)) == 42
+        assert part_for_key(Pinned(42), 10) == 2
+
+    @given(st.one_of(st.integers(), st.text(), st.binary(), st.floats(allow_nan=False)))
+    def test_in_32bit_range(self, key):
+        assert 0 <= stable_hash(key) <= 0xFFFFFFFF
+
+    @given(st.text(), st.text())
+    def test_equal_keys_equal_hashes(self, a, b):
+        if a == b:
+            assert stable_hash(a) == stable_hash(b)
+
+
+class TestPartForKey:
+    def test_in_range(self):
+        for key in ["a", "b", 1, 2, (3, "x")]:
+            assert 0 <= part_for_key(key, 7) < 7
+
+    def test_single_part(self):
+        assert part_for_key("anything", 1) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            part_for_key("k", 0)
+
+    def test_int_keys_round_robin(self):
+        # consequence of the Java-style int hash: contiguous keys spread evenly
+        parts = [part_for_key(i, 4) for i in range(8)]
+        assert parts == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    @given(st.integers(min_value=2, max_value=64), st.lists(st.text(), min_size=50, max_size=50, unique=True))
+    def test_no_part_starves_badly(self, n_parts, keys):
+        # a sanity property, not a balance guarantee: at least 2 parts used
+        # for 50 distinct keys when there are few parts
+        used = {part_for_key(k, n_parts) for k in keys}
+        if n_parts <= 8:
+            assert len(used) >= 2
