@@ -1,0 +1,111 @@
+"""Ablation — blocking vs pipelined spill transport.
+
+The seed transport wrote every full spill buffer with one synchronous
+cross-partition put: marshal the request, wait for the destination's
+executor, marshal the reply, resume compute.  The pipelined transport
+seals the same buffers but coalesces them into per-destination batches,
+dispatches each batch asynchronously (one marshalled request per
+touched part) behind a bounded in-flight window, and only joins at the
+part-step barrier — overlapping compute with transport.
+
+A deliberately small spill batch makes transport the bottleneck so the
+ablation isolates it; at the default 512 most runs produce ~1 spill per
+(src, dest, step) and the two modes converge.
+
+Writes a ``BENCH_pipeline.json`` artifact (path override:
+``RIPPLE_BENCH_OUT``) with per-mode elapsed times and serde snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.apps.pagerank import PageRankConfig, build_pagerank_table, pagerank_direct
+from repro.graph.generators import power_law_directed_graph
+from repro.kvstore.partitioned import PartitionedKVStore
+
+from benchmarks.conftest import bench_rounds
+
+CONFIG = PageRankConfig(iterations=3)
+_RESULTS: dict = {}
+
+
+def _spill_batch(scale: float) -> int:
+    # Small spills make per-request overhead dominate — which is what
+    # the pipeline hides.  Scaled with the workload so that every
+    # (src, dest) pair still produces several spills per step at the
+    # CI smoke scale.
+    return max(8, int(48 * scale))
+
+
+@pytest.fixture(scope="module")
+def adjacency(scale):
+    return power_law_directed_graph(int(800 * scale), int(16_000 * scale), seed=55)
+
+
+def _run(adjacency, spill_batch: int, pipelined: bool) -> dict:
+    store = PartitionedKVStore(n_partitions=6)
+    try:
+        n = build_pagerank_table(store, "pr", adjacency)
+        store.stats.reset()  # isolate the job's transport traffic
+        started = time.perf_counter()
+        result = pagerank_direct(
+            store,
+            "pr",
+            n,
+            CONFIG,
+            spill_batch=spill_batch,
+            pipelined_transport=pipelined,
+        )
+        elapsed = time.perf_counter() - started
+        return {
+            "elapsed_seconds": elapsed,
+            "serde": store.stats.snapshot(),
+            "spills_written": result.spills_written,
+            "transport_batches": result.transport_batches,
+            "spill_in_flight_hwm": result.spill_in_flight_hwm,
+        }
+    finally:
+        store.close()
+
+
+def _write_artifact(spill_batch: int) -> None:
+    path = os.environ.get("RIPPLE_BENCH_OUT", "BENCH_pipeline.json")
+    with open(path, "w") as fh:
+        json.dump(
+            {"config": {"spill_batch": spill_batch, "rounds": bench_rounds()}, "modes": _RESULTS},
+            fh,
+            indent=2,
+        )
+
+
+@pytest.mark.parametrize("mode", ["blocking", "pipelined"])
+def test_transport_pipeline(benchmark, adjacency, scale, mode):
+    spill_batch = _spill_batch(scale)
+    rounds: list = []
+
+    def once():
+        measurement = _run(adjacency, spill_batch, pipelined=(mode == "pipelined"))
+        rounds.append(measurement)
+        return measurement
+
+    benchmark.pedantic(once, rounds=bench_rounds(), iterations=1)
+    best = min(rounds, key=lambda r: r["elapsed_seconds"])
+    _RESULTS[mode] = {"best": best, "rounds": rounds}
+
+    if mode == "pipelined" and "blocking" in _RESULTS:
+        _write_artifact(spill_batch)
+        blocking = _RESULTS["blocking"]["best"]
+        assert best["elapsed_seconds"] < blocking["elapsed_seconds"], (
+            "pipelined transport should beat blocking transport "
+            f"({best['elapsed_seconds']:.3f}s vs {blocking['elapsed_seconds']:.3f}s)"
+        )
+        assert best["serde"]["marshalled_objects"] * 2 <= blocking["serde"]["marshalled_objects"], (
+            "batched dispatch should at least halve marshalled requests "
+            f"({best['serde']['marshalled_objects']} vs "
+            f"{blocking['serde']['marshalled_objects']})"
+        )

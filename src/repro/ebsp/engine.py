@@ -77,16 +77,7 @@ class _LoaderCtx(LoaderContext):
 
     def __init__(self, engine: "SyncEngine"):
         self._engine = engine
-        self.writer = SpillWriter(
-            engine._transport,
-            src_part=CLIENT_SRC,
-            step=0,
-            n_parts=engine.n_parts,
-            part_of=engine._part_of,
-            batch_size=engine._spill_batch,
-            on_spill=lambda n: engine._record_spill(0, n),
-            combiner=engine._combiner_for(0),
-        )
+        self.writer = engine._make_writer(CLIENT_SRC, 0, 0, hold=False)
         self.agg_partials: Dict[str, Any] = {
             name: agg.create() for name, agg in engine._aggs.items()
         }
@@ -272,6 +263,9 @@ class SyncEngine:
         job: Job,
         *,
         spill_batch: int = 512,
+        spill_window: int = 8,
+        spill_coalesce: int = 4,
+        pipelined_transport: bool = True,
         max_steps: Optional[int] = None,
         aggregator_table_threshold: int = 8,
         fault_tolerance: bool = False,
@@ -286,6 +280,9 @@ class SyncEngine:
             job.properties(), bool(self._aggs), job.has_aborter
         )
         self._spill_batch = spill_batch
+        self._spill_window = spill_window
+        self._spill_coalesce = spill_coalesce
+        self._pipelined_transport = pipelined_transport
         self._max_steps = max_steps
         self._agg_table_threshold = aggregator_table_threshold
         self._fault_tolerance = fault_tolerance
@@ -297,6 +294,11 @@ class SyncEngine:
         self._jid = next(_job_ids)
 
         self._resolve_tables()
+        # Baseline for the store's marshalling/batching statistics (when
+        # the store keeps them), so the result can report this job's own
+        # transport I/O rather than process-lifetime totals.
+        store_stats = getattr(store, "stats", None)
+        self._stats_baseline = store_stats.snapshot() if store_stats is not None else None
         self._broadcast = self._snapshot_broadcast()
         if fault_tolerance:
             self._progress = ProgressTable(
@@ -366,6 +368,46 @@ class SyncEngine:
         with self._spill_lock:
             return self._spilled_per_step.get(step, 0)
 
+    def _make_writer(
+        self, src_part: int, write_step: int, combine_step: int, hold: bool
+    ) -> SpillWriter:
+        """A spill writer carrying the engine's transport-pipeline config."""
+        return SpillWriter(
+            self._transport,
+            src_part=src_part,
+            step=write_step,
+            n_parts=self.n_parts,
+            part_of=self._part_of,
+            batch_size=self._spill_batch,
+            hold=hold,
+            on_spill=lambda n: self._record_spill(write_step, n),
+            combiner=self._combiner_for(combine_step),
+            pipelined=self._pipelined_transport,
+            max_in_flight=self._spill_window,
+            spills_per_batch=self._spill_coalesce,
+        )
+
+    def _harvest_writer(self, writer: SpillWriter) -> None:
+        """Fold one writer's transport counters into the job counters."""
+        self._counters.add("messages_sent", writer.messages_added)
+        if writer.messages_combined:
+            self._counters.add("messages_combined", writer.messages_combined)
+        if writer.spills_sealed:
+            self._counters.add("spills_written", writer.spills_sealed)
+        if writer.batches_dispatched:
+            self._counters.add("transport_batches", writer.batches_dispatched)
+        self._counters.record_max("spill_in_flight_hwm", writer.in_flight_hwm)
+
+    def _capture_store_stats(self) -> None:
+        """Record this run's store serde/batching deltas as counters."""
+        stats = getattr(self._store, "stats", None)
+        if stats is None or self._stats_baseline is None:
+            return
+        for name, value in stats.snapshot().items():
+            delta = value - self._stats_baseline.get(name, 0)
+            if delta:
+                self._counters.add(f"store_{name}", delta)
+
     # -- combiner plumbing -----------------------------------------------------
     def _combiner_for(self, step: int):
         """A (m1, m2) -> combined|None adapter, or None when the job's
@@ -404,6 +446,7 @@ class SyncEngine:
                     aborted = True
                     break
                 step += 1
+            self._capture_store_stats()
             result = JobResult(
                 steps=steps_taken,
                 aggregates=dict(self._agg_values),
@@ -426,7 +469,7 @@ class SyncEngine:
         for loader in self._job.loaders():
             loader.load(ctx)
         ctx.writer.flush_all()
-        self._counters.add("messages_sent", ctx.writer.messages_added)
+        self._harvest_writer(ctx.writer)
         # initial aggregator inputs are readable in step 0
         self._agg_values = {
             name: agg.finish(ctx.agg_partials[name]) for name, agg in self._aggs.items()
@@ -523,17 +566,7 @@ class SyncEngine:
                 view.delete(transport_key)
             consumed = []
 
-        writer = SpillWriter(
-            self._transport,
-            src_part=part,
-            step=step + 1,
-            n_parts=self.n_parts,
-            part_of=self._part_of,
-            batch_size=self._spill_batch,
-            hold=self._fault_tolerance,
-            on_spill=lambda n: self._record_spill(step + 1, n),
-            combiner=self._combiner_for(step),
-        )
+        writer = self._make_writer(part, step + 1, step, hold=self._fault_tolerance)
         ctx = _StepContext(self, part, step, writer)
 
         # apply created-state requests (they do not enable by themselves)
@@ -583,9 +616,7 @@ class SyncEngine:
         # ---- commit point ----
         ctx.commit_deferred()
         writer.flush_all()
-        self._counters.add("messages_sent", writer.messages_added)
-        if writer.messages_combined:
-            self._counters.add("messages_combined", writer.messages_combined)
+        self._harvest_writer(writer)
         for transport_key in consumed:
             view.delete(transport_key)
         if self._fault_tolerance:
@@ -604,17 +635,7 @@ class SyncEngine:
         from repro.ebsp.transport import NO_MESSAGE, scan_step_records_no_collect
 
         deliveries, creations, consumed = scan_step_records_no_collect(view, step)
-        writer = SpillWriter(
-            self._transport,
-            src_part=part,
-            step=step + 1,
-            n_parts=self.n_parts,
-            part_of=self._part_of,
-            batch_size=self._spill_batch,
-            hold=self._fault_tolerance,
-            on_spill=lambda n: self._record_spill(step + 1, n),
-            combiner=self._combiner_for(step),
-        )
+        writer = self._make_writer(part, step + 1, step, hold=self._fault_tolerance)
         ctx = _StepContext(self, part, step, writer)
         base_ctx = _SimpleBaseContext(step)
         merged: Dict[Any, List[Tuple[int, Any]]] = {}
@@ -662,9 +683,7 @@ class SyncEngine:
 
         ctx.commit_deferred()
         writer.flush_all()
-        self._counters.add("messages_sent", writer.messages_added)
-        if writer.messages_combined:
-            self._counters.add("messages_combined", writer.messages_combined)
+        self._harvest_writer(writer)
         for transport_key in consumed:
             view.delete(transport_key)
         if self._fault_tolerance:

@@ -18,6 +18,12 @@ class Counters:
         with self._lock:
             self._values[name] = self._values.get(name, 0) + amount
 
+    def record_max(self, name: str, value: int) -> None:
+        """Keep the largest reported *value* (high-water-mark counters)."""
+        with self._lock:
+            if value > self._values.get(name, 0):
+                self._values[name] = value
+
     def get(self, name: str) -> int:
         with self._lock:
             return self._values.get(name, 0)
@@ -67,3 +73,28 @@ class JobResult:
     @property
     def barriers(self) -> int:
         return self.counters.get("barriers", 0)
+
+    # -- transport-pipeline instrumentation --------------------------------
+    @property
+    def spills_written(self) -> int:
+        """Sealed spills that reached the transport table."""
+        return self.counters.get("spills_written", 0)
+
+    @property
+    def transport_batches(self) -> int:
+        """Batched transport dispatches (each one marshalled request)."""
+        return self.counters.get("transport_batches", 0)
+
+    @property
+    def spill_in_flight_hwm(self) -> int:
+        """High-water mark of concurrently outstanding spill dispatches."""
+        return self.counters.get("spill_in_flight_hwm", 0)
+
+    @property
+    def bytes_per_batch(self) -> float:
+        """Mean marshalled bytes per batched store request for this run
+        (0.0 when the store keeps no serde statistics)."""
+        batches = self.counters.get("store_batched_requests", 0)
+        if not batches:
+            return 0.0
+        return self.counters.get("store_marshalled_bytes", 0) / batches

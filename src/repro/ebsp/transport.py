@@ -19,11 +19,22 @@ records:
     message" — which enables *dest_key* without carrying data;
 ``("n", dest_key, tab_idx, state)``
     a created-state request for a new component.
+
+Spill transport is *pipelined*: a full buffer does not turn into a
+blocking cross-partition put.  Completed buffers accumulate into
+per-destination-part batches, each batch is dispatched asynchronously
+(one marshalled request per touched part) behind a bounded in-flight
+window, and :meth:`SpillWriter.flush_all` is the gather point that
+joins every outstanding future — so the engine overlaps compute with
+transport inside a part-step and still owns a durable commit point.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import threading
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.kvstore.api import KVStore, Table, TableSpec
 
@@ -46,11 +57,29 @@ class SpillWriter:
     """Accumulates outgoing records per destination part and spills them.
 
     One SpillWriter serves one source part for one step.  Records are
-    buffered per destination part and flushed to the transport table in
-    batches of *batch_size*.  When *hold* is set (fault-tolerant
-    execution), nothing reaches the transport table until
-    :meth:`flush_all` — the part-step's commit point — so a failed
-    part-step leaks no messages.
+    buffered per destination part; a buffer reaching *batch_size* is
+    *sealed* into a spill — a unique transport key plus its record list.
+
+    With ``pipelined=True`` (the default) sealed spills are not written
+    with blocking puts.  They accumulate into per-destination batches of
+    up to *spills_per_batch*, and each batch is dispatched with one
+    asynchronous, once-marshalled request (``put_many_async``) while the
+    producing computation keeps running.  At most *max_in_flight*
+    dispatches may be outstanding — the bounded window that keeps memory
+    and queue depth in check — and :meth:`flush_all` is the gather point
+    that seals, dispatches, and joins everything.
+
+    When *hold* is set (fault-tolerant execution), nothing reaches the
+    transport table until :meth:`flush_all` — the part-step's commit
+    point — so a failed part-step leaks no messages; flush_all still
+    dispatches the held batches concurrently, it just does all of the
+    transport at the commit point.
+
+    Per-(src, dest) FIFO: spills destined for one part are sealed with
+    increasing ``seq`` and dispatched in seal order from one thread, and
+    the partitioned store applies submissions to one part in submission
+    order, so a concurrent reader never observes spill *k+1* without
+    spill *k*.
     """
 
     def __init__(
@@ -64,6 +93,9 @@ class SpillWriter:
         hold: bool = False,
         on_spill: Optional[Callable[[int], None]] = None,
         combiner: Optional[Callable[[Any, Any], Any]] = None,
+        pipelined: bool = True,
+        max_in_flight: int = 8,
+        spills_per_batch: int = 1,
     ):
         self._transport = transport
         self._src_part = src_part
@@ -74,15 +106,31 @@ class SpillWriter:
         self._hold = hold
         self._on_spill = on_spill
         self._combiner = combiner
+        self._pipelined = pipelined
+        self._max_in_flight = max(1, max_in_flight)
+        self._spills_per_batch = max(1, spills_per_batch)
         self._buffers: Dict[int, List[tuple]] = {}
         # per destination part: dest_key -> index of its buffered MSG
         # record, for sender-side combining
         self._combine_index: Dict[int, Dict[Any, int]] = {}
+        # dest_key -> dest_part; destinations repeat heavily within a
+        # part-step, and the hash behind part_of is the routing hot path
+        self._dest_part_cache: Dict[Any, int] = {}
+        # sealed spills awaiting dispatch: dest_part -> [(key, records)]
+        self._ready: Dict[int, List[tuple]] = {}
+        self._in_flight: Deque[Future] = deque()
+        # A loader's writer is shared by every partition's enumeration
+        # thread, so seq assignment, the ready batches, and the in-flight
+        # window need real mutual exclusion (buffer appends are GIL-safe).
+        self._lock = threading.Lock()
         self._seq = 0
         self.records_written = 0
         self.messages_added = 0
         self.continues_added = 0
         self.messages_combined = 0
+        self.spills_sealed = 0
+        self.batches_dispatched = 0
+        self.in_flight_hwm = 0
 
     def add(self, record: tuple) -> None:
         dest_key = record[1]
@@ -91,7 +139,13 @@ class SpillWriter:
             self.messages_added += 1
         elif kind == CONT:
             self.continues_added += 1
-        dest_part = self._part_of(dest_key)
+        dest_part = self._dest_part_cache.get(dest_key)
+        if dest_part is None:
+            try:
+                dest_part = self._part_of(dest_key)
+                self._dest_part_cache[dest_key] = dest_part
+            except TypeError:  # unhashable key: route without caching
+                dest_part = self._part_of(dest_key)
         buffer = self._buffers.setdefault(dest_part, [])
         if kind == MSG and self._combiner is not None:
             # sender-side combining: merge with the still-buffered
@@ -107,29 +161,76 @@ class SpillWriter:
             index[dest_key] = len(buffer)
         buffer.append(record)
         if not self._hold and len(buffer) >= self._batch_size:
-            self._spill(dest_part)
+            with self._lock:
+                self._seal(dest_part)
+                if self._pipelined:
+                    if len(self._ready.get(dest_part, ())) >= self._spills_per_batch:
+                        self._dispatch(dest_part)
+                else:
+                    self._dispatch(dest_part)
 
-    def _spill(self, dest_part: int) -> None:
+    def _seal(self, dest_part: int) -> None:
+        """Turn a buffer into a spill (key + records) ready for dispatch.
+
+        Sealing retires the buffer's combiner index: later messages for
+        the same destinations start a fresh buffer and must not reach
+        back into records that are already on their way out.
+        """
         buffer = self._buffers.pop(dest_part, None)
         self._combine_index.pop(dest_part, None)
         if not buffer:
             return
         key = (dest_part, self._step, self._src_part, self._seq)
         self._seq += 1
-        self._transport.put(key, buffer)
+        self._ready.setdefault(dest_part, []).append((key, buffer))
+        self.spills_sealed += 1
         self.records_written += len(buffer)
         if self._on_spill is not None:
             self._on_spill(len(buffer))
 
+    def _dispatch(self, dest_part: int) -> None:
+        """Send one destination's sealed spills as a single batched request."""
+        batch = self._ready.pop(dest_part, None)
+        if not batch:
+            return
+        self.batches_dispatched += 1
+        if not self._pipelined:
+            # blocking transport: one synchronous put per spill, exactly
+            # the pre-pipeline behavior (kept for ablation benchmarks)
+            for key, records in batch:
+                self._transport.put(key, records)
+            return
+        self._in_flight.extend(self._transport.put_many_async(batch))
+        depth = len(self._in_flight)
+        if depth > self.in_flight_hwm:
+            self.in_flight_hwm = depth
+        while len(self._in_flight) > self._max_in_flight:
+            self._in_flight.popleft().result()
+
     def flush_all(self) -> None:
-        """Write every remaining buffer (the commit point under *hold*)."""
-        for dest_part in list(self._buffers):
-            self._spill(dest_part)
+        """Seal and dispatch every remaining buffer, then join all
+        outstanding transport futures (the commit point under *hold*)."""
+        with self._lock:
+            for dest_part in list(self._buffers):
+                self._seal(dest_part)
+            for dest_part in list(self._ready):
+                self._dispatch(dest_part)
+            while self._in_flight:
+                self._in_flight.popleft().result()
 
     def discard(self) -> None:
-        """Drop all buffered records (failed part-step under *hold*)."""
-        self._buffers.clear()
-        self._combine_index.clear()
+        """Drop all buffered and sealed-but-undispatched records (failed
+        part-step under *hold*); joins any spills already in flight."""
+        with self._lock:
+            self._buffers.clear()
+            self._combine_index.clear()
+            for batch in self._ready.values():
+                for _, records in batch:
+                    self.records_written -= len(records)
+                    self.spills_sealed -= 1
+            self._ready.clear()
+            while self._in_flight:
+                self._in_flight.popleft().result()
 
 
 class CombiningBundle:

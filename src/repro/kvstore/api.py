@@ -36,11 +36,22 @@ Collocated compute ("mobile code")
 from __future__ import annotations
 
 import abc
+from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 from repro.errors import BadTableSpecError
 from repro.util.hashing import part_for_key
+
+
+def completed_future(result: Any = None, exception: Optional[BaseException] = None) -> Future:
+    """An already-resolved :class:`Future` (the synchronous-store default)."""
+    future: Future = Future()
+    if exception is not None:
+        future.set_exception(exception)
+    else:
+        future.set_result(result)
+    return future
 
 
 @dataclass(frozen=True)
@@ -299,12 +310,51 @@ class Table(abc.ABC):
     def contains(self, key: Any) -> bool:
         return self.get(key) is not None
 
-    # -- bulk conveniences (overridable for efficiency) -------------------
-    def put_many(self, pairs: Iterable[tuple]) -> None:
-        for key, value in pairs:
+    # -- non-blocking point operations -------------------------------------
+    #
+    # The async variants return a :class:`concurrent.futures.Future` so
+    # clients (notably the EBSP spill transport) can overlap computation
+    # with cross-partition I/O and gather at a barrier.  Stores without a
+    # concurrent substrate fall back to executing inline and returning an
+    # already-resolved future — same semantics, no pipelining.
+    def put_async(self, key: Any, value: Any) -> Future:
+        """Non-blocking :meth:`put`; resolves to ``None`` when durable."""
+        try:
             self.put(key, value)
+        except BaseException as exc:
+            return completed_future(exception=exc)
+        return completed_future(None)
+
+    def delete_async(self, key: Any) -> Future:
+        """Non-blocking :meth:`delete`; resolves to the presence bool."""
+        try:
+            return completed_future(self.delete(key))
+        except BaseException as exc:
+            return completed_future(exception=exc)
+
+    # -- bulk operations (overridable for efficiency) ----------------------
+    #
+    # Stores that pay a per-operation routing or marshalling cost override
+    # these to issue *one request per touched part*, dispatched
+    # concurrently.  The contract: ``put_many(pairs)`` is equivalent to
+    # (but may be much cheaper than) calling ``put`` per pair; partial
+    # failure leaves a prefix-undefined state, exactly like a loop would.
+    def put_many(self, pairs: Iterable[tuple]) -> None:
+        """Store every (key, value) pair; batched per part where possible."""
+        for future in self.put_many_async(pairs):
+            future.result()
+
+    def put_many_async(self, pairs: Iterable[tuple]) -> List[Future]:
+        """Dispatch all puts without waiting; returns the futures to gather.
+
+        Stores with per-part request routing override this to marshal each
+        per-part batch once and dispatch all batches concurrently.
+        """
+        return [self.put_async(key, value) for key, value in pairs]
 
     def get_many(self, keys: Iterable[Any]) -> dict:
+        """Look up many keys at once; one request per touched part when
+        the store routes requests.  Absent keys map to ``None``."""
         return {key: self.get(key) for key in keys}
 
     # -- enumeration -------------------------------------------------------

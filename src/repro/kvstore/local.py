@@ -69,7 +69,7 @@ class LocalTable(Table):
 
     def put(self, key: Any, value: Any) -> None:
         self._check()
-        if self.ubiquitous and self.size() >= self.spec.ubiquity_limit and not self._part(key).get(key):
+        if self.ubiquitous and self.size() >= self.spec.ubiquity_limit and self._part(key).get(key) is None:
             raise UbiquityViolationError(
                 f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
             )
@@ -78,6 +78,30 @@ class LocalTable(Table):
     def delete(self, key: Any) -> bool:
         self._check()
         return self._part(key).delete(key)
+
+    # -- bulk operations --------------------------------------------------
+    def put_many(self, pairs: Iterable[tuple]) -> None:
+        """Bulk load without per-pair dropped/ubiquity re-checks.
+
+        Ubiquitous tables fall back to the checked per-put path (they are
+        contractually small); ordinary tables route each pair straight to
+        its part.
+        """
+        self._check()
+        if self.ubiquitous:
+            for key, value in pairs:
+                self.put(key, value)
+            return
+        parts = self._parts
+        part_of = self.part_of
+        for key, value in pairs:
+            parts[part_of(key)].put(key, value)
+
+    def get_many(self, keys: Iterable[Any]) -> dict:
+        self._check()
+        parts = self._parts
+        part_of = self.part_of
+        return {key: parts[part_of(key)].get(key) for key in keys}
 
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()

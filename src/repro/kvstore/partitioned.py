@@ -37,7 +37,15 @@ from repro.errors import (
     TableExistsError,
     UbiquityViolationError,
 )
-from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
+from repro.kvstore.api import (
+    KVStore,
+    PairConsumer,
+    PartConsumer,
+    PartView,
+    Table,
+    TableSpec,
+    completed_future,
+)
 from repro.kvstore.local import fold_part_results, resolve_n_parts
 from repro.kvstore.memory_table import make_part
 from repro.serde import Codec, SerdeStats
@@ -48,6 +56,30 @@ _current_partition = threading.local()
 def _here() -> Optional[int]:
     """Index of the partition whose worker thread we are on, if any."""
     return getattr(_current_partition, "index", None)
+
+
+# Shared operation bodies for point/batch requests.  Module-level (not
+# per-call lambdas) so the hot path does not allocate a closure per op.
+def _op_get(view: PartView, key: Any) -> Any:
+    return view.get(key)
+
+
+def _op_put(view: PartView, key: Any, value: Any) -> None:
+    view.put(key, value)
+
+
+def _op_delete(view: PartView, key: Any) -> bool:
+    return view.delete(key)
+
+
+def _op_put_batch(view: PartView, batch: list) -> None:
+    for key, value in batch:
+        view.put(key, value)
+
+
+def _op_get_batch(view: PartView, keys: list) -> list:
+    get = view.get
+    return [get(key) for key in keys]
 
 
 class _LockedPart(PartView):
@@ -139,11 +171,17 @@ class PartitionedTable(Table):
     def _partition_index(self, part_index: int) -> int:
         return part_index % self._store.n_partitions
 
-    def _call_short(self, part_index: int, fn: Callable[..., Any], *args: Any) -> Any:
+    def _call_short(
+        self, part_index: int, fn: Callable[..., Any], *args: Any, readonly: bool = False
+    ) -> Any:
         """Run *fn(view, *args)* on the part's short-op thread.
 
         Marshals arguments and result when crossing partitions; runs
-        inline without marshalling when already local.
+        inline without marshalling when already local.  With
+        ``readonly=True`` the argument roundtrip is skipped: the remote
+        side only *reads* the arguments (e.g. a key used for lookup), so
+        handing it the caller's immutable objects cannot leak aliases —
+        that halves the marshalling of every cross-partition read.
         """
         self._check()
         pidx = self._partition_index(part_index)
@@ -151,11 +189,54 @@ class PartitionedTable(Table):
         if _here() == pidx:
             return fn(view, *args)
         codec = self._store._codec
-        remote_args = codec.roundtrip(args) if args else args
+        remote_args = codec.roundtrip(args) if (args and not readonly) else args
         partition = self._store._partitions[pidx]
         future = partition.short_ops.submit(fn, view, *remote_args)
         result = future.result()
         return codec.roundtrip(result) if result is not None else None
+
+    def _submit_short(
+        self, part_index: int, fn: Callable[..., Any], *args: Any, readonly: bool = False
+    ) -> Future:
+        """Non-blocking :meth:`_call_short`: dispatch now, gather later.
+
+        Arguments are marshalled once, on the caller's thread, before
+        dispatch (so later mutation by the caller cannot race the
+        transfer); the result is marshalled back on the remote thread
+        when it completes.  Submissions from one caller thread to one
+        partition apply in submission order — the short-op executor is a
+        single FIFO worker — which is what the spill transport's
+        per-(src, dest) ordering relies on.
+        """
+        self._check()
+        pidx = self._partition_index(part_index)
+        view = self._views[part_index]
+        if _here() == pidx:
+            try:
+                return completed_future(fn(view, *args))
+            except BaseException as exc:
+                return completed_future(exception=exc)
+        codec = self._store._codec
+        remote_args = codec.roundtrip(args) if (args and not readonly) else args
+        partition = self._store._partitions[pidx]
+        inner = partition.short_ops.submit(fn, view, *remote_args)
+        outer: Future = Future()
+
+        def _marshal_result(done: Future) -> None:
+            try:
+                result = done.result()
+            except BaseException as exc:
+                outer.set_exception(exc)
+            else:
+                try:
+                    outer.set_result(
+                        codec.roundtrip(result) if result is not None else None
+                    )
+                except BaseException as exc:
+                    outer.set_exception(exc)
+
+        inner.add_done_callback(_marshal_result)
+        return outer
 
     def _call_long(self, part_index: int, fn: Callable[..., Any], *args: Any) -> Any:
         """Run *fn(part_index, view, *args)* on the part's long-op thread."""
@@ -180,31 +261,112 @@ class PartitionedTable(Table):
 
     # -- point operations ---------------------------------------------------
     def get(self, key: Any) -> Any:
-        return self._call_short(self.part_of(key), lambda view, k: view.get(k), key)
+        return self._call_short(self.part_of(key), _op_get, key, readonly=True)
 
     def put(self, key: Any, value: Any) -> None:
         self._check()
-        if self.ubiquitous and self.size() >= self.spec.ubiquity_limit and self.get(key) is None:
-            raise UbiquityViolationError(
-                f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
+        if self.ubiquitous:
+            # The limit check runs collocated with the (single) part, so
+            # one put costs one cross-partition request instead of three
+            # (size + get + put).
+            self._call_short(
+                self.part_of(key), self._checked_put_op(), key, value
             )
-        self._call_short(self.part_of(key), lambda view, k, v: view.put(k, v), key, value)
+            return
+        self._call_short(self.part_of(key), _op_put, key, value)
+
+    def _checked_put_op(self) -> Callable[[PartView, Any, Any], None]:
+        """A put body enforcing the ubiquity limit at the part itself.
+
+        Ubiquitous tables have exactly one part, so the part's length is
+        the table size and the whole check is local to the callee.
+        """
+        limit = self.spec.ubiquity_limit
+        name = self.name
+
+        def _put_checked(view: PartView, key: Any, value: Any) -> None:
+            if len(view) >= limit and view.get(key) is None:
+                raise UbiquityViolationError(
+                    f"ubiquitous table {name!r} exceeds its limit of {limit}"
+                )
+            view.put(key, value)
+
+        return _put_checked
 
     def delete(self, key: Any) -> bool:
-        return bool(self._call_short(self.part_of(key), lambda view, k: view.delete(k), key))
+        return bool(
+            self._call_short(self.part_of(key), _op_delete, key, readonly=True)
+        )
 
+    def put_async(self, key: Any, value: Any) -> Future:
+        """Dispatch a put without waiting; the future resolves when applied."""
+        if self.ubiquitous:
+            return self._submit_short(
+                self.part_of(key), self._checked_put_op(), key, value
+            )
+        return self._submit_short(self.part_of(key), _op_put, key, value)
+
+    def delete_async(self, key: Any) -> Future:
+        return self._submit_short(self.part_of(key), _op_delete, key, readonly=True)
+
+    # -- bulk operations ----------------------------------------------------
     def put_many(self, pairs: Iterable[tuple]) -> None:
-        """Batch puts per part: one marshalled request per touched part."""
+        """Batch puts: one marshalled request per touched part, all parts
+        dispatched concurrently, gathered before returning."""
+        for future in self.put_many_async(pairs):
+            future.result()
+
+    def put_many_async(self, pairs: Iterable[tuple]) -> list:
+        """Dispatch per-part put batches concurrently; returns the futures.
+
+        Each per-part batch is pickled *once* (one request), not per
+        record, and all touched parts transfer in parallel.
+        """
+        self._check()
+        if self.ubiquitous:
+            batch = list(pairs)
+            if not batch:
+                return []
+            checked = self._checked_put_op()
+
+            def _apply_checked(view: PartView, items: list) -> None:
+                for key, value in items:
+                    checked(view, key, value)
+
+            return [self._submit_short(0, _apply_checked, batch)]
         by_part: dict = {}
+        part_of = self.part_of
         for key, value in pairs:
-            by_part.setdefault(self.part_of(key), []).append((key, value))
-
-        def _apply(view: PartView, batch: list) -> None:
-            for key, value in batch:
-                view.put(key, value)
-
+            by_part.setdefault(part_of(key), []).append((key, value))
+        here = _here()
+        stats = self._store.stats
+        futures = []
         for part_index, batch in by_part.items():
-            self._call_short(part_index, _apply, batch)
+            if self._partition_index(part_index) != here:
+                stats.record_batch(len(batch))
+            futures.append(self._submit_short(part_index, _op_put_batch, batch))
+        return futures
+
+    def get_many(self, keys: Iterable[Any]) -> dict:
+        """Batch gets: one readonly request per touched part, concurrent."""
+        self._check()
+        by_part: dict = {}
+        part_of = self.part_of
+        for key in keys:
+            by_part.setdefault(part_of(key), []).append(key)
+        here = _here()
+        stats = self._store.stats
+        futures = {}
+        for part_index, part_keys in by_part.items():
+            if self._partition_index(part_index) != here:
+                stats.record_batch(len(part_keys))
+            futures[part_index] = self._submit_short(
+                part_index, _op_get_batch, part_keys, readonly=True
+            )
+        out: dict = {}
+        for part_index, part_keys in by_part.items():
+            out.update(zip(part_keys, futures[part_index].result()))
+        return out
 
     # -- enumeration -----------------------------------------------------------
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:

@@ -33,18 +33,31 @@ from repro.errors import (
 from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
 from repro.kvstore.local import fold_part_results, resolve_n_parts
 from repro.kvstore.memory_table import make_part
+from repro.serde import SerdeStats
 
 _LEN = struct.Struct("<I")
 
 
-def _append_record(fh, record: Any) -> None:
+def _frame(record: Any, stats: Optional[SerdeStats] = None) -> bytes:
     data = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-    fh.write(_LEN.pack(len(data)))
-    fh.write(data)
+    if stats is not None:
+        stats.record_marshal(len(data))
+    return _LEN.pack(len(data)) + data
+
+
+def _append_record(fh, record: Any, stats: Optional[SerdeStats] = None) -> None:
+    fh.write(_frame(record, stats))
     fh.flush()
 
 
-def _read_records(path: str) -> list:
+def _append_batch(fh, records: Iterable[Any], stats: Optional[SerdeStats] = None) -> None:
+    """Frame every record, write them all, flush *once* — the log-write
+    analog of one marshalled request per batch."""
+    fh.write(b"".join(_frame(record, stats) for record in records))
+    fh.flush()
+
+
+def _read_records(path: str, stats: Optional[SerdeStats] = None) -> list:
     """Read framed records; a truncated tail (torn write) is ignored."""
     records = []
     if not os.path.exists(path):
@@ -59,15 +72,18 @@ def _read_records(path: str) -> list:
             if len(data) < length:
                 break
             records.append(pickle.loads(data))
+            if stats is not None:
+                stats.record_unmarshal()
     return records
 
 
 class _DiskPart:
     """One part: in-memory view + on-disk log and segment."""
 
-    def __init__(self, directory: str, ordered: bool):
+    def __init__(self, directory: str, ordered: bool, stats: Optional[SerdeStats] = None):
         self.directory = directory
         self.ordered = ordered
+        self.stats = stats
         self.view: PartView = make_part(ordered)
         self.log_path = os.path.join(directory, "write.log")
         self.segment_path = os.path.join(directory, "segment.dat")
@@ -77,9 +93,9 @@ class _DiskPart:
         self.lock = threading.RLock()
 
     def _recover(self) -> None:
-        for key, value in _read_records(self.segment_path):
+        for key, value in _read_records(self.segment_path, self.stats):
             self.view.put(key, value)
-        for op, key, value in _read_records(self.log_path):
+        for op, key, value in _read_records(self.log_path, self.stats):
             if op == "put":
                 self.view.put(key, value)
             else:
@@ -88,13 +104,22 @@ class _DiskPart:
     def put(self, key: Any, value: Any) -> None:
         with self.lock:
             self.view.put(key, value)
-            _append_record(self._log, ("put", key, value))
+            _append_record(self._log, ("put", key, value), self.stats)
+
+    def put_batch(self, pairs: list) -> None:
+        """Apply and log a whole batch with a single log flush."""
+        with self.lock:
+            for key, value in pairs:
+                self.view.put(key, value)
+            _append_batch(
+                self._log, (("put", key, value) for key, value in pairs), self.stats
+            )
 
     def delete(self, key: Any) -> bool:
         with self.lock:
             present = self.view.delete(key)
             if present:
-                _append_record(self._log, ("del", key, None))
+                _append_record(self._log, ("del", key, None), self.stats)
             return present
 
     def flush(self) -> None:
@@ -124,7 +149,8 @@ class PersistentTable(Table):
         self._dropped = False
         base = os.path.join(store.directory, "tables", spec.name)
         self._parts = [
-            _DiskPart(os.path.join(base, f"part-{i:04d}"), spec.ordered) for i in range(n_parts)
+            _DiskPart(os.path.join(base, f"part-{i:04d}"), spec.ordered, store.stats)
+            for i in range(n_parts)
         ]
 
     def _check(self) -> None:
@@ -146,6 +172,28 @@ class PersistentTable(Table):
     def delete(self, key: Any) -> bool:
         self._check()
         return self._parts[self.part_of(key)].delete(key)
+
+    # -- bulk operations --------------------------------------------------
+    def put_many(self, pairs: Iterable[tuple]) -> None:
+        """Group per part and log each part's batch with one disk flush."""
+        self._check()
+        if self.ubiquitous:
+            for key, value in pairs:
+                self.put(key, value)
+            return
+        by_part: dict = {}
+        part_of = self.part_of
+        for key, value in pairs:
+            by_part.setdefault(part_of(key), []).append((key, value))
+        for part_index, batch in by_part.items():
+            self._store.stats.record_batch(len(batch))
+            self._parts[part_index].put_batch(batch)
+
+    def get_many(self, keys: Iterable[Any]) -> dict:
+        self._check()
+        parts = self._parts
+        part_of = self.part_of
+        return {key: parts[part_of(key)].view.get(key) for key in keys}
 
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
@@ -228,6 +276,10 @@ class PersistentKVStore(KVStore):
         self._default_n_parts = default_n_parts
         self._tables: dict = {}
         self._lock = threading.Lock()
+        #: Log/segment I/O counters: marshals = framed records written,
+        #: unmarshals = records replayed at recovery, batches = put_many
+        #: batches flushed with a single disk sync.
+        self.stats = SerdeStats()
         self._closed = False
         os.makedirs(directory, exist_ok=True)
         self._meta_path = os.path.join(directory, self._META)

@@ -406,13 +406,19 @@ class ReplicatedTable(Table):
         self._check()
         if value is None:
             raise ValueError("None is not a storable value; use delete()")
-        if self.ubiquitous and self.size() >= self.spec.ubiquity_limit and self.get(key) is None:
-            raise UbiquityViolationError(
-                f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
-            )
         part_index = self.part_of(key)
         shard = self._store._shard(part_index)
         with shard.lock:
+            if self.ubiquitous:
+                # single part ⇒ the part's length is the table size; the
+                # whole limit check happens under one shard lock instead
+                # of a size() scan plus a separate get
+                view = self._view(part_index)
+                if len(view) >= self.spec.ubiquity_limit and view.get(key) is None:
+                    raise UbiquityViolationError(
+                        f"ubiquitous table {self.name!r} exceeds its limit of "
+                        f"{self.spec.ubiquity_limit}"
+                    )
             self._store._apply_batch(shard, [(self.name, part_index, self.ordered, key, value)])
 
     def delete(self, key: Any) -> bool:
@@ -426,6 +432,52 @@ class ReplicatedTable(Table):
                     shard, [(self.name, part_index, self.ordered, key, None)]
                 )
             return present
+
+    # -- bulk operations ------------------------------------------------------
+    #
+    # The async point ops are intentionally *not* overridden: writes here
+    # are lock-serialized by design (the replication batch is the unit of
+    # durability), and routing them through the single per-shard executor
+    # would deadlock collocated callers.  The batched paths below are the
+    # pipeline unit instead: one replication marshal per per-part batch.
+    def put_many(self, pairs: Iterable[tuple]) -> None:
+        """One replication batch (⇒ one marshal to backups) per touched part."""
+        self._check()
+        if self.ubiquitous:
+            for key, value in pairs:
+                self.put(key, value)
+            return
+        by_part: dict = {}
+        part_of = self.part_of
+        for key, value in pairs:
+            if value is None:
+                raise ValueError("None is not a storable value; use delete()")
+            by_part.setdefault(part_of(key), []).append((key, value))
+        for part_index, batch in by_part.items():
+            shard = self._store._shard(part_index)
+            writes = [
+                (self.name, part_index, self.ordered, key, value) for key, value in batch
+            ]
+            if shard.backups:
+                self._store.stats.record_batch(len(batch))
+            with shard.lock:
+                self._store._apply_batch(shard, writes)
+
+    def get_many(self, keys: Iterable[Any]) -> dict:
+        """Grouped reads: one lock acquisition per touched shard."""
+        self._check()
+        by_part: dict = {}
+        part_of = self.part_of
+        for key in keys:
+            by_part.setdefault(part_of(key), []).append(key)
+        out: dict = {}
+        for part_index, part_keys in by_part.items():
+            shard = self._store._shard(part_index)
+            with shard.lock:
+                view = shard.primary.part(self.name, part_index, self.ordered)
+                for key in part_keys:
+                    out[key] = view.get(key)
+        return out
 
     # -- enumeration ----------------------------------------------------------
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:

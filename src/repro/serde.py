@@ -23,6 +23,11 @@ class SerdeStats:
     marshalled_objects: int = 0
     marshalled_bytes: int = 0
     unmarshalled_objects: int = 0
+    #: Cross-partition requests that carried a whole per-part batch
+    #: (put_many / get_many / pipelined spill flushes) and the records
+    #: they amortized — one marshalled request covering many operations.
+    batched_requests: int = 0
+    batched_records: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_marshal(self, nbytes: int) -> None:
@@ -34,11 +39,18 @@ class SerdeStats:
         with self._lock:
             self.unmarshalled_objects += 1
 
+    def record_batch(self, n_records: int) -> None:
+        with self._lock:
+            self.batched_requests += 1
+            self.batched_records += n_records
+
     def reset(self) -> None:
         with self._lock:
             self.marshalled_objects = 0
             self.marshalled_bytes = 0
             self.unmarshalled_objects = 0
+            self.batched_requests = 0
+            self.batched_records = 0
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -46,6 +58,8 @@ class SerdeStats:
                 "marshalled_objects": self.marshalled_objects,
                 "marshalled_bytes": self.marshalled_bytes,
                 "unmarshalled_objects": self.unmarshalled_objects,
+                "batched_requests": self.batched_requests,
+                "batched_records": self.batched_records,
             }
 
 

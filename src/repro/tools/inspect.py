@@ -7,6 +7,7 @@ Usage::
     python -m repro.tools.inspect DIR TABLE --items N    # peek at pairs
     python -m repro.tools.inspect DIR TABLE --get KEY    # one lookup
     python -m repro.tools.inspect DIR TABLE --range LO HI  # ordered scan
+    python -m repro.tools.inspect DIR --stats            # log I/O counters
 
 Works on directories created by
 :class:`~repro.kvstore.persistent.PersistentKVStore` — the on-disk
@@ -29,6 +30,29 @@ def _parse_key(raw: str) -> Any:
         return int(raw)
     except ValueError:
         return raw
+
+
+def _print_stats(store: PersistentKVStore) -> None:
+    """Print the store's serde/batching counters.
+
+    For a freshly opened directory the interesting number is *frames
+    replayed* — the recovery cost; after this process has written,
+    *batched requests* vs *batched records* shows how well bulk loads
+    amortized their log flushes.
+    """
+    snap = store.stats.snapshot()
+    batches = snap["batched_requests"]
+    print("store I/O stats:")
+    print(f"  frames written:   {snap['marshalled_objects']}"
+          f" ({snap['marshalled_bytes']} bytes)")
+    print(f"  frames replayed:  {snap['unmarshalled_objects']}")
+    print(f"  batched requests: {batches}")
+    if batches:
+        per_batch = snap["batched_records"] / batches
+        print(f"  batched records:  {snap['batched_records']}"
+              f" ({per_batch:.1f} per request)")
+    else:
+        print(f"  batched records:  {snap['batched_records']}")
 
 
 def _summarize(store: PersistentKVStore, table_name: str, args: argparse.Namespace) -> int:
@@ -73,6 +97,9 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--items", type=int, default=0, metavar="N", help="show up to N pairs")
     parser.add_argument("--get", metavar="KEY", help="look up one key")
     parser.add_argument("--range", nargs=2, metavar=("LO", "HI"), help="ordered range scan")
+    parser.add_argument(
+        "--stats", action="store_true", help="show serde/batching counters"
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -85,16 +112,20 @@ def main(argv: List[str]) -> int:
             tables = store.list_tables()
             if not tables:
                 print("(no tables)")
-                return 0
             for name in tables:
                 table = store.get_table(name)
                 print(f"{name}: {table.size()} entries, {table.n_parts} parts")
+            if args.stats:
+                _print_stats(store)
             return 0
         try:
-            return _summarize(store, args.table, args)
+            status = _summarize(store, args.table, args)
         except NoSuchTableError:
             print(f"no such table: {args.table!r}", file=sys.stderr)
             return 1
+        if args.stats:
+            _print_stats(store)
+        return status
     finally:
         store.close()
 

@@ -32,6 +32,15 @@ def _hash_bytes(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 
+# str/tuple keys dominate the non-int routing traffic (SUMMA block ids,
+# composite spill keys, named aggregates), and encoding them is far more
+# expensive than a dict probe, so their hashes are memoized.  The cache
+# key includes element types for tuples because Python equates 1 == True
+# == 1.0 in dict lookups while _encode deliberately does not.
+_HASH_CACHE: dict = {}
+_HASH_CACHE_MAX = 1 << 16
+
+
 def stable_hash(key: Any) -> int:
     """Return a deterministic 32-bit hash for *key*.
 
@@ -44,6 +53,27 @@ def stable_hash(key: Any) -> int:
         # Fast path, and faithful to the paper's Java heritage where
         # Integer.hashCode() is the value itself.
         return key & 0xFFFFFFFF
+    kind = type(key)
+    if kind is str:
+        cached = _HASH_CACHE.get(key)
+        if cached is None:
+            cached = _hash_bytes(_STR_TAG + key.encode("utf-8"))
+            if len(_HASH_CACHE) >= _HASH_CACHE_MAX:
+                _HASH_CACHE.clear()
+            _HASH_CACHE[key] = cached
+        return cached
+    if kind is tuple:
+        try:
+            cache_key = (key, tuple(type(item) for item in key))
+            cached = _HASH_CACHE.get(cache_key)
+        except TypeError:  # unhashable element (e.g. a list inside)
+            return _hash_bytes(_encode(key))
+        if cached is None:
+            cached = _hash_bytes(_encode(key))
+            if len(_HASH_CACHE) >= _HASH_CACHE_MAX:
+                _HASH_CACHE.clear()
+            _HASH_CACHE[cache_key] = cached
+        return cached
     custom = getattr(key, "__ripple_hash__", None)
     if custom is not None:
         return int(custom()) & 0xFFFFFFFF

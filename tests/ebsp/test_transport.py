@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import threading
+import time
+from concurrent.futures import Future
+
 import pytest
 
 from repro.ebsp.transport import (
@@ -15,6 +19,7 @@ from repro.ebsp.transport import (
     create_transport_table,
 )
 from repro.kvstore.local import LocalKVStore
+from repro.kvstore.partitioned import PartitionedKVStore
 from repro.util.hashing import part_for_key
 
 
@@ -102,6 +107,215 @@ class TestSpillWriter:
         writer.add((MSG, 0, "y"))
         writer.flush_all()
         assert spilled == [2]
+
+
+class TestPipelinedTransport:
+    """The asynchronous, batched spill path added for pipelined transport."""
+
+    def test_combining_stops_at_spill_boundary(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport,
+            src_part=0,
+            step=0,
+            n_parts=4,
+            part_of=part_of,
+            batch_size=2,
+            combiner=lambda a, b: a + b,
+        )
+        writer.add((MSG, 4, 1))
+        writer.add((MSG, 4, 2))  # combines in place; buffer stays at 1
+        writer.add((MSG, 8, 3))  # fills the buffer → sealed
+        writer.add((MSG, 4, 10))  # fresh buffer: must NOT merge into the sealed spill
+        writer.flush_all()
+        spills = sorted(transport.items(), key=lambda kv: kv[0][3])
+        assert [records for _, records in spills] == [
+            [(MSG, 4, 3), (MSG, 8, 3)],
+            [(MSG, 4, 10)],
+        ]
+        assert writer.messages_combined == 1
+
+    def test_hold_leaks_nothing_before_flush(self, tmp_path):
+        store = PartitionedKVStore(n_partitions=4)
+        try:
+            transport = create_transport_table(store, "xport", 4)
+            writer = SpillWriter(
+                transport,
+                src_part=0,
+                step=0,
+                n_parts=4,
+                part_of=part_of,
+                batch_size=1,
+                hold=True,
+                spills_per_batch=4,
+            )
+            for i in range(12):
+                writer.add((MSG, i, "payload"))
+            assert transport.items() == []  # nothing before the commit point
+            writer.flush_all()
+            # held buffers seal once per destination part at the commit point
+            assert len(transport.items()) == 4
+            assert sum(len(records) for _, records in transport.items()) == 12
+            assert writer.records_written == 12
+        finally:
+            store.close()
+
+    def test_discard_after_partial_spills(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport, src_part=0, step=0, n_parts=4, part_of=part_of, batch_size=2
+        )
+        writer.add((MSG, 4, "a"))
+        writer.add((MSG, 4, "b"))  # sealed and dispatched (spills_per_batch=1)
+        writer.add((MSG, 4, "c"))  # still buffered
+        writer.discard()
+        # the dispatched spill is already out — matching the eager
+        # pre-pipeline semantics — but the buffered record is gone
+        assert [records for _, records in transport.items()] == [
+            [(MSG, 4, "a"), (MSG, 4, "b")]
+        ]
+        assert writer.records_written == 2
+        writer.flush_all()
+        assert len(transport.items()) == 1
+
+    def test_discard_drops_sealed_but_undispatched(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport,
+            src_part=0,
+            step=0,
+            n_parts=4,
+            part_of=part_of,
+            batch_size=1,
+            spills_per_batch=8,
+        )
+        writer.add((MSG, 4, "x"))  # sealed into the ready batch, not dispatched
+        writer.add((MSG, 4, "y"))
+        writer.discard()
+        assert transport.items() == []
+        assert writer.records_written == 0
+        assert writer.spills_sealed == 0
+
+    def test_fifo_per_src_dest_on_partitioned_store(self, tmp_path):
+        store = PartitionedKVStore(n_partitions=4)
+        try:
+            transport = create_transport_table(store, "xport", 4)
+            writer = SpillWriter(
+                transport,
+                src_part=2,
+                step=1,
+                n_parts=4,
+                part_of=part_of,
+                batch_size=1,
+                max_in_flight=3,
+                spills_per_batch=2,
+            )
+            for i in range(40):
+                writer.add((MSG, 4, i))  # every record → part 0, one spill each
+            writer.flush_all()
+            spills = sorted(transport.items(), key=lambda kv: kv[0][3])
+            # contiguous sequence numbers, records in add() order
+            assert [key[3] for key, _ in spills] == list(range(40))
+            assert [records[0][2] for _, records in spills] == list(range(40))
+        finally:
+            store.close()
+
+    def test_coalescing_reduces_dispatches(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport,
+            src_part=0,
+            step=0,
+            n_parts=4,
+            part_of=part_of,
+            batch_size=1,
+            spills_per_batch=4,
+        )
+        for i in range(16):
+            writer.add((MSG, 4, i))
+        writer.flush_all()
+        assert writer.spills_sealed == 16
+        assert writer.batches_dispatched == 4  # 4 spills per marshalled request
+        assert len(transport.items()) == 16
+
+    def test_blocking_mode_writes_synchronously(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport,
+            src_part=0,
+            step=0,
+            n_parts=4,
+            part_of=part_of,
+            batch_size=1,
+            pipelined=False,
+        )
+        writer.add((MSG, 4, "x"))
+        assert len(transport.items()) == 1  # landed before flush_all
+        writer.flush_all()
+        assert writer.batches_dispatched == 1
+        assert writer.in_flight_hwm == 0
+
+    def test_in_flight_window_is_bounded(self):
+        """With a slow table the writer must block once the window fills."""
+
+        class _SlowTable:
+            def __init__(self):
+                self.data = {}
+                self.pending = []
+                self.max_pending = 0
+                self._lock = threading.Lock()
+                self._stop = False
+                self._thread = threading.Thread(target=self._drain, daemon=True)
+                self._thread.start()
+
+            def put_many_async(self, pairs):
+                futures = []
+                with self._lock:
+                    for key, records in pairs:
+                        future = Future()
+                        self.pending.append((key, records, future))
+                        futures.append(future)
+                    self.max_pending = max(self.max_pending, len(self.pending))
+                return futures
+
+            def _drain(self):
+                while not self._stop:
+                    with self._lock:
+                        item = self.pending.pop(0) if self.pending else None
+                        self.max_pending = max(self.max_pending, len(self.pending) + (1 if item else 0))
+                    if item is None:
+                        time.sleep(0.001)
+                        continue
+                    time.sleep(0.002)  # simulate transport latency
+                    key, records, future = item
+                    self.data[key] = records
+                    future.set_result(None)
+
+            def stop(self):
+                self._stop = True
+                self._thread.join()
+
+        table = _SlowTable()
+        try:
+            writer = SpillWriter(
+                table,  # type: ignore[arg-type]
+                src_part=0,
+                step=0,
+                n_parts=4,
+                part_of=part_of,
+                batch_size=1,
+                max_in_flight=3,
+                spills_per_batch=1,
+            )
+            for i in range(20):
+                writer.add((MSG, 4, i))
+            writer.flush_all()
+        finally:
+            table.stop()
+        assert len(table.data) == 20
+        # window of 3 plus the one batch just dispatched
+        assert writer.in_flight_hwm <= 4
+        assert table.max_pending <= 4
 
 
 class TestCollect:

@@ -93,6 +93,62 @@ class TestTableBasics:
             assert table.part_of(key) == part
 
 
+class TestAsyncAndBatchedOps:
+    """The non-blocking/batched SPI surface every store must honor."""
+
+    def test_put_async_applies(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        futures = [table.put_async(i, i * 2) for i in range(8)]
+        for future in futures:
+            assert future.result(timeout=10) is None
+        assert table.get_many(range(8)) == {i: i * 2 for i in range(8)}
+
+    def test_delete_async_reports_presence(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        table.put("k", 1)
+        assert table.delete_async("k").result(timeout=10) is True
+        assert table.delete_async("k").result(timeout=10) is False
+        assert table.get("k") is None
+
+    def test_put_many_async_gathers(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=3))
+        futures = table.put_many_async([(i, str(i)) for i in range(30)])
+        for future in futures:
+            future.result(timeout=10)
+        assert table.get_many(range(30)) == {i: str(i) for i in range(30)}
+
+    def test_get_many_missing_keys_are_none(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        table.put(1, "one")
+        assert table.get_many([1, 2]) == {1: "one", 2: None}
+
+    def test_get_many_empty(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        assert table.get_many([]) == {}
+
+    def test_put_many_rejects_none_value(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        with pytest.raises((ValueError, Exception)):
+            table.put_many([(1, "a"), (2, None)])
+
+    def test_put_many_ubiquitous_limit(self, store):
+        table = store.create_table(
+            TableSpec(name="u", ubiquitous=True, ubiquity_limit=3)
+        )
+        table.put_many([(i, i) for i in range(3)])
+        with pytest.raises(UbiquityViolationError):
+            table.put_many([(99, 99)])
+        # overwrites never count as growth, batched or not
+        table.put_many([(0, "new")])
+        assert table.get(0) == "new"
+
+    def test_async_on_dropped_table(self, store):
+        table = store.create_table(TableSpec(name="t"))
+        store.drop_table("t")
+        with pytest.raises(TableDroppedError):
+            table.put_async("k", 1).result(timeout=10)
+
+
 class TestEnumeration:
     def test_enumerate_pairs_visits_all(self, store):
         table = store.create_table(TableSpec(name="t", n_parts=3))

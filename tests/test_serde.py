@@ -44,6 +44,8 @@ class TestCodec:
             "marshalled_objects": 0,
             "marshalled_bytes": 0,
             "unmarshalled_objects": 0,
+            "batched_requests": 0,
+            "batched_records": 0,
         }
 
     def test_stats_thread_safe(self):
