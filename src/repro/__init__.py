@@ -10,6 +10,12 @@ Stores (:mod:`repro.kvstore`)
     WXS analog), ``PersistentKVStore`` (the HBase analog) — all behind
     the narrow ``KVStore``/``Table`` SPI.
 
+The worker runtime (:mod:`repro.runtime`)
+    The execution substrate under the stores, queue sets, and engines:
+    ``ThreadedRuntime`` (default) and the deterministic
+    ``InlineRuntime`` debugging mode, selected per store with
+    ``runtime="threaded" | "inline"``.
+
 The EBSP engine (:mod:`repro.ebsp`)
     Implement :class:`~repro.ebsp.Job` +
     :class:`~repro.ebsp.Compute` and call
@@ -43,6 +49,7 @@ from repro.kvstore import (
     Table,
     TableSpec,
 )
+from repro.runtime import InlineRuntime, ThreadedRuntime, WorkerRuntime
 
 __version__ = "1.0.0"
 
@@ -60,5 +67,8 @@ __all__ = [
     "PartitionedKVStore",
     "ReplicatedKVStore",
     "PersistentKVStore",
+    "WorkerRuntime",
+    "ThreadedRuntime",
+    "InlineRuntime",
     "__version__",
 ]

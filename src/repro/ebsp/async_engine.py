@@ -205,7 +205,11 @@ class AsyncEngine:
                 "(one-msg ∧ no-continue ∧ no-ss-order ∨ incremental) "
                 "∧ no aggregators ∧ no aborter"
             )
-        self._queuing = queuing if queuing is not None else LocalMessageQueuing()
+        self._queuing = (
+            queuing
+            if queuing is not None
+            else LocalMessageQueuing(runtime=getattr(store, "runtime", None))
+        )
         self._poll_timeout = poll_timeout
         self._batch_limit = max(1, batch_limit)
         props = self._plan.properties
@@ -218,6 +222,10 @@ class AsyncEngine:
             )
         self._work_stealing = work_stealing
         self._counters = Counters()
+        # The store's worker runtime (when it has one) carries the gang
+        # dispatch for the queue-set workers and the per-worker counters.
+        self._runtime = getattr(store, "runtime", None)
+        self._runtime_baseline = self._runtime.stats() if self._runtime is not None else None
         self._direct_exporter = job.direct_output_exporter()
         self._controller = WeightController()
         # set when any worker dies: peers must stop waiting for weight
@@ -293,6 +301,11 @@ class AsyncEngine:
 
         total_invocations = sum(invocations)
         self._counters.add("compute_invocations", total_invocations)
+        worker_stats: Dict[str, Any] = {}
+        if self._runtime is not None and self._runtime_baseline is not None:
+            from repro.runtime import stats_delta
+
+            worker_stats = stats_delta(self._runtime_baseline, self._runtime.stats())
         result = JobResult(
             steps=0,
             aggregates={},
@@ -300,6 +313,7 @@ class AsyncEngine:
             counters=self._counters.snapshot(),
             elapsed_seconds=time.monotonic() - started,
             synchronized=False,
+            worker_stats=worker_stats,
         )
         self._export_outputs()
         self._job.on_complete(result)
@@ -325,6 +339,8 @@ class AsyncEngine:
                 record = self._try_steal(qctx)
                 if record is not None:
                     self._counters.add("messages_stolen")
+                    if self._runtime is not None:
+                        self._runtime.record_steal(qctx.part_index)
             if record is None:
                 if not purse.empty:
                     self._controller.return_weight(purse.drain())

@@ -299,6 +299,10 @@ class SyncEngine:
         # transport I/O rather than process-lifetime totals.
         store_stats = getattr(store, "stats", None)
         self._stats_baseline = store_stats.snapshot() if store_stats is not None else None
+        # Same idea for the store's worker runtime: snapshot now, report
+        # the delta as the job's per-worker execution profile.
+        self._runtime = getattr(store, "runtime", None)
+        self._runtime_baseline = self._runtime.stats() if self._runtime is not None else None
         self._broadcast = self._snapshot_broadcast()
         if fault_tolerance:
             self._progress = ProgressTable(
@@ -408,6 +412,14 @@ class SyncEngine:
             if delta:
                 self._counters.add(f"store_{name}", delta)
 
+    def _capture_runtime_stats(self) -> Dict[str, Any]:
+        """This job's per-worker execution profile (delta over baseline)."""
+        if self._runtime is None or self._runtime_baseline is None:
+            return {}
+        from repro.runtime import stats_delta
+
+        return stats_delta(self._runtime_baseline, self._runtime.stats())
+
     # -- combiner plumbing -----------------------------------------------------
     def _combiner_for(self, step: int):
         """A (m1, m2) -> combined|None adapter, or None when the job's
@@ -455,6 +467,7 @@ class SyncEngine:
                 elapsed_seconds=time.monotonic() - started,
                 synchronized=True,
                 timeline=list(self._timeline),
+                worker_stats=self._capture_runtime_stats(),
             )
             self._export_outputs()
             self._job.on_complete(result)

@@ -61,6 +61,11 @@ class JobResult:
     elapsed_seconds: float = 0.0
     synchronized: bool = True
     timeline: list = field(default_factory=list)
+    #: Per-worker runtime counters for this job (delta over the store's
+    #: WorkerRuntime): tasks, busy_seconds, steals, and a ``workers``
+    #: list with the same split per worker.  Empty when the store has no
+    #: runtime (e.g. a bare Table implementation).
+    worker_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def compute_invocations(self) -> int:
@@ -73,6 +78,17 @@ class JobResult:
     @property
     def barriers(self) -> int:
         return self.counters.get("barriers", 0)
+
+    @property
+    def runtime_tasks(self) -> int:
+        """Worker-runtime tasks (short + long + gang) this job executed."""
+        stats = self.worker_stats
+        return stats.get("tasks", 0) + stats.get("gang_tasks", 0)
+
+    @property
+    def worker_steals(self) -> int:
+        """Messages an idle worker stole from a busy peer (run-anywhere)."""
+        return self.worker_stats.get("steals", 0)
 
     # -- transport-pipeline instrumentation --------------------------------
     @property

@@ -16,7 +16,6 @@ import enum
 import threading
 import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional
 
@@ -25,6 +24,7 @@ from repro.ebsp.job import Job
 from repro.ebsp.results import JobResult
 from repro.ebsp.runner import run_job
 from repro.kvstore.api import KVStore
+from repro.runtime import RuntimeSpec, resolve_runtime
 
 
 class JobState(enum.Enum):
@@ -70,20 +70,25 @@ class JobScheduler:
     mark reference tables, unlocking read-sharing.
     """
 
-    def __init__(self, store: KVStore, max_concurrent: int = 2):
+    def __init__(
+        self,
+        store: KVStore,
+        max_concurrent: int = 2,
+        runtime: RuntimeSpec = None,
+    ):
         if max_concurrent <= 0:
             raise ValueError("max_concurrent must be positive")
         self._store = store
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_concurrent, thread_name_prefix="ebsp-job"
-        )
+        # One runtime worker per concurrency slot; a launched job runs on
+        # the lane of the slot it claimed, so distinct slots never
+        # serialize behind each other.
+        self._runtime = resolve_runtime(runtime, n_workers=max_concurrent, name="job")
         self._lock = threading.Lock()
         self._handles: Dict[str, JobHandle] = {}
         self._queue: List[str] = []
         self._running_writes: Dict[str, FrozenSet[str]] = {}
         self._running_reads: Dict[str, FrozenSet[str]] = {}
-        self._slots = max_concurrent
-        self._in_flight = 0
+        self._free_slots: List[int] = list(range(max_concurrent))
         self._closed = False
         self._engine_kwargs: Dict[str, Dict[str, Any]] = {}
 
@@ -134,24 +139,23 @@ class JobScheduler:
 
     def _pump(self) -> None:
         """Launch every queued job that has a free slot and no conflict."""
-        to_launch: List[JobHandle] = []
+        to_launch: List[tuple] = []
         with self._lock:
             remaining: List[str] = []
             for job_id in self._queue:
                 handle = self._handles[job_id]
-                if self._in_flight < self._slots and not self._conflicts(handle):
+                if self._free_slots and not self._conflicts(handle):
                     handle.state = JobState.RUNNING
                     self._running_writes[job_id] = handle.writes
                     self._running_reads[job_id] = handle.reads
-                    self._in_flight += 1
-                    to_launch.append(handle)
+                    to_launch.append((handle, self._free_slots.pop(0)))
                 else:
                     remaining.append(job_id)
             self._queue = remaining
-        for handle in to_launch:
-            self._pool.submit(self._run_one, handle)
+        for handle, slot in to_launch:
+            self._runtime.submit(slot, self._run_one, handle, slot)
 
-    def _run_one(self, handle: JobHandle) -> None:
+    def _run_one(self, handle: JobHandle, slot: int) -> None:
         kwargs = self._engine_kwargs.get(handle.job_id, {})
         try:
             handle.result = run_job(self._store, handle.job, **kwargs)
@@ -164,7 +168,7 @@ class JobScheduler:
             with self._lock:
                 self._running_writes.pop(handle.job_id, None)
                 self._running_reads.pop(handle.job_id, None)
-                self._in_flight -= 1
+                self._free_slots.append(slot)
             handle._done.set()
             self._pump()
 
@@ -190,7 +194,11 @@ class JobScheduler:
         return True
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs; optionally wait for running ones."""
+        """Stop accepting jobs; optionally wait for running ones.
+
+        Queued jobs are cancelled; jobs already running are allowed to
+        complete (the runtime drains its lanes before stopping).
+        """
         with self._lock:
             self._closed = True
             for job_id in self._queue:
@@ -199,7 +207,11 @@ class JobScheduler:
                 handle.finished_at = time.monotonic()
                 handle._done.set()
             self._queue = []
-        self._pool.shutdown(wait=wait)
+        self._runtime.close(wait=wait)
+
+    def runtime_stats(self) -> Dict[str, Any]:
+        """Per-slot execution counters from the scheduler's runtime."""
+        return self._runtime.stats()
 
     def __enter__(self) -> "JobScheduler":
         return self

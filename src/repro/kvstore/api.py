@@ -423,7 +423,17 @@ class Table(abc.ABC):
 
 
 class KVStore(abc.ABC):
-    """A key/value store: a namespace of tables plus a compute substrate."""
+    """A key/value store: a namespace of tables plus a compute substrate.
+
+    Every implementation exposes its execution substrate as
+    ``store.runtime`` (a :class:`~repro.runtime.WorkerRuntime`) and
+    releases it in :meth:`close`.  Stores are context managers::
+
+        with PartitionedKVStore(n_partitions=4) as store:
+            ...
+
+    so tests and benchmarks cannot leak worker threads.
+    """
 
     @abc.abstractmethod
     def create_table(self, spec: TableSpec) -> Table:
@@ -459,4 +469,11 @@ class KVStore(abc.ABC):
         return self.create_table(spec)
 
     def close(self) -> None:
-        """Release resources (threads, files).  Idempotent."""
+        """Release resources (threads, files), draining pending work.
+        Idempotent."""
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -21,6 +21,7 @@ from repro.errors import (
 )
 from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
 from repro.kvstore.memory_table import make_part
+from repro.runtime import InlineRuntime
 
 
 def resolve_n_parts(spec: TableSpec, store: KVStore) -> int:
@@ -51,8 +52,9 @@ def fold_part_results(consumer, results: list) -> Any:
 class LocalTable(Table):
     """A table whose parts are plain in-process structures."""
 
-    def __init__(self, spec: TableSpec, n_parts: int):
+    def __init__(self, spec: TableSpec, n_parts: int, store: "LocalKVStore"):
         super().__init__(spec, n_parts)
+        self._store = store
         self._parts = [make_part(spec.ordered) for _ in range(n_parts)]
         self._dropped = False
 
@@ -106,26 +108,37 @@ class LocalTable(Table):
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
         indices = range(self.n_parts) if parts is None else sorted(set(parts))
-        results = [consumer.process_part(i, self._parts[i]) for i in indices]
+        runtime = self._store.runtime
+        results = [
+            runtime.submit_long(i, consumer.process_part, i, self._parts[i]).result()
+            for i in indices
+        ]
         return fold_part_results(consumer, results)
 
     def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
         indices = range(self.n_parts) if parts is None else sorted(set(parts))
-        results = []
-        for i in indices:
-            consumer.setup_part(i)
-            for key, value in self._parts[i].items():
+
+        def _run(part_index: int, view: PartView) -> Any:
+            consumer.setup_part(part_index)
+            for key, value in view.items():
                 if consumer.consume(key, value):
                     break
-            results.append(consumer.finish_part(i))
+            return consumer.finish_part(part_index)
+
+        runtime = self._store.runtime
+        results = [
+            runtime.submit_long(i, _run, i, self._parts[i]).result() for i in indices
+        ]
         return fold_part_results(consumer, results)
 
     def run_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Any:
         self._check()
         if not 0 <= part_index < self.n_parts:
             raise IndexError(f"part {part_index} out of range for {self.name!r}")
-        return fn(part_index, self._parts[part_index])
+        return self._store.runtime.submit_long(
+            part_index, fn, part_index, self._parts[part_index]
+        ).result()
 
     def size(self) -> int:
         self._check()
@@ -149,6 +162,9 @@ class LocalKVStore(KVStore):
         self._default_n_parts = default_n_parts
         self._tables: dict = {}
         self._lock = threading.Lock()
+        # The debugging store is single-threaded by contract, so its
+        # runtime is always inline: collocated work runs on the caller.
+        self.runtime = InlineRuntime(default_n_parts, name="local")
 
     @property
     def default_n_parts(self) -> int:
@@ -159,7 +175,7 @@ class LocalKVStore(KVStore):
         with self._lock:
             if spec.name in self._tables:
                 raise TableExistsError(spec.name)
-            table = LocalTable(spec, n_parts)
+            table = LocalTable(spec, n_parts, self)
             self._tables[spec.name] = table
             return table
 
@@ -180,3 +196,6 @@ class LocalKVStore(KVStore):
     def list_tables(self) -> list:
         with self._lock:
             return sorted(self._tables)
+
+    def close(self) -> None:
+        self.runtime.close(wait=True)

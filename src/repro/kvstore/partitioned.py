@@ -7,28 +7,33 @@
     partitions involves marshalling and un-marshalling, while local
     operations do not."
 
-Each emulated partition owns the data of its parts and two dedicated
-worker threads:
+Each emulated partition owns the data of its parts; execution is
+delegated to the store's :class:`~repro.runtime.WorkerRuntime`, one
+runtime worker per partition:
 
-- a *short-op* thread servicing get/put/delete requests, and
-- a *long-op* thread servicing (one at a time) enumerations and
-  collocated mobile code.
+- the worker's serialized *short lane* services get/put/delete
+  requests in FIFO submission order, and
+- the runtime's shared long pool services (one at a time per
+  partition) enumerations and collocated mobile code.
 
 A request from outside the partition is marshalled (pickled) on the way
 in and its result marshalled on the way out, exactly like a remote
 call.  Code already running inside the partition — i.e., mobile code or
 an enumeration callback — touches its local part without marshalling.
 
-Parts of a table are assigned round-robin to partitions
-(``part_index % n_partitions``), so tables with equal part counts are
-automatically collocated part-by-part, which is what the EBSP layer's
-co-partitioning relies on.
+Parts of a table are assigned round-robin to partitions — the
+runtime's placement map (``worker_of(part) = part % n_partitions``) —
+so tables with equal part counts are automatically collocated
+part-by-part, which is what the EBSP layer's co-partitioning relies on.
+
+Pass ``runtime="inline"`` for single-threaded deterministic execution
+with the marshalling semantics intact.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.errors import (
@@ -48,14 +53,8 @@ from repro.kvstore.api import (
 )
 from repro.kvstore.local import fold_part_results, resolve_n_parts
 from repro.kvstore.memory_table import make_part
+from repro.runtime import RuntimeSpec, resolve_runtime
 from repro.serde import Codec, SerdeStats
-
-_current_partition = threading.local()
-
-
-def _here() -> Optional[int]:
-    """Index of the partition whose worker thread we are on, if any."""
-    return getattr(_current_partition, "index", None)
 
 
 # Shared operation bodies for point/batch requests.  Module-level (not
@@ -126,27 +125,13 @@ class _LockedPart(PartView):
 
 
 class _Partition:
-    """One emulated partition: local data plus its two worker threads."""
+    """One emulated partition: its lock and the local data of its parts."""
 
     def __init__(self, index: int):
         self.index = index
         self.lock = threading.RLock()
         # {table_name: {part_index: _LockedPart}}
         self.parts: dict = {}
-
-        def _mark(idx: int = index) -> None:
-            _current_partition.index = idx
-
-        self.short_ops = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"part{index}-short", initializer=_mark
-        )
-        self.long_ops = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"part{index}-long", initializer=_mark
-        )
-
-    def shutdown(self) -> None:
-        self.short_ops.shutdown(wait=False)
-        self.long_ops.shutdown(wait=False)
 
 
 class PartitionedTable(Table):
@@ -169,12 +154,12 @@ class PartitionedTable(Table):
             raise TableDroppedError(self.name)
 
     def _partition_index(self, part_index: int) -> int:
-        return part_index % self._store.n_partitions
+        return self._store.runtime.worker_of(part_index)
 
     def _call_short(
         self, part_index: int, fn: Callable[..., Any], *args: Any, readonly: bool = False
     ) -> Any:
-        """Run *fn(view, *args)* on the part's short-op thread.
+        """Run *fn(view, *args)* on the part's short lane.
 
         Marshals arguments and result when crossing partitions; runs
         inline without marshalling when already local.  With
@@ -184,14 +169,14 @@ class PartitionedTable(Table):
         that halves the marshalling of every cross-partition read.
         """
         self._check()
-        pidx = self._partition_index(part_index)
+        runtime = self._store.runtime
+        pidx = runtime.worker_of(part_index)
         view = self._views[part_index]
-        if _here() == pidx:
+        if runtime.current_worker() == pidx:
             return fn(view, *args)
         codec = self._store._codec
         remote_args = codec.roundtrip(args) if (args and not readonly) else args
-        partition = self._store._partitions[pidx]
-        future = partition.short_ops.submit(fn, view, *remote_args)
+        future = runtime.submit(part_index, fn, view, *remote_args)
         result = future.result()
         return codec.roundtrip(result) if result is not None else None
 
@@ -204,22 +189,22 @@ class PartitionedTable(Table):
         dispatch (so later mutation by the caller cannot race the
         transfer); the result is marshalled back on the remote thread
         when it completes.  Submissions from one caller thread to one
-        partition apply in submission order — the short-op executor is a
-        single FIFO worker — which is what the spill transport's
+        partition apply in submission order — the runtime's short lane
+        is a single FIFO worker — which is what the spill transport's
         per-(src, dest) ordering relies on.
         """
         self._check()
-        pidx = self._partition_index(part_index)
+        runtime = self._store.runtime
+        pidx = runtime.worker_of(part_index)
         view = self._views[part_index]
-        if _here() == pidx:
+        if runtime.current_worker() == pidx:
             try:
                 return completed_future(fn(view, *args))
             except BaseException as exc:
                 return completed_future(exception=exc)
         codec = self._store._codec
         remote_args = codec.roundtrip(args) if (args and not readonly) else args
-        partition = self._store._partitions[pidx]
-        inner = partition.short_ops.submit(fn, view, *remote_args)
+        inner = runtime.submit(part_index, fn, view, *remote_args)
         outer: Future = Future()
 
         def _marshal_result(done: Future) -> None:
@@ -239,25 +224,22 @@ class PartitionedTable(Table):
         return outer
 
     def _call_long(self, part_index: int, fn: Callable[..., Any], *args: Any) -> Any:
-        """Run *fn(part_index, view, *args)* on the part's long-op thread."""
+        """Run *fn(part_index, view, *args)* on the runtime's long pool."""
         self._check()
-        pidx = self._partition_index(part_index)
+        runtime = self._store.runtime
         view = self._views[part_index]
-        if _here() == pidx:
+        if runtime.current_worker() == runtime.worker_of(part_index):
             return fn(part_index, view, *args)
-        partition = self._store._partitions[pidx]
         codec = self._store._codec
-        future = partition.long_ops.submit(fn, part_index, view, *args)
+        future = runtime.submit_long(part_index, fn, part_index, view, *args)
         result = future.result()
         return codec.roundtrip(result) if result is not None else None
 
     def _submit_long(self, part_index: int, fn: Callable[..., Any], *args: Any) -> Future:
         """Asynchronously dispatch a long op; caller gathers the future."""
         self._check()
-        pidx = self._partition_index(part_index)
         view = self._views[part_index]
-        partition = self._store._partitions[pidx]
-        return partition.long_ops.submit(fn, part_index, view, *args)
+        return self._store.runtime.submit_long(part_index, fn, part_index, view, *args)
 
     # -- point operations ---------------------------------------------------
     def get(self, key: Any) -> Any:
@@ -338,7 +320,7 @@ class PartitionedTable(Table):
         part_of = self.part_of
         for key, value in pairs:
             by_part.setdefault(part_of(key), []).append((key, value))
-        here = _here()
+        here = self._store.runtime.current_worker()
         stats = self._store.stats
         futures = []
         for part_index, batch in by_part.items():
@@ -354,7 +336,7 @@ class PartitionedTable(Table):
         part_of = self.part_of
         for key in keys:
             by_part.setdefault(part_of(key), []).append(key)
-        here = _here()
+        here = self._store.runtime.current_worker()
         stats = self._store.stats
         futures = {}
         for part_index, part_keys in by_part.items():
@@ -392,12 +374,12 @@ class PartitionedTable(Table):
         return fold_part_results(consumer, self._gather_long(indices, _run))
 
     def _gather_long(self, indices: list, fn: Callable[[int, PartView], Any]) -> list:
-        """Run *fn* on each part's long-op thread concurrently and gather.
+        """Run *fn* on each part's long slot concurrently and gather.
 
         Parts living on the calling thread's own partition run inline —
-        submitting to our own single-thread executor would deadlock.
+        waiting on our own serialized long slot would deadlock.
         """
-        here = _here()
+        here = self._store.runtime.current_worker()
         codec = self._store._codec
         futures: dict = {}
         inline: dict = {}
@@ -452,12 +434,23 @@ class PartitionedKVStore(KVStore):
     default_n_parts:
         Part count for tables that do not specify one; defaults to the
         partition count so each partition serves one part per table.
+    runtime:
+        The execution substrate: ``"threaded"`` (default),
+        ``"inline"`` (deterministic single-threaded debugging mode), or
+        a :class:`~repro.runtime.WorkerRuntime` instance with one
+        worker per partition.  The store owns the runtime and closes it.
     """
 
-    def __init__(self, n_partitions: int = 6, default_n_parts: Optional[int] = None):
+    def __init__(
+        self,
+        n_partitions: int = 6,
+        default_n_parts: Optional[int] = None,
+        runtime: "RuntimeSpec" = None,
+    ):
         if n_partitions <= 0:
             raise ValueError("n_partitions must be positive")
         self.n_partitions = n_partitions
+        self.runtime = resolve_runtime(runtime, n_workers=n_partitions, name="part")
         self._default_n_parts = default_n_parts if default_n_parts is not None else n_partitions
         self._partitions = [_Partition(i) for i in range(n_partitions)]
         self._tables: dict = {}
@@ -471,7 +464,7 @@ class PartitionedKVStore(KVStore):
         return self._default_n_parts
 
     def _partition_for(self, part_index: int) -> _Partition:
-        return self._partitions[part_index % self.n_partitions]
+        return self._partitions[self.runtime.worker_of(part_index)]
 
     def create_table(self, spec: TableSpec) -> Table:
         n_parts = resolve_n_parts(spec, self)
@@ -504,14 +497,13 @@ class PartitionedKVStore(KVStore):
             return sorted(self._tables)
 
     def close(self) -> None:
+        """Drain every pending async write, then stop the workers.
+
+        Idempotent.  In-flight ``put_async``/``put_many_async``
+        dispatches are applied before the workers exit — closing the
+        store never drops acknowledged-to-future writes.
+        """
         if self._closed:
             return
         self._closed = True
-        for partition in self._partitions:
-            partition.shutdown()
-
-    def __enter__(self) -> "PartitionedKVStore":
-        return self
-
-    def __exit__(self, *exc: Any) -> None:
-        self.close()
+        self.runtime.close(wait=True)

@@ -33,6 +33,7 @@ from repro.errors import (
 from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
 from repro.kvstore.local import fold_part_results, resolve_n_parts
 from repro.kvstore.memory_table import make_part
+from repro.runtime import RuntimeSpec, resolve_runtime
 from repro.serde import SerdeStats
 
 _LEN = struct.Struct("<I")
@@ -198,26 +199,37 @@ class PersistentTable(Table):
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
         indices = range(self.n_parts) if parts is None else sorted(set(parts))
-        results = [consumer.process_part(i, self._parts[i].view) for i in indices]
-        return fold_part_results(consumer, results)
+        runtime = self._store.runtime
+        futures = [
+            runtime.submit_long(i, consumer.process_part, i, self._parts[i].view)
+            for i in indices
+        ]
+        return fold_part_results(consumer, [f.result() for f in futures])
 
     def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
         indices = range(self.n_parts) if parts is None else sorted(set(parts))
-        results = []
-        for i in indices:
-            consumer.setup_part(i)
-            for key, value in self._parts[i].view.items():
+
+        def _run(part_index: int, view: PartView) -> Any:
+            consumer.setup_part(part_index)
+            for key, value in view.items():
                 if consumer.consume(key, value):
                     break
-            results.append(consumer.finish_part(i))
-        return fold_part_results(consumer, results)
+            return consumer.finish_part(part_index)
+
+        runtime = self._store.runtime
+        futures = [
+            runtime.submit_long(i, _run, i, self._parts[i].view) for i in indices
+        ]
+        return fold_part_results(consumer, [f.result() for f in futures])
 
     def run_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Any:
         self._check()
         if not 0 <= part_index < self.n_parts:
             raise IndexError(f"part {part_index} out of range for {self.name!r}")
-        return fn(part_index, self._DurableView(self._parts[part_index]))
+        return self._store.runtime.submit_long(
+            part_index, fn, part_index, self._DurableView(self._parts[part_index])
+        ).result()
 
     class _DurableView(PartView):
         """Part view whose writes go through the log (handed to mobile code)."""
@@ -269,11 +281,21 @@ class PersistentKVStore(KVStore):
 
     _META = "tables.meta"
 
-    def __init__(self, directory: str, default_n_parts: int = 4):
+    def __init__(
+        self,
+        directory: str,
+        default_n_parts: int = 4,
+        runtime: RuntimeSpec = None,
+    ):
         if default_n_parts <= 0:
             raise ValueError("default_n_parts must be positive")
         self.directory = directory
         self._default_n_parts = default_n_parts
+        # Durability, not parallelism, is this store's point — collocated
+        # work defaults to running inline on the caller.
+        self.runtime = resolve_runtime(
+            runtime, n_workers=default_n_parts, name="disk", default="inline"
+        )
         self._tables: dict = {}
         self._lock = threading.Lock()
         #: Log/segment I/O counters: marshals = framed records written,
@@ -351,12 +373,9 @@ class PersistentKVStore(KVStore):
         if self._closed:
             return
         self._closed = True
+        # Drain in-flight collocated work before closing the logs it may
+        # still be writing to.
+        self.runtime.close(wait=True)
         with self._lock:
             for table in self._tables.values():
                 table._close()
-
-    def __enter__(self) -> "PersistentKVStore":
-        return self
-
-    def __exit__(self, *exc: Any) -> None:
-        self.close()

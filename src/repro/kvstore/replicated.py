@@ -23,14 +23,15 @@ This module implements the closest synthetic equivalent:
   :meth:`ReplicatedKVStore.promote_backup` recovers by promoting a
   backup (discarding unreplicated writes), which the EBSP recovery
   machinery (:mod:`repro.ebsp.recovery`) builds on;
-- collocated code runs on a per-shard worker thread next to the
-  primary replica.
+- collocated code and enumerations run through the store's
+  :class:`~repro.runtime.WorkerRuntime` — one runtime worker per
+  shard, serialized one-at-a-time per shard — next to the primary
+  replica.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import (
@@ -44,6 +45,7 @@ from repro.errors import (
 from repro.kvstore.api import KVStore, PairConsumer, PartConsumer, PartView, Table, TableSpec
 from repro.kvstore.local import fold_part_results, resolve_n_parts
 from repro.kvstore.memory_table import make_part
+from repro.runtime import RuntimeSpec, resolve_runtime
 from repro.serde import Codec, SerdeStats
 
 
@@ -65,7 +67,7 @@ class _Replica:
 
 
 class _Shard:
-    """A shard: primary + backups, a lock, and a collocated executor."""
+    """A shard: primary + backups and the lock serializing its writes."""
 
     def __init__(self, index: int, replication: int):
         self.index = index
@@ -76,10 +78,6 @@ class _Shard:
         self.next_batch = 1
         # Write batches not yet applied to each backup (async mode).
         self.pending: list = [[] for _ in range(replication)]
-        self.executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"shard{index}")
-
-    def shutdown(self) -> None:
-        self.executor.shutdown(wait=False)
 
 
 class ReplicatedKVStore(KVStore):
@@ -98,6 +96,10 @@ class ReplicatedKVStore(KVStore):
         nothing.  When false, batches queue per backup and apply only
         on :meth:`sync_backups` / naturally lagging, modeling the lossy
         window real deployments have.
+    runtime:
+        Execution substrate: ``"threaded"`` (default), ``"inline"``
+        (deterministic), or a :class:`~repro.runtime.WorkerRuntime`
+        instance with one worker per shard.  The store owns it.
     """
 
     def __init__(
@@ -106,12 +108,14 @@ class ReplicatedKVStore(KVStore):
         replication: int = 1,
         sync_replication: bool = True,
         default_n_parts: Optional[int] = None,
+        runtime: "RuntimeSpec" = None,
     ):
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
         if replication < 0:
             raise ValueError("replication must be >= 0")
         self.n_shards = n_shards
+        self.runtime = resolve_runtime(runtime, n_workers=n_shards, name="shard")
         self.replication = replication
         self.sync_replication = sync_replication
         self._default_n_parts = default_n_parts if default_n_parts is not None else n_shards
@@ -248,17 +252,11 @@ class ReplicatedKVStore(KVStore):
             return sorted(self._tables)
 
     def close(self) -> None:
+        """Drain pending collocated work, then stop the workers.  Idempotent."""
         if self._closed:
             return
         self._closed = True
-        for shard in self._shards:
-            shard.shutdown()
-
-    def __enter__(self) -> "ReplicatedKVStore":
-        return self
-
-    def __exit__(self, *exc: Any) -> None:
-        self.close()
+        self.runtime.close(wait=True)
 
 
 class ShardTransaction:
@@ -483,11 +481,12 @@ class ReplicatedTable(Table):
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
         indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
+        runtime = self._store.runtime
         futures = []
         for i in indices:
             shard = self._store._shard(i)
             view = shard.primary.part(self.name, i, self.ordered)
-            futures.append(shard.executor.submit(consumer.process_part, i, view))
+            futures.append(runtime.submit_long(i, consumer.process_part, i, view))
         return fold_part_results(consumer, [f.result() for f in futures])
 
     def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
@@ -501,11 +500,12 @@ class ReplicatedTable(Table):
                     break
             return consumer.finish_part(part_index)
 
+        runtime = self._store.runtime
         futures = []
         for i in indices:
             shard = self._store._shard(i)
             view = shard.primary.part(self.name, i, self.ordered)
-            futures.append(shard.executor.submit(_run, i, view))
+            futures.append(runtime.submit_long(i, _run, i, view))
         return fold_part_results(consumer, [f.result() for f in futures])
 
     # -- collocated compute ------------------------------------------------------
@@ -521,7 +521,7 @@ class ReplicatedTable(Table):
             raise IndexError(f"part {part_index} out of range for {self.name!r}")
         shard = self._store._shard(part_index)
         view = _ReplicatingView(self._store, shard, self.name, part_index, self.ordered)
-        return shard.executor.submit(fn, part_index, view).result()
+        return self._store.runtime.submit_long(part_index, fn, part_index, view).result()
 
     # -- whole-table helpers -----------------------------------------------------
     def size(self) -> int:

@@ -1,19 +1,20 @@
 """Direct in-memory queue-set implementation.
 
-One deque + condition variable per part; workers run on a dedicated
-thread pool.  This is the fast path used when the store does not bring
-its own communication substrate.
+One deque + condition variable per part; worker gangs are dispatched
+through the shared :class:`~repro.runtime.WorkerRuntime`.  This is the
+fast path used when the store does not bring its own communication
+substrate.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Optional
 
 from repro.errors import NoSuchQueueSetError, QueueError
 from repro.messaging.api import MessageQueuing, QueueSet, QueueWorkerContext
+from repro.runtime import ThreadedRuntime, WorkerRuntime
 
 
 class _PartQueue:
@@ -62,10 +63,12 @@ class _LocalContext(QueueWorkerContext):
 class LocalQueueSet(QueueSet):
     """Deque-backed queue set."""
 
-    def __init__(self, name: str, n_parts: int):
+    def __init__(self, name: str, n_parts: int, runtime: Optional[WorkerRuntime] = None):
         if n_parts <= 0:
             raise QueueError("a queue set needs at least one part")
         super().__init__(name, n_parts)
+        self._runtime = runtime if runtime is not None else ThreadedRuntime(1, name="queuing")
+        self._owns_runtime = runtime is None
         self._queues = [_PartQueue() for _ in range(n_parts)]
         self._deleted = False
 
@@ -79,13 +82,12 @@ class LocalQueueSet(QueueSet):
     def run_workers(self, worker: Callable[[QueueWorkerContext], Any]) -> list:
         if self._deleted:
             raise NoSuchQueueSetError(self.name)
-        with ThreadPoolExecutor(
-            max_workers=self.n_parts, thread_name_prefix=f"qs-{self.name}"
-        ) as pool:
-            futures = [
-                pool.submit(worker, _LocalContext(self, i)) for i in range(self.n_parts)
-            ]
-            return [f.result() for f in futures]
+        # Queue workers block on messages from each other, so the gang
+        # runs on dedicated threads — never on the bounded long pool.
+        return self._runtime.run_tasks(
+            [lambda i=i: worker(_LocalContext(self, i)) for i in range(self.n_parts)],
+            label=f"qs-{self.name}",
+        )
 
     def pending(self, part_index: int) -> int:
         return len(self._queues[part_index])
@@ -113,12 +115,15 @@ class LocalQueueSet(QueueSet):
 
     def _mark_deleted(self) -> None:
         self._deleted = True
+        if self._owns_runtime:
+            self._runtime.close(wait=True)
 
 
 class LocalMessageQueuing(MessageQueuing):
     """Namespace of :class:`LocalQueueSet` instances."""
 
-    def __init__(self) -> None:
+    def __init__(self, runtime: Optional[WorkerRuntime] = None) -> None:
+        self._runtime = runtime
         self._sets: dict = {}
         self._lock = threading.Lock()
 
@@ -126,7 +131,7 @@ class LocalMessageQueuing(MessageQueuing):
         with self._lock:
             if name in self._sets:
                 raise QueueError(f"queue set {name!r} already exists")
-            queue_set = LocalQueueSet(name, n_parts)
+            queue_set = LocalQueueSet(name, n_parts, runtime=self._runtime)
             self._sets[name] = queue_set
             return queue_set
 

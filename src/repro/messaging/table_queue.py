@@ -23,8 +23,7 @@ from typing import Any, Callable, Optional
 from repro.errors import NoSuchQueueSetError, QueueError
 from repro.kvstore.api import KVStore, TableSpec
 from repro.messaging.api import MessageQueuing, QueueSet, QueueWorkerContext
-
-from concurrent.futures import ThreadPoolExecutor
+from repro.runtime import ThreadedRuntime
 
 
 class _TableContext(QueueWorkerContext):
@@ -87,6 +86,11 @@ class TableQueueSet(QueueSet):
                 key_hash=lambda key: key[0],
             )
         )
+        # Ride on the backing store's runtime when it has one; a private
+        # fallback keeps bare Table implementations working.
+        runtime = getattr(store, "runtime", None)
+        self._runtime = runtime if runtime is not None else ThreadedRuntime(1, name=f"tqs-{name}")
+        self._owns_runtime = runtime is None
         self._seq_lock = threading.Lock()
         self._next_seq = [0] * n_parts
         self._conds = [threading.Condition() for _ in range(n_parts)]
@@ -109,13 +113,12 @@ class TableQueueSet(QueueSet):
     def run_workers(self, worker: Callable[[QueueWorkerContext], Any]) -> list:
         if self._deleted:
             raise NoSuchQueueSetError(self.name)
-        with ThreadPoolExecutor(
-            max_workers=self.n_parts, thread_name_prefix=f"tqs-{self.name}"
-        ) as pool:
-            futures = [
-                pool.submit(worker, _TableContext(self, i)) for i in range(self.n_parts)
-            ]
-            return [f.result() for f in futures]
+        # Queue workers block on messages from each other, so the gang
+        # runs on dedicated threads — never on the bounded long pool.
+        return self._runtime.run_tasks(
+            [lambda i=i: worker(_TableContext(self, i)) for i in range(self.n_parts)],
+            label=f"tqs-{self.name}",
+        )
 
     def pending(self, part_index: int) -> int:
         with self._seq_lock:
@@ -135,6 +138,8 @@ class TableQueueSet(QueueSet):
         for cond in self._conds:
             with cond:
                 cond.notify_all()
+        if self._owns_runtime:
+            self._runtime.close(wait=True)
 
 
 class TableMessageQueuing(MessageQueuing):

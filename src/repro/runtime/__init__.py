@@ -1,0 +1,39 @@
+"""The worker-runtime layer: executor, placement, and lifecycle substrate.
+
+All execution resources of the fundamental layer live behind
+:class:`~repro.runtime.api.WorkerRuntime`: the stores, the queue sets,
+and both EBSP engines submit work through a runtime instead of owning
+private thread pools.  Two implementations ship:
+
+- :class:`~repro.runtime.threaded.ThreadedRuntime` — the default; one
+  thread per worker for short FIFO operations plus a shared bounded
+  pool for long-running collocated work.
+- :class:`~repro.runtime.inline.InlineRuntime` — single-threaded
+  deterministic execution for debugging and reproducible failure
+  injection.
+
+Stores accept ``runtime="threaded"``, ``runtime="inline"``, or a
+:class:`WorkerRuntime` instance at construction.
+"""
+
+from repro.runtime.api import (
+    RuntimeClosedError,
+    RuntimeSpec,
+    WorkerRuntime,
+    finished_future,
+    resolve_runtime,
+    stats_delta,
+)
+from repro.runtime.inline import InlineRuntime
+from repro.runtime.threaded import ThreadedRuntime
+
+__all__ = [
+    "WorkerRuntime",
+    "ThreadedRuntime",
+    "InlineRuntime",
+    "RuntimeClosedError",
+    "RuntimeSpec",
+    "resolve_runtime",
+    "stats_delta",
+    "finished_future",
+]

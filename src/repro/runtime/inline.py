@@ -1,0 +1,57 @@
+"""The deterministic single-threaded runtime.
+
+The "parallel debugging store" idea promoted to a first-class execution
+mode: every lane and long task executes immediately on the *calling*
+thread, with the worker marker set for its duration, and returns an
+already-resolved future.  Cross-worker marshalling, placement, FIFO
+ordering, and instrumentation all behave exactly like the threaded
+runtime — but execution order is the submission order of a single
+thread, so failures reproduce deterministically and a debugger walks
+straight through store internals.
+
+Gang dispatch (:meth:`WorkerRuntime.run_tasks`) still uses real
+threads: gang tasks are queue-set workers that block on messages from
+each other, which cannot be serialized onto one thread.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from repro.runtime.api import RuntimeClosedError, WorkerRuntime, finished_future
+
+
+class InlineRuntime(WorkerRuntime):
+    """Single-threaded deterministic execution with simulated workers."""
+
+    kind = "inline"
+
+    def _run_here(self, lane: int, fn: Callable[..., Any], args: tuple) -> Future:
+        if self._closed:
+            raise RuntimeClosedError(f"runtime {self.name!r} is closed")
+        worker = self.worker_of(lane)
+        tls = self._tls
+        previous = getattr(tls, "worker", None)
+        tls.worker = worker
+        started = time.perf_counter()
+        try:
+            result = fn(*args)
+        except BaseException as exc:
+            return finished_future(exception=exc)
+        else:
+            return finished_future(result)
+        finally:
+            tls.worker = previous
+            self._counters[worker].record_task(time.perf_counter() - started)
+
+    def submit(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
+        return self._run_here(lane, fn, args)
+
+    def submit_long(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
+        # Immediate execution trivially satisfies one-at-a-time per worker.
+        return self._run_here(lane, fn, args)
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True

@@ -53,6 +53,16 @@ def _print_stats(store: PersistentKVStore) -> None:
               f" ({per_batch:.1f} per request)")
     else:
         print(f"  batched records:  {snap['batched_records']}")
+    runtime = getattr(store, "runtime", None)
+    if runtime is not None:
+        rt = runtime.stats()
+        print("worker runtime:")
+        print(f"  kind:             {rt['runtime']} ({rt['n_workers']} workers)")
+        print(f"  tasks run:        {rt['tasks']}")
+        print(f"  busy seconds:     {rt['busy_seconds']:.3f}")
+        print(f"  gang tasks:       {rt['gang_tasks']}")
+        if rt["steals"]:
+            print(f"  messages stolen:  {rt['steals']}")
 
 
 def _summarize(store: PersistentKVStore, table_name: str, args: argparse.Namespace) -> int:

@@ -3,9 +3,17 @@
 ``store`` parametrizes a test over all four KVStore implementations —
 the cheap way to keep them conformant to the SPI (and the test-suite
 analog of the paper's store-portability claim).
+
+Setting ``RIPPLE_RUNTIME=inline`` (or ``threaded``) forces that worker
+runtime for every store the fixtures build, so the whole conformance
+surface can be re-run deterministically: ``RIPPLE_RUNTIME=inline
+pytest tests/kvstore``.  The local store is single-threaded by contract
+and ignores the override.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -17,15 +25,24 @@ from repro.kvstore.replicated import ReplicatedKVStore
 STORE_KINDS = ["local", "partitioned", "replicated", "persistent"]
 
 
+def runtime_override():
+    """The worker-runtime kind forced via the environment, if any."""
+    value = os.environ.get("RIPPLE_RUNTIME", "").strip().lower()
+    return value if value in ("threaded", "inline") else None
+
+
 def make_store(kind: str, tmp_path, n_parts: int = 4):
+    runtime = runtime_override()
     if kind == "local":
         return LocalKVStore(default_n_parts=n_parts)
     if kind == "partitioned":
-        return PartitionedKVStore(n_partitions=n_parts)
+        return PartitionedKVStore(n_partitions=n_parts, runtime=runtime)
     if kind == "replicated":
-        return ReplicatedKVStore(n_shards=n_parts, replication=1)
+        return ReplicatedKVStore(n_shards=n_parts, replication=1, runtime=runtime)
     if kind == "persistent":
-        return PersistentKVStore(str(tmp_path / "store"), default_n_parts=n_parts)
+        return PersistentKVStore(
+            str(tmp_path / "store"), default_n_parts=n_parts, runtime=runtime
+        )
     raise ValueError(kind)
 
 

@@ -7,7 +7,7 @@ import threading
 import pytest
 
 from repro.kvstore.api import FnPairConsumer, FnPartConsumer, TableSpec
-from repro.kvstore.partitioned import PartitionedKVStore, _here
+from repro.kvstore.partitioned import PartitionedKVStore
 
 
 @pytest.fixture
@@ -53,7 +53,7 @@ class TestMarshalling:
 
     def test_collocated_sees_partition_marker(self, store):
         table = store.create_table(TableSpec(name="t", n_parts=4))
-        marker = table.run_collocated(2, lambda i, v: _here())
+        marker = table.run_collocated(2, lambda i, v: store.runtime.current_worker())
         assert marker == 2
 
 

@@ -15,6 +15,7 @@ PUBLIC_MODULES = [
     "repro.kvstore",
     "repro.kvstore.api",
     "repro.messaging",
+    "repro.runtime",
     "repro.ebsp",
     "repro.ebsp.convergence",
     "repro.ebsp.scheduler",

@@ -61,3 +61,11 @@ class TestInspect:
         PersistentKVStore(path).close()
         assert main([path]) == 0
         assert "(no tables)" in capsys.readouterr().out
+
+    def test_stats_include_worker_runtime(self, store_dir, capsys):
+        assert main([store_dir, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "store I/O stats:" in out
+        assert "worker runtime:" in out
+        assert "inline" in out
+        assert "tasks run:" in out
