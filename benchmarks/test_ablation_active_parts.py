@@ -1,0 +1,197 @@
+"""Ablation — activity-proportional supersteps (§II-A selective enablement).
+
+The seed engine enumerated every part of the reference table each
+superstep, even when the active frontier touched a handful of keys —
+each idle part cost a dispatched task, an empty transport scan, and a
+progress-table write.  Active-part scheduling dispatches part-step
+tasks only for parts with pending spilled records; skipped parts
+contribute identity aggregator partials and a bulk progress entry.
+
+The workload that isolates this is the paper's own §V-C scenario run
+over many parts: sparse incremental SSSP updates on a 64-part table,
+where each change batch ripples through a few parts while ~60 sit
+idle.  Baseline (``active_scheduling=False``) and active modes must
+produce byte-identical distances; the active mode must dispatch
+strictly fewer part-step tasks, skip >50 % of them, and be no slower.
+
+A second A/B isolates the compact spill codec on the message-heavy
+PageRank workload: struct-of-arrays spill encoding must reduce the
+bytes marshalled across partition boundaries.
+
+Writes a ``BENCH_active_parts.json`` artifact (path override:
+``RIPPLE_BENCH_OUT``) with per-mode timings, task counts, and codec
+byte totals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+import pytest
+
+from repro.apps.pagerank import PageRankConfig, build_pagerank_table, pagerank_direct
+from repro.apps.sssp import SelectiveSSSP
+from repro.bench.experiments import sssp_workload
+from repro.graph.generators import power_law_directed_graph
+from repro.kvstore.partitioned import PartitionedKVStore
+
+from benchmarks.conftest import bench_rounds
+
+N_PARTS = 64
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    return sssp_workload(scale)
+
+
+def _distance_digest(distances: dict) -> str:
+    """Canonical fingerprint of the solved distances, for byte-identical
+    cross-mode comparison without shipping the full map into the
+    artifact."""
+    payload = repr(sorted(distances.items())).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _run_sssp(workload, active: bool) -> dict:
+    store = PartitionedKVStore(n_partitions=6, default_n_parts=N_PARTS)
+    try:
+        solver = SelectiveSSSP(store, workload.source)
+        solver.load({v: set(ns) for v, ns in workload.initial_adjacency.items()})
+        # initial solve is untimed setup (the paper's protocol); the
+        # ablation measures the sparse update batches
+        solver.initial_solve(active_scheduling=active)
+        part_steps_run = 0
+        parts_skipped = 0
+        steps = 0
+        started = time.perf_counter()
+        for batch in workload.change_batches:
+            solver.update(batch, active_scheduling=active)
+            result = solver.last_result
+            part_steps_run += result.part_steps_run
+            parts_skipped += result.parts_skipped
+            steps += result.steps
+        elapsed = time.perf_counter() - started
+        return {
+            "elapsed_seconds": elapsed,
+            "steps": steps,
+            "part_steps_run": part_steps_run,
+            "parts_skipped": parts_skipped,
+            "distance_digest": _distance_digest(solver.distances()),
+        }
+    finally:
+        store.close()
+
+
+def _write_artifact() -> None:
+    path = os.environ.get("RIPPLE_BENCH_OUT", "BENCH_active_parts.json")
+    with open(path, "w") as fh:
+        json.dump(
+            {"config": {"n_parts": N_PARTS, "rounds": bench_rounds()}, "modes": _RESULTS},
+            fh,
+            indent=2,
+        )
+
+
+@pytest.mark.parametrize("mode", ["baseline", "active"])
+def test_active_part_scheduling(benchmark, workload, mode):
+    rounds: list = []
+
+    def once():
+        measurement = _run_sssp(workload, active=(mode == "active"))
+        rounds.append(measurement)
+        return measurement
+
+    benchmark.pedantic(once, rounds=bench_rounds(), iterations=1)
+    best = min(rounds, key=lambda r: r["elapsed_seconds"])
+    _RESULTS[mode] = {"best": best, "rounds": rounds}
+
+    if mode == "active" and "baseline" in _RESULTS:
+        baseline = _RESULTS["baseline"]["best"]
+        # correctness first: skipping idle parts must not change anything
+        assert best["distance_digest"] == baseline["distance_digest"], (
+            "active-part scheduling changed the solved distances"
+        )
+        assert best["steps"] == baseline["steps"]
+        # strictly fewer dispatched part-step tasks, and most skipped:
+        # the frontier of a sparse update touches a few of the 64 parts
+        assert best["part_steps_run"] < baseline["part_steps_run"], (
+            f"active mode dispatched {best['part_steps_run']} part-steps, "
+            f"baseline {baseline['part_steps_run']}"
+        )
+        total = best["part_steps_run"] + best["parts_skipped"]
+        skip_ratio = best["parts_skipped"] / total
+        assert skip_ratio > 0.5, (
+            f"sparse updates should skip most of the {N_PARTS} parts "
+            f"(skipped {best['parts_skipped']}/{total} = {skip_ratio:.0%})"
+        )
+        assert baseline["parts_skipped"] == 0
+        # the whole point: superstep cost proportional to activity
+        assert best["elapsed_seconds"] < baseline["elapsed_seconds"], (
+            "active-part scheduling should be no slower than enumerating "
+            f"all parts ({best['elapsed_seconds']:.3f}s vs "
+            f"{baseline['elapsed_seconds']:.3f}s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Compact spill codec A/B — message-heavy PageRank
+# ---------------------------------------------------------------------------
+
+_CODEC_RESULTS: dict = {}
+CONFIG = PageRankConfig(iterations=3)
+
+
+@pytest.fixture(scope="module")
+def adjacency(scale):
+    return power_law_directed_graph(int(800 * scale), int(16_000 * scale), seed=88)
+
+
+def _run_pagerank(adjacency, compact: bool) -> dict:
+    store = PartitionedKVStore(n_partitions=6)
+    try:
+        n = build_pagerank_table(store, "pr", adjacency)
+        started = time.perf_counter()
+        result = pagerank_direct(store, "pr", n, CONFIG, compact_spills=compact)
+        elapsed = time.perf_counter() - started
+        return {
+            "elapsed_seconds": elapsed,
+            "marshalled_bytes": result.marshalled_bytes,
+            "codec_sample_raw_bytes": result.counters.get("codec_sample_raw_bytes", 0),
+            "codec_sample_compact_bytes": result.counters.get(
+                "codec_sample_compact_bytes", 0
+            ),
+            "spills_written": result.spills_written,
+        }
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("codec", ["classic", "compact"])
+def test_compact_spill_codec(benchmark, adjacency, codec):
+    rounds: list = []
+
+    def once():
+        measurement = _run_pagerank(adjacency, compact=(codec == "compact"))
+        rounds.append(measurement)
+        return measurement
+
+    benchmark.pedantic(once, rounds=bench_rounds(), iterations=1)
+    best = min(rounds, key=lambda r: r["elapsed_seconds"])
+    _CODEC_RESULTS[codec] = {"best": best, "rounds": rounds}
+
+    if codec == "compact" and "classic" in _CODEC_RESULTS:
+        _RESULTS["codec"] = _CODEC_RESULTS
+        _write_artifact()
+        classic = _CODEC_RESULTS["classic"]["best"]
+        # struct-of-arrays spills pickle smaller than per-record tuples
+        assert best["marshalled_bytes"] < classic["marshalled_bytes"], (
+            "compact spill codec should reduce cross-partition bytes "
+            f"({best['marshalled_bytes']} vs {classic['marshalled_bytes']})"
+        )
+        sampled = best["codec_sample_raw_bytes"]
+        assert sampled and best["codec_sample_compact_bytes"] < sampled

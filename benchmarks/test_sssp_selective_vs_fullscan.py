@@ -20,6 +20,7 @@ from repro.bench.experiments import sssp_workload, time_sssp_variant
 from benchmarks.conftest import bench_rounds
 
 _MEANS: dict = {}
+_ACTIVITY: dict = {}
 
 
 @pytest.fixture(scope="module")
@@ -43,20 +44,33 @@ def _bench_variant(benchmark, workload, selective: bool, rounds: int):
         solver.initial_solve()
         return (solver,), {}
 
+    activity = _ACTIVITY.setdefault(
+        "selective" if selective else "full_scan",
+        {"part_steps_run": 0, "parts_skipped": 0},
+    )
+
     def target(solver):
         for batch in workload.change_batches:
             solver.update(batch)
+            result = getattr(solver, "last_result", None)
+            if result is not None:
+                activity["part_steps_run"] += result.part_steps_run
+                activity["parts_skipped"] += result.parts_skipped
 
     try:
         benchmark.pedantic(target, setup=setup, rounds=rounds, iterations=1)
     finally:
         for store in stores:
             store.close()
+    benchmark.extra_info.update(activity)
     return benchmark.stats.stats.mean
 
 
 def test_sssp_selective_enablement(benchmark, workload):
     _MEANS["selective"] = _bench_variant(benchmark, workload, True, bench_rounds())
+    # the ripple's sparse waves leave most parts idle each superstep —
+    # active-part scheduling turns that idleness into skipped tasks
+    assert _ACTIVITY["selective"]["parts_skipped"] > 0
 
 
 def test_sssp_full_scan(benchmark, workload):

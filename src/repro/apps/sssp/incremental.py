@@ -119,6 +119,8 @@ class SelectiveSSSP:
         self.source = source
         self.table_name = table_name
         self._cap = distance_cap
+        #: JobResult of the most recent solve/update (None before the first).
+        self.last_result = None
         if not store.has_table(table_name):
             store.create_table(TableSpec(name=table_name))
 
@@ -164,6 +166,7 @@ class SelectiveSSSP:
             synchronize=synchronize,
             **engine_kwargs,
         )
+        self.last_result = result
         return result.steps
 
     # -- incremental update ---------------------------------------------------
@@ -240,6 +243,7 @@ class SelectiveSSSP:
             synchronize=synchronize,
             **engine_kwargs,
         )
+        self.last_result = result
         return result.steps
 
     # -- inspection --------------------------------------------------------------

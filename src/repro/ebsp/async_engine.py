@@ -16,11 +16,18 @@ weight-throwing algorithm (:mod:`repro.ebsp.termination`).
 When the job additionally has the ``run-anywhere`` optimization
 (``no-collect ∧ rare-state``) *and* declares ``no_ss_order``, idle
 workers steal queued work from the most loaded peer.
+
+Without work stealing, a worker whose queue runs dry *parks* on an
+activation event instead of spin-polling: senders raise the
+destination part's event after enqueueing, so a frontier touching 3 of
+64 parts costs 3 busy workers, not 64 pollers — the no-sync analog of
+the synchronous engine's active-part scheduling.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -141,6 +148,7 @@ class _AsyncContext(ComputeContext):
         weight = self._purse.take_for_message()
         dest_part = self._engine._part_of(key)
         self._qctx.put(dest_part, (_MSG, key, message, weight))
+        self._engine._activate(dest_part)
         self.messages_sent += 1
 
     def aggregate_value(self, name: str, value: Any) -> None:
@@ -230,7 +238,12 @@ class AsyncEngine:
         self._controller = WeightController()
         # set when any worker dies: peers must stop waiting for weight
         # that crashed with it
-        self._abort = __import__("threading").Event()
+        self._abort = threading.Event()
+        # per-part activation events (parking); created in run() when
+        # work stealing is off — a stealing worker must stay awake to steal
+        self._activation: Optional[List[threading.Event]] = None
+        # key -> part memo for the engine-side routing lookup
+        self._part_cache: Dict[Any, int] = {}
         self._jid = next(_job_ids)
         self._resolve_tables()
         self._broadcast = self._snapshot_broadcast()
@@ -272,11 +285,38 @@ class AsyncEngine:
         return dict(self._store.get_table(name).items())
 
     def _part_of(self, key: Any) -> int:
+        try:
+            return self._part_cache[key]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable key: route without caching
+            return self._compute_part_of(key)
+        part = self._compute_part_of(key)
+        self._part_cache[key] = part
+        return part
+
+    def _compute_part_of(self, key: Any) -> int:
         if self._state_tables:
             return self._state_tables[0].part_of(key)
         from repro.util.hashing import part_for_key
 
         return part_for_key(key, self.n_parts)
+
+    # -- parking --------------------------------------------------------------------
+    def _activate(self, part: int) -> None:
+        """Wake the worker owning *part* (no-op when parking is off).
+
+        Senders call this *after* enqueueing, and a parking worker
+        re-checks its queue after clearing its event, so a wakeup can
+        never be lost between the two.
+        """
+        if self._activation is not None:
+            self._activation[part].set()
+
+    def _wake_all(self) -> None:
+        if self._activation is not None:
+            for event in self._activation:
+                event.set()
 
     # -- execution -----------------------------------------------------------------
     def run(self) -> JobResult:
@@ -288,9 +328,14 @@ class AsyncEngine:
             loader.load(loader_ctx)
 
         queue_set = self._queuing.create_queue_set(f"__ebsp_async_{self._jid}", self.n_parts)
+        if not self._work_stealing:
+            # parking: a worker with no seed starts parked; its event is
+            # raised by the first message routed to it
+            self._activation = [threading.Event() for _ in range(self.n_parts)]
         try:
             for part, record in loader_ctx.seeds:
                 queue_set.put(part, record)
+                self._activate(part)
             if not loader_ctx.seeds:
                 # nothing to do: the controller still holds weight 1
                 invocations = [0] * self.n_parts
@@ -315,16 +360,24 @@ class AsyncEngine:
             synchronized=False,
             worker_stats=worker_stats,
         )
+        from repro.ebsp.results import record_job_stats
+
+        record_job_stats(self._store, result)
         self._export_outputs()
         self._job.on_complete(result)
         return result
 
     def _worker(self, qctx: QueueWorkerContext) -> int:
         try:
-            return self._worker_loop(qctx)
+            result = self._worker_loop(qctx)
         except BaseException:
             self._abort.set()
+            self._wake_all()
             raise
+        # a worker that saw termination wakes every parked peer so they
+        # can observe it too
+        self._wake_all()
+        return result
 
     def _worker_loop(self, qctx: QueueWorkerContext) -> int:
         purse = WeightPurse()
@@ -332,6 +385,9 @@ class AsyncEngine:
         no_continue = self._plan.properties.no_continue
         can_steal = self._work_stealing and isinstance(
             getattr(qctx, "_queue_set", None), LocalQueueSet
+        )
+        event = (
+            self._activation[qctx.part_index] if self._activation is not None else None
         )
         while not self._controller.is_done() and not self._abort.is_set():
             record = qctx.read(timeout=self._poll_timeout)
@@ -344,7 +400,19 @@ class AsyncEngine:
             if record is None:
                 if not purse.empty:
                     self._controller.return_weight(purse.drain())
-                continue
+                if event is not None:
+                    # park until a sender raises our event; clearing first
+                    # and re-checking the queue closes the put/set race
+                    event.clear()
+                    record = qctx.read(timeout=0)
+                    if record is None:
+                        if self._controller.is_done() or self._abort.is_set():
+                            break
+                        self._counters.add("worker_parks")
+                        event.wait()
+                        continue
+                else:
+                    continue
             batch = [record]
             while len(batch) < self._batch_limit:
                 extra = qctx.read(timeout=0)
@@ -377,7 +445,9 @@ class AsyncEngine:
                             "returned the positive signal"
                         )
                     weight = purse.take_for_message()
-                    qctx.put(self._part_of(key), (_ENABLE, key, None, weight))
+                    dest_part = self._part_of(key)
+                    qctx.put(dest_part, (_ENABLE, key, None, weight))
+                    self._activate(dest_part)
             if not purse.empty:
                 self._controller.return_weight(purse.drain())
         self._counters.add("messages_sent", ctx.messages_sent)

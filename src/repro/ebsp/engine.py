@@ -101,9 +101,13 @@ class _LoaderCtx(LoaderContext):
 class _StepContext(ComputeContext):
     """One part's compute context for one step; rebound per component.
 
-    State writes go through a per-component write-behind buffer that is
-    applied at the end of the invocation — and, under fault tolerance,
-    deferred further to the part-step commit point.
+    State writes go through a per-component write-behind buffer that
+    feeds a part-step *write-back cache* at the end of the invocation:
+    reads hit the cache after first touch, and every dirtied state
+    table commits as one batched ``put_many`` (plus one ``delete_many``)
+    at the part-step commit point — which also gives fault tolerance
+    its deferral for free, since nothing reaches a state table before
+    :meth:`commit_state`.
     """
 
     def __init__(self, engine: "SyncEngine", part: int, step: int, writer: SpillWriter):
@@ -117,8 +121,11 @@ class _StepContext(ComputeContext):
         self._state_buffer: Dict[int, Any] = {}
         self._dirty: set = set()
         self.continue_signal = False
-        # part-step deferred effects (used under fault tolerance)
-        self.deferred_state_ops: List[Tuple[int, Any, Any]] = []
+        # part-step write-back cache: (tab_idx, key) -> value/_ABSENT;
+        # holds both read-through results and staged writes
+        self._cache: Dict[Tuple[int, Any], Any] = {}
+        # staged writes awaiting commit: tab_idx -> {key: value/_ABSENT}
+        self._dirty_tabs: Dict[int, Dict[Any, Any]] = {}
         self.agg_partials: Dict[str, Any] = {
             name: agg.create() for name, agg in engine._aggs.items()
         }
@@ -137,25 +144,39 @@ class _StepContext(ComputeContext):
         self.invocations += 1
 
     def _finish_invocation(self) -> None:
-        """Apply this component's state buffer (or defer it)."""
+        """Stage this component's state buffer into the write-back cache."""
         for tab_idx in self._dirty:
-            value = self._state_buffer[tab_idx]
-            if self._engine._fault_tolerance:
-                self.deferred_state_ops.append((tab_idx, self._key, value))
-            else:
-                self._apply_state_op(tab_idx, self._key, value)
+            self._stage(tab_idx, self._key, self._state_buffer[tab_idx])
 
-    def _apply_state_op(self, tab_idx: int, key: Any, value: Any) -> None:
-        table = self._engine._state_tables[tab_idx]
-        if value is _StepContext._ABSENT:
-            table.delete(key)
-        else:
-            table.put(key, value)
+    def _stage(self, tab_idx: int, key: Any, value: Any) -> None:
+        self._cache[(tab_idx, key)] = value
+        self._dirty_tabs.setdefault(tab_idx, {})[key] = value
 
-    def commit_deferred(self) -> None:
-        for tab_idx, key, value in self.deferred_state_ops:
-            self._apply_state_op(tab_idx, key, value)
-        self.deferred_state_ops = []
+    def commit_state(self) -> Tuple[int, int]:
+        """Flush staged writes: one batched put (and one batched delete)
+        per dirtied state table.  Returns (batches, records)."""
+        batches = records = 0
+        for tab_idx, pending in self._dirty_tabs.items():
+            puts = [
+                (key, value)
+                for key, value in pending.items()
+                if value is not _StepContext._ABSENT
+            ]
+            deletes = [
+                key for key, value in pending.items()
+                if value is _StepContext._ABSENT
+            ]
+            table = self._engine._state_tables[tab_idx]
+            if puts:
+                table.put_many(puts)
+                batches += 1
+                records += len(puts)
+            if deletes:
+                table.delete_many(deletes)
+                batches += 1
+                records += len(deletes)
+        self._dirty_tabs = {}
+        return batches, records
 
     # -- ComputeContext API ------------------------------------------------------
     @property
@@ -178,13 +199,18 @@ class _StepContext(ComputeContext):
         if tab_idx in self._state_buffer:
             value = self._state_buffer[tab_idx]
             return None if value is _StepContext._ABSENT else value
-        if self._engine._fault_tolerance:
-            # Deferred ops from earlier invocations in this part-step may
-            # shadow the table contents.
-            for t, k, v in reversed(self.deferred_state_ops):
-                if t == tab_idx and k == self._key:
-                    return None if v is _StepContext._ABSENT else v
-        return self._engine._state_tables[tab_idx].get(self._key)
+        cache_key = (tab_idx, self._key)
+        try:
+            value = self._cache[cache_key]
+        except KeyError:
+            value = self._engine._state_tables[tab_idx].get(self._key)
+            # negative results cache too (as _ABSENT), so a re-read of a
+            # missing key stays local to the part-step
+            self._cache[cache_key] = (
+                _StepContext._ABSENT if value is None else value
+            )
+            return value
+        return None if value is _StepContext._ABSENT else value
 
     def write_state(self, tab_idx: int, state: Any) -> None:
         self._check_tab(tab_idx)
@@ -266,6 +292,8 @@ class SyncEngine:
         spill_window: int = 8,
         spill_coalesce: int = 4,
         pipelined_transport: bool = True,
+        active_scheduling: bool = True,
+        compact_spills: bool = True,
         max_steps: Optional[int] = None,
         aggregator_table_threshold: int = 8,
         fault_tolerance: bool = False,
@@ -283,6 +311,8 @@ class SyncEngine:
         self._spill_window = spill_window
         self._spill_coalesce = spill_coalesce
         self._pipelined_transport = pipelined_transport
+        self._active_scheduling = active_scheduling
+        self._compact_spills = compact_spills
         self._max_steps = max_steps
         self._agg_table_threshold = aggregator_table_threshold
         self._fault_tolerance = fault_tolerance
@@ -310,9 +340,13 @@ class SyncEngine:
             )
         else:
             self._progress = None
-        # records spilled per step, guarded by a lock (written from many parts)
+        # records spilled per (step, dest part), guarded by a lock (written
+        # from many parts); this is what active-part scheduling reads
         self._spill_lock = threading.Lock()
-        self._spilled_per_step: Dict[int, int] = {}
+        self._spilled_per_step: Dict[int, Dict[int, int]] = {}
+        # key -> part memo for the engine-side routing lookup
+        self._part_cache: Dict[Any, int] = {}
+        self._codec_sampled = False
         self._timeline: list = []
 
     # -- setup -----------------------------------------------------------------
@@ -357,20 +391,38 @@ class SyncEngine:
         return dict(table.items())
 
     def _part_of(self, key: Any) -> int:
+        try:
+            return self._part_cache[key]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable key: route without caching
+            return self._compute_part_of(key)
+        part = self._compute_part_of(key)
+        self._part_cache[key] = part
+        return part
+
+    def _compute_part_of(self, key: Any) -> int:
         if self._state_tables:
             return self._state_tables[0].part_of(key)
         from repro.util.hashing import part_for_key
 
         return part_for_key(key, self.n_parts)
 
-    def _record_spill(self, step: int, n_records: int) -> None:
+    def _record_spill(self, step: int, dest_part: int, n_records: int) -> None:
         with self._spill_lock:
-            self._spilled_per_step[step] = self._spilled_per_step.get(step, 0) + n_records
+            per_part = self._spilled_per_step.setdefault(step, {})
+            per_part[dest_part] = per_part.get(dest_part, 0) + n_records
         self._counters.add("records_spilled", n_records)
 
     def _pending_records(self, step: int) -> int:
         with self._spill_lock:
-            return self._spilled_per_step.get(step, 0)
+            return sum(self._spilled_per_step.get(step, {}).values())
+
+    def _active_parts(self, step: int) -> List[int]:
+        """Parts with at least one pending record for *step*."""
+        with self._spill_lock:
+            per_part = self._spilled_per_step.get(step, {})
+            return sorted(part for part, count in per_part.items() if count > 0)
 
     def _make_writer(
         self, src_part: int, write_step: int, combine_step: int, hold: bool
@@ -384,11 +436,12 @@ class SyncEngine:
             part_of=self._part_of,
             batch_size=self._spill_batch,
             hold=hold,
-            on_spill=lambda n: self._record_spill(write_step, n),
+            on_spill=lambda part, n: self._record_spill(write_step, part, n),
             combiner=self._combiner_for(combine_step),
             pipelined=self._pipelined_transport,
             max_in_flight=self._spill_window,
             spills_per_batch=self._spill_coalesce,
+            compact=self._compact_spills,
         )
 
     def _harvest_writer(self, writer: SpillWriter) -> None:
@@ -401,6 +454,16 @@ class SyncEngine:
         if writer.batches_dispatched:
             self._counters.add("transport_batches", writer.batches_dispatched)
         self._counters.record_max("spill_in_flight_hwm", writer.in_flight_hwm)
+        if writer.codec_sample_compact_bytes:
+            # one paired sample per job is enough for the A/B byte delta
+            with self._spill_lock:
+                if self._codec_sampled:
+                    return
+                self._codec_sampled = True
+            self._counters.add("codec_sample_raw_bytes", writer.codec_sample_raw_bytes)
+            self._counters.add(
+                "codec_sample_compact_bytes", writer.codec_sample_compact_bytes
+            )
 
     def _capture_store_stats(self) -> None:
         """Record this run's store serde/batching deltas as counters."""
@@ -469,6 +532,9 @@ class SyncEngine:
                 timeline=list(self._timeline),
                 worker_stats=self._capture_runtime_stats(),
             )
+            from repro.ebsp.results import record_job_stats
+
+            record_job_stats(self._store, result)
             self._export_outputs()
             self._job.on_complete(result)
             return result
@@ -504,10 +570,38 @@ class SyncEngine:
                     merged, a.invocations + b.invocations, a.records_out + b.records_out
                 )
 
-        result = self._transport.enumerate_parts(_StepConsumer())
+        if self._active_scheduling:
+            # dispatch part-step tasks only where the spill path recorded
+            # pending records — superstep cost scales with the frontier,
+            # not with n_parts (§II-A selective enablement, part-level)
+            active: Optional[List[int]] = self._active_parts(step)
+            active_set = set(active)
+            skipped = [p for p in range(self.n_parts) if p not in active_set]
+        else:
+            active = None
+            skipped = []
+        if skipped and self._progress is not None:
+            # a skipped part has no inputs — record it as trivially
+            # complete so recovery never re-drives it for this step
+            self._progress.mark_completed_many(skipped, step)
+        result = self._transport.enumerate_parts(_StepConsumer(), parts=active)
         # ---- the synchronization barrier has happened here ----
         self._counters.add("compute_invocations", result.invocations)
+        self._counters.add(
+            "part_steps_run", len(active) if active is not None else self.n_parts
+        )
+        if skipped:
+            self._counters.add("parts_skipped", len(skipped))
+            # a skipped part would have contributed the identity partial;
+            # synthesize it client-side so aggregation is unchanged
+            for name, agg in self._aggs.items():
+                partial = result.agg_partials[name]
+                for _ in skipped:
+                    partial = agg.merge(partial, agg.create())
+                result.agg_partials[name] = partial
         self._finish_aggregation(result.agg_partials, step)
+        with self._spill_lock:
+            self._spilled_per_step.pop(step, None)
         from repro.ebsp.results import StepMetrics
 
         self._timeline.append(
@@ -516,6 +610,8 @@ class SyncEngine:
                 duration_seconds=time.monotonic() - started,
                 invocations=result.invocations,
                 records_out=result.records_out,
+                parts_run=len(active) if active is not None else self.n_parts,
+                parts_skipped=len(skipped),
             )
         )
 
@@ -582,14 +678,12 @@ class SyncEngine:
         writer = self._make_writer(part, step + 1, step, hold=self._fault_tolerance)
         ctx = _StepContext(self, part, step, writer)
 
-        # apply created-state requests (they do not enable by themselves)
+        # stage created-state requests (they do not enable by themselves);
+        # like all state writes they commit in batch at the commit point
         base_ctx = _SimpleBaseContext(step)
         for dest_key, bundle in bundles.items():
             for tab_idx, state in self._merge_creations(base_ctx, dest_key, bundle.created):
-                if self._fault_tolerance:
-                    ctx.deferred_state_ops.append((tab_idx, dest_key, state))
-                else:
-                    self._state_tables[tab_idx].put(dest_key, state)
+                ctx._stage(tab_idx, dest_key, state)
 
         enabled = [key for key, b in bundles.items() if b.enabled]
         if not self._plan.no_sort:
@@ -627,7 +721,24 @@ class SyncEngine:
                 writer.add((CONT, key))
 
         # ---- commit point ----
-        ctx.commit_deferred()
+        self._commit_part_step(ctx, writer, view, consumed, part, step)
+        return _PartStepResult(ctx.agg_partials, ctx.invocations, writer.records_written)
+
+    def _commit_part_step(
+        self,
+        ctx: _StepContext,
+        writer: SpillWriter,
+        view: Any,
+        consumed: List[tuple],
+        part: int,
+        step: int,
+    ) -> None:
+        """One part-step's commit point: batch state writes, flush
+        transport, drop consumed spills, then mark progress."""
+        batches, records = ctx.commit_state()
+        if batches:
+            self._counters.add("state_writeback_batches", batches)
+            self._counters.add("state_writeback_records", records)
         writer.flush_all()
         self._harvest_writer(writer)
         for transport_key in consumed:
@@ -636,7 +747,6 @@ class SyncEngine:
             for key, value in ctx.direct_outputs:
                 self._direct_exporter.export(key, value)
             self._progress.mark_completed(part, step)
-        return _PartStepResult(ctx.agg_partials, ctx.invocations, writer.records_written)
 
     def _attempt_part_step_no_collect(self, part: int, view: Any, step: int) -> _PartStepResult:
         """The no-collect execution path (§II-A, one-msg ∧ no-continue).
@@ -656,10 +766,7 @@ class SyncEngine:
             merged.setdefault(dest_key, []).append((tab_idx, state))
         for dest_key, created in merged.items():
             for tab_idx, state in self._merge_creations(base_ctx, dest_key, created):
-                if self._fault_tolerance:
-                    ctx.deferred_state_ops.append((tab_idx, dest_key, state))
-                else:
-                    self._state_tables[tab_idx].put(dest_key, state)
+                ctx._stage(tab_idx, dest_key, state)
 
         seen: set = set()
         for dest_key, payload in deliveries:
@@ -694,15 +801,7 @@ class SyncEngine:
                     f"returned the positive signal in step {step}"
                 )
 
-        ctx.commit_deferred()
-        writer.flush_all()
-        self._harvest_writer(writer)
-        for transport_key in consumed:
-            view.delete(transport_key)
-        if self._fault_tolerance:
-            for key, value in ctx.direct_outputs:
-                self._direct_exporter.export(key, value)
-            self._progress.mark_completed(part, step)
+        self._commit_part_step(ctx, writer, view, consumed, part, step)
         return _PartStepResult(ctx.agg_partials, ctx.invocations, writer.records_written)
 
     def _merge_creations(

@@ -32,6 +32,14 @@ starts actually running the job; the others must be explicitly
 declared" — which is exactly how :meth:`ExecutionPlan.derive` works:
 it takes the declared :class:`JobProperties` plus the two facts
 detected from the job object.
+
+One engine optimization needs *no* property gate: active-part
+scheduling (skipping the part-step task for parts with no pending
+records).  A part with zero spills produces zero bundles, so the
+baseline would invoke nothing there and contribute only identity
+aggregator partials — skipping it is observationally equivalent for
+every job, which is why it is an engine flag (``active_scheduling``)
+rather than a derived optimization here.
 """
 
 from __future__ import annotations

@@ -23,7 +23,7 @@ part-step crash a chosen number of times.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import RecoveryError
 from repro.kvstore.api import KVStore, Table, TableSpec
@@ -85,6 +85,24 @@ class ProgressTable:
                 " commits are out of order"
             )
         self._table.put(part, step)
+
+    def mark_completed_many(self, parts: List[int], step: int) -> None:
+        """Record many parts as having completed *step* in one batch.
+
+        Used for parts skipped by active-part scheduling: a part with no
+        inputs for a step is trivially complete, and recording that in
+        bulk keeps the bookkeeping cost proportional to activity too.
+        """
+        if not parts:
+            return
+        previous = self._table.get_many(parts)
+        for part, prev in previous.items():
+            if prev is not None and prev >= step:
+                raise RecoveryError(
+                    f"part {part} completed step {step} after already completing "
+                    f"{prev}; commits are out of order"
+                )
+        self._table.put_many((part, step) for part in parts)
 
     def completed_step(self, part: int) -> int:
         value = self._table.get(part)

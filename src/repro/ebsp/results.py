@@ -41,6 +41,10 @@ class StepMetrics:
     duration_seconds: float
     invocations: int
     records_out: int
+    #: Parts that ran a part-step task this step.
+    parts_run: int = 0
+    #: Parts skipped by active-part scheduling (no pending records).
+    parts_skipped: int = 0
 
 
 @dataclass
@@ -114,3 +118,81 @@ class JobResult:
         if not batches:
             return 0.0
         return self.counters.get("store_marshalled_bytes", 0) / batches
+
+    @property
+    def marshalled_bytes(self) -> int:
+        """Bytes this run marshalled across partition boundaries (0 when
+        the store keeps no serde statistics)."""
+        return self.counters.get("store_marshalled_bytes", 0)
+
+    # -- activity-proportional scheduling instrumentation -------------------
+    @property
+    def part_steps_run(self) -> int:
+        """Part-step tasks actually dispatched across all steps."""
+        return self.counters.get("part_steps_run", 0)
+
+    @property
+    def parts_skipped(self) -> int:
+        """Part-steps skipped because the part had no pending records."""
+        return self.counters.get("parts_skipped", 0)
+
+    @property
+    def state_writeback_batches(self) -> int:
+        """Batched state-table commits issued at part-step commit points."""
+        return self.counters.get("state_writeback_batches", 0)
+
+    @property
+    def codec_sample_savings(self) -> int:
+        """Byte delta (raw − compact) of the job's paired spill-codec
+        sample; 0 when the compact codec never sealed a spill."""
+        raw = self.counters.get("codec_sample_raw_bytes", 0)
+        compact = self.counters.get("codec_sample_compact_bytes", 0)
+        return raw - compact if raw else 0
+
+
+#: Cumulative per-store job counters live here so ``inspect --stats``
+#: can report them after the fact.  The name deliberately avoids the
+#: ``__ebsp`` prefix, which is reserved for per-job scratch tables that
+#: must not outlive a run.
+JOB_STATS_TABLE = "__ripple_job_stats"
+
+#: Counters accumulated into the job-stats table, plus derived totals.
+_RECORDED_COUNTERS = (
+    "compute_invocations",
+    "part_steps_run",
+    "parts_skipped",
+    "state_writeback_batches",
+    "state_writeback_records",
+    "records_spilled",
+    "spills_written",
+    "transport_batches",
+    "messages_sent",
+    "codec_sample_raw_bytes",
+    "codec_sample_compact_bytes",
+    "store_marshalled_bytes",
+)
+
+
+def record_job_stats(store: Any, result: "JobResult") -> None:
+    """Fold one job's headline counters into the store's cumulative
+    job-stats table, for durable stores (``store.keeps_job_stats``) —
+    in-memory stores already hand the same counters back in the
+    :class:`JobResult`.  Best-effort: a store that cannot host the
+    table (closed, read-only, …) silently keeps no job stats."""
+    if not getattr(store, "keeps_job_stats", False):
+        return
+    try:
+        from repro.kvstore.api import TableSpec
+
+        table = store.get_or_create_table(TableSpec(name=JOB_STATS_TABLE, n_parts=1))
+        updates = [("jobs", 1), ("steps", result.steps)]
+        for name in _RECORDED_COUNTERS:
+            value = result.counters.get(name, 0)
+            if value:
+                updates.append((name, value))
+        current = table.get_many([name for name, _ in updates])
+        table.put_many(
+            (name, (current.get(name) or 0) + delta) for name, delta in updates
+        )
+    except Exception:
+        pass

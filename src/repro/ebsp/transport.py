@@ -27,14 +27,31 @@ per-destination-part batches, each batch is dispatched asynchronously
 window, and :meth:`SpillWriter.flush_all` is the gather point that
 joins every outstanding future — so the engine overlaps compute with
 transport inside a part-step and still owns a durable commit point.
+
+A sealed spill can be marshalled in one of two codecs:
+
+- the *record-list* codec: the buffered record tuples, pickled as-is
+  (the original format, kept for A/B comparison);
+- the *compact* codec (``compact=True``): a struct-of-arrays encoding
+  — message keys, message payloads, continue keys, and created-state
+  triples in four flat lists — which drops the per-record tuple and
+  kind-tag overhead from the pickle stream.  Message order per
+  destination is preserved (messages stay in send order relative to
+  each other), which is all the delivery contract requires; continue
+  and creation records carry no ordering semantics.
+
+Readers accept both formats via :func:`iter_spill_records`, so a
+transport table may hold a mix (e.g. when a loader and the engine are
+configured differently).
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
 from collections import deque
 from concurrent.futures import Future
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.kvstore.api import KVStore, Table, TableSpec
 
@@ -44,6 +61,64 @@ CREATE = "n"
 
 #: Source-part id used for records originating at the client (loaders).
 CLIENT_SRC = -1
+
+#: First element of a compact (struct-of-arrays) spill value.  The
+#: leading NUL keeps it from colliding with application record kinds.
+COMPACT_MARKER = "\x00soa1"
+
+
+def encode_spill(records: List[tuple]) -> tuple:
+    """Struct-of-arrays encoding of a sealed spill's record list.
+
+    Returns ``(COMPACT_MARKER, msg_keys, msg_payloads, cont_keys,
+    creates)`` where *creates* is a list of ``(key, tab_idx, state)``
+    triples.  Relative order within each record kind is preserved.
+    """
+    msg_keys: List[Any] = []
+    msg_payloads: List[Any] = []
+    cont_keys: List[Any] = []
+    creates: List[Tuple[Any, int, Any]] = []
+    for record in records:
+        kind = record[0]
+        if kind == MSG:
+            msg_keys.append(record[1])
+            msg_payloads.append(record[2])
+        elif kind == CONT:
+            cont_keys.append(record[1])
+        elif kind == CREATE:
+            creates.append((record[1], record[2], record[3]))
+        else:
+            raise ValueError(f"unknown transport record kind {kind!r}")
+    return (COMPACT_MARKER, msg_keys, msg_payloads, cont_keys, creates)
+
+
+def is_compact_spill(value: Any) -> bool:
+    """Whether *value* is a compact-codec spill (vs a raw record list)."""
+    return (
+        type(value) is tuple and len(value) == 5 and value[0] == COMPACT_MARKER
+    )
+
+
+def iter_spill_records(value: Any) -> Iterator[tuple]:
+    """Yield the record tuples of a spill value, whichever codec it uses."""
+    if is_compact_spill(value):
+        _, msg_keys, msg_payloads, cont_keys, creates = value
+        for key, payload in zip(msg_keys, msg_payloads):
+            yield (MSG, key, payload)
+        for key in cont_keys:
+            yield (CONT, key)
+        for key, tab_idx, state in creates:
+            yield (CREATE, key, tab_idx, state)
+    else:
+        for record in value:
+            yield record
+
+
+def spill_record_count(value: Any) -> int:
+    """Number of records in a spill value, whichever codec it uses."""
+    if is_compact_spill(value):
+        return len(value[1]) + len(value[3]) + len(value[4])
+    return len(value)
 
 
 def create_transport_table(store: KVStore, name: str, n_parts: int) -> Table:
@@ -91,11 +166,12 @@ class SpillWriter:
         part_of: Callable[[Any], int],
         batch_size: int = 512,
         hold: bool = False,
-        on_spill: Optional[Callable[[int], None]] = None,
+        on_spill: Optional[Callable[[int, int], None]] = None,
         combiner: Optional[Callable[[Any, Any], Any]] = None,
         pipelined: bool = True,
         max_in_flight: int = 8,
         spills_per_batch: int = 1,
+        compact: bool = False,
     ):
         self._transport = transport
         self._src_part = src_part
@@ -109,6 +185,7 @@ class SpillWriter:
         self._pipelined = pipelined
         self._max_in_flight = max(1, max_in_flight)
         self._spills_per_batch = max(1, spills_per_batch)
+        self._compact = compact
         self._buffers: Dict[int, List[tuple]] = {}
         # per destination part: dest_key -> index of its buffered MSG
         # record, for sender-side combining
@@ -131,6 +208,10 @@ class SpillWriter:
         self.spills_sealed = 0
         self.batches_dispatched = 0
         self.in_flight_hwm = 0
+        # one-shot codec A/B sample: the first sealed spill of a compact
+        # writer is pickled in both codecs to measure the byte delta
+        self.codec_sample_raw_bytes = 0
+        self.codec_sample_compact_bytes = 0
 
     def add(self, record: tuple) -> None:
         dest_key = record[1]
@@ -182,11 +263,22 @@ class SpillWriter:
             return
         key = (dest_part, self._step, self._src_part, self._seq)
         self._seq += 1
-        self._ready.setdefault(dest_part, []).append((key, buffer))
+        if self._compact:
+            value: Any = encode_spill(buffer)
+            if not self.codec_sample_compact_bytes:
+                self.codec_sample_raw_bytes = len(
+                    pickle.dumps(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                self.codec_sample_compact_bytes = len(
+                    pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+        else:
+            value = buffer
+        self._ready.setdefault(dest_part, []).append((key, value))
         self.spills_sealed += 1
         self.records_written += len(buffer)
         if self._on_spill is not None:
-            self._on_spill(len(buffer))
+            self._on_spill(dest_part, len(buffer))
 
     def _dispatch(self, dest_part: int) -> None:
         """Send one destination's sealed spills as a single batched request."""
@@ -225,8 +317,8 @@ class SpillWriter:
             self._buffers.clear()
             self._combine_index.clear()
             for batch in self._ready.values():
-                for _, records in batch:
-                    self.records_written -= len(records)
+                for _, value in batch:
+                    self.records_written -= spill_record_count(value)
                     self.spills_sealed -= 1
             self._ready.clear()
             while self._in_flight:
@@ -286,7 +378,7 @@ def scan_step_records_no_collect(
         if key[1] != step:
             continue
         consumed.append(key)
-        for record in records:
+        for record in iter_spill_records(records):
             kind = record[0]
             if kind == MSG:
                 deliveries.append((record[1], record[2]))
@@ -316,7 +408,7 @@ def collect_step_records(
         if key[1] != step:
             continue
         consumed.append(key)
-        for record in records:
+        for record in iter_spill_records(records):
             kind = record[0]
             dest_key = record[1]
             bundle = bundles.get(dest_key)

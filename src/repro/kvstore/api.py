@@ -357,6 +357,17 @@ class Table(abc.ABC):
         the store routes requests.  Absent keys map to ``None``."""
         return {key: self.get(key) for key in keys}
 
+    def delete_many(self, keys: Iterable[Any]) -> None:
+        """Remove every key; batched per part where possible."""
+        for future in self.delete_many_async(keys):
+            future.result()
+
+    def delete_many_async(self, keys: Iterable[Any]) -> List[Future]:
+        """Dispatch all deletes without waiting; returns the futures to
+        gather.  Stores with per-part request routing override this to
+        marshal each per-part batch once."""
+        return [self.delete_async(key) for key in keys]
+
     # -- enumeration -------------------------------------------------------
     @abc.abstractmethod
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:

@@ -81,6 +81,11 @@ def _op_get_batch(view: PartView, keys: list) -> list:
     return [get(key) for key in keys]
 
 
+def _op_delete_batch(view: PartView, keys: list) -> None:
+    for key in keys:
+        view.delete(key)
+
+
 class _LockedPart(PartView):
     """A part view that serializes primitive access with the partition lock.
 
@@ -327,6 +332,29 @@ class PartitionedTable(Table):
             if self._partition_index(part_index) != here:
                 stats.record_batch(len(batch))
             futures.append(self._submit_short(part_index, _op_put_batch, batch))
+        return futures
+
+    def delete_many(self, keys: Iterable[Any]) -> None:
+        """Batch deletes: one marshalled request per touched part."""
+        for future in self.delete_many_async(keys):
+            future.result()
+
+    def delete_many_async(self, keys: Iterable[Any]) -> list:
+        """Dispatch per-part delete batches concurrently; returns futures."""
+        self._check()
+        by_part: dict = {}
+        part_of = self.part_of
+        for key in keys:
+            by_part.setdefault(part_of(key), []).append(key)
+        here = self._store.runtime.current_worker()
+        stats = self._store.stats
+        futures = []
+        for part_index, batch in by_part.items():
+            if self._partition_index(part_index) != here:
+                stats.record_batch(len(batch))
+            futures.append(
+                self._submit_short(part_index, _op_delete_batch, batch, readonly=True)
+            )
         return futures
 
     def get_many(self, keys: Iterable[Any]) -> dict:

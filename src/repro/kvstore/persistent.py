@@ -280,6 +280,9 @@ class PersistentKVStore(KVStore):
     """Disk-backed store rooted at a directory; survives close/reopen."""
 
     _META = "tables.meta"
+    #: Durable store: engines fold cumulative job counters into the
+    #: ``__ripple_job_stats`` table so ``inspect --stats`` can report them.
+    keeps_job_stats = True
 
     def __init__(
         self,

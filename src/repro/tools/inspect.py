@@ -63,6 +63,29 @@ def _print_stats(store: PersistentKVStore) -> None:
         print(f"  gang tasks:       {rt['gang_tasks']}")
         if rt["steals"]:
             print(f"  messages stolen:  {rt['steals']}")
+    _print_job_stats(store)
+
+
+def _print_job_stats(store: PersistentKVStore) -> None:
+    """Print the cumulative job counters the engines left behind, if any."""
+    from repro.ebsp.results import JOB_STATS_TABLE
+
+    if not store.has_table(JOB_STATS_TABLE):
+        return
+    stats = dict(store.get_table(JOB_STATS_TABLE).items())
+    if not stats:
+        return
+    print("job counters (cumulative):")
+    print(f"  jobs run:              {stats.get('jobs', 0)}")
+    print(f"  steps:                 {stats.get('steps', 0)}")
+    print(f"  compute invocations:   {stats.get('compute_invocations', 0)}")
+    print(f"  part-steps run:        {stats.get('part_steps_run', 0)}")
+    print(f"  parts skipped:         {stats.get('parts_skipped', 0)}")
+    print(f"  writeback batches:     {stats.get('state_writeback_batches', 0)}")
+    raw = stats.get("codec_sample_raw_bytes", 0)
+    compact = stats.get("codec_sample_compact_bytes", 0)
+    if raw:
+        print(f"  codec sample:          {raw} raw / {compact} compact bytes")
 
 
 def _summarize(store: PersistentKVStore, table_name: str, args: argparse.Namespace) -> int:

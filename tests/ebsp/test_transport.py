@@ -17,6 +17,10 @@ from repro.ebsp.transport import (
     SpillWriter,
     collect_step_records,
     create_transport_table,
+    encode_spill,
+    is_compact_spill,
+    iter_spill_records,
+    spill_record_count,
 )
 from repro.kvstore.local import LocalKVStore
 from repro.kvstore.partitioned import PartitionedKVStore
@@ -101,12 +105,12 @@ class TestSpillWriter:
             step=2,
             n_parts=4,
             part_of=part_of,
-            on_spill=spilled.append,
+            on_spill=lambda part, n: spilled.append((part, n)),
         )
         writer.add((MSG, 0, "x"))
         writer.add((MSG, 0, "y"))
         writer.flush_all()
-        assert spilled == [2]
+        assert spilled == [(0, 2)]
 
 
 class TestPipelinedTransport:
@@ -316,6 +320,86 @@ class TestPipelinedTransport:
         # window of 3 plus the one batch just dispatched
         assert writer.in_flight_hwm <= 4
         assert table.max_pending <= 4
+
+
+class TestCompactCodec:
+    RECORDS = [
+        (MSG, 4, "hello"),
+        (CONT, 2),
+        (MSG, 8, "world"),
+        (CREATE, 3, 0, {"s": 1}),
+        (MSG, 4, "again"),
+    ]
+
+    def test_roundtrip_preserves_records(self):
+        encoded = encode_spill(self.RECORDS)
+        assert is_compact_spill(encoded)
+        decoded = list(iter_spill_records(encoded))
+        # per-kind relative order is preserved; set equality plus
+        # message order is the delivery contract
+        assert sorted(map(repr, decoded)) == sorted(map(repr, self.RECORDS))
+        messages = [r for r in decoded if r[0] == MSG]
+        assert messages == [(MSG, 4, "hello"), (MSG, 8, "world"), (MSG, 4, "again")]
+
+    def test_record_count_both_codecs(self):
+        assert spill_record_count(self.RECORDS) == 5
+        assert spill_record_count(encode_spill(self.RECORDS)) == 5
+
+    def test_raw_list_passes_through(self):
+        assert not is_compact_spill(self.RECORDS)
+        assert list(iter_spill_records(self.RECORDS)) == self.RECORDS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            encode_spill([("?", 0)])
+
+    def test_compact_writer_spills_are_collectable(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport, src_part=0, step=0, n_parts=4, part_of=part_of, compact=True
+        )
+        writer.add((MSG, 0, "m"))
+        writer.add((CONT, 4))
+        writer.add((CREATE, 8, 0, "state"))
+        writer.flush_all()
+        for _, value in transport.items():
+            assert is_compact_spill(value)
+        view = transport._parts[0]
+        bundles, _ = collect_step_records(view, 0, None)
+        assert bundles[0].messages == ["m"] and bundles[0].enabled
+        assert bundles[4].enabled and bundles[4].messages == []
+        assert bundles[8].created == [(0, "state")]
+
+    def test_codec_byte_sample_recorded(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport, src_part=0, step=0, n_parts=4, part_of=part_of, compact=True
+        )
+        for i in range(64):
+            writer.add((MSG, 0, i))
+        writer.flush_all()
+        assert writer.codec_sample_compact_bytes > 0
+        # struct-of-arrays drops the per-record tuple overhead
+        assert writer.codec_sample_compact_bytes < writer.codec_sample_raw_bytes
+
+    def test_discard_accounts_compact_spills(self, setup):
+        store, transport = setup
+        writer = SpillWriter(
+            transport,
+            src_part=0,
+            step=0,
+            n_parts=4,
+            part_of=part_of,
+            batch_size=1,
+            spills_per_batch=8,
+            compact=True,
+        )
+        writer.add((MSG, 4, "x"))  # sealed (encoded) but not dispatched
+        writer.add((CONT, 4))
+        writer.discard()
+        assert transport.items() == []
+        assert writer.records_written == 0
+        assert writer.spills_sealed == 0
 
 
 class TestCollect:

@@ -117,6 +117,16 @@ class TestAsyncAndBatchedOps:
             future.result(timeout=10)
         assert table.get_many(range(30)) == {i: str(i) for i in range(30)}
 
+    def test_delete_many_removes_across_parts(self, store):
+        table = store.create_table(TableSpec(name="t", n_parts=3))
+        table.put_many([(i, i) for i in range(20)])
+        table.delete_many(range(0, 20, 2))
+        assert table.get_many(range(20)) == {
+            i: (None if i % 2 == 0 else i) for i in range(20)
+        }
+        table.delete_many([])  # empty batch is a no-op
+        assert table.size() == 10
+
     def test_get_many_missing_keys_are_none(self, store):
         table = store.create_table(TableSpec(name="t"))
         table.put(1, "one")

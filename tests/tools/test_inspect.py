@@ -69,3 +69,36 @@ class TestInspect:
         assert "worker runtime:" in out
         assert "inline" in out
         assert "tasks run:" in out
+
+    def test_stats_without_job_history_omit_job_counters(self, store_dir, capsys):
+        assert main([store_dir, "--stats"]) == 0
+        assert "job counters" not in capsys.readouterr().out
+
+    def test_stats_include_cumulative_job_counters(self, tmp_path, capsys):
+        """Engines fold their headline counters into the store; the CLI
+        reports them across jobs and store reopens."""
+        from repro.ebsp.loaders import MessageListLoader
+        from repro.ebsp.runner import run_job
+        from tests.ebsp.jobs import TestJob
+
+        def fn(ctx):
+            for value in ctx.input_messages():
+                ctx.write_state(0, value)
+                if value < 3:
+                    ctx.output_message(ctx.key, value + 1)
+            return False
+
+        path = str(tmp_path / "jobstore")
+        with PersistentKVStore(path, default_n_parts=4) as store:
+            run_job(
+                store,
+                TestJob(fn, loaders=[MessageListLoader([(0, 1)])]),
+                synchronize=True,
+            )
+        assert main([path, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "job counters (cumulative):" in out
+        assert "jobs run:              1" in out
+        assert "parts skipped:" in out
+        assert "part-steps run:" in out
+        assert "writeback batches:" in out
