@@ -3,11 +3,17 @@
 Workload sizes follow ``RIPPLE_BENCH_SCALE`` (default 1 = laptop-minute
 runs; the mapping to the paper's sizes is in DESIGN.md §4).  Rounds
 follow ``RIPPLE_BENCH_ROUNDS`` (default 3).
+
+Pass ``--trace-dir DIR`` (or set ``RIPPLE_TRACE_DIR``) to make each
+ablation follow its timed rounds with one extra *traced* run and write
+that run's Chrome/Perfetto trace JSON into DIR — timed rounds are never
+traced, so trace capture cannot skew the measurements.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 import pytest
 
@@ -16,8 +22,30 @@ def bench_rounds(default: int = 3) -> int:
     return int(os.environ.get("RIPPLE_BENCH_ROUNDS", default))
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-dir",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="write one Perfetto trace JSON per ablation mode into DIR",
+    )
+
+
 @pytest.fixture(scope="session")
 def scale() -> float:
     from repro.bench.harness import bench_scale
 
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def trace_dir(request) -> Optional[str]:
+    """Trace-export directory from ``--trace-dir`` / ``RIPPLE_TRACE_DIR``."""
+    path = request.config.getoption("--trace-dir") or os.environ.get(
+        "RIPPLE_TRACE_DIR"
+    )
+    if not path:
+        return None
+    os.makedirs(path, exist_ok=True)
+    return path

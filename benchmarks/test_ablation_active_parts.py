@@ -57,7 +57,7 @@ def _distance_digest(distances: dict) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-def _run_sssp(workload, active: bool) -> dict:
+def _run_sssp(workload, active: bool, trace: bool = False) -> dict:
     store = PartitionedKVStore(n_partitions=6, default_n_parts=N_PARTS)
     try:
         solver = SelectiveSSSP(store, workload.source)
@@ -70,21 +70,34 @@ def _run_sssp(workload, active: bool) -> dict:
         steps = 0
         started = time.perf_counter()
         for batch in workload.change_batches:
-            solver.update(batch, active_scheduling=active)
+            solver.update(batch, active_scheduling=active, trace=trace)
             result = solver.last_result
             part_steps_run += result.part_steps_run
             parts_skipped += result.parts_skipped
             steps += result.steps
         elapsed = time.perf_counter() - started
-        return {
+        out = {
             "elapsed_seconds": elapsed,
             "steps": steps,
             "part_steps_run": part_steps_run,
             "parts_skipped": parts_skipped,
             "distance_digest": _distance_digest(solver.distances()),
         }
+        if trace:
+            # last batch's trace — representative of a sparse update
+            out["trace"] = solver.last_result.trace
+        return out
     finally:
         store.close()
+
+
+def _export_trace(trace_dir, name: str, measurement: dict) -> None:
+    """Write a traced run's Perfetto document into the ``--trace-dir``."""
+    trace = measurement.get("trace")
+    if not trace_dir or trace is None:
+        return
+    with open(os.path.join(trace_dir, f"{name}.trace.json"), "w") as fh:
+        json.dump(trace, fh)
 
 
 def _write_artifact() -> None:
@@ -98,7 +111,7 @@ def _write_artifact() -> None:
 
 
 @pytest.mark.parametrize("mode", ["baseline", "active"])
-def test_active_part_scheduling(benchmark, workload, mode):
+def test_active_part_scheduling(benchmark, workload, mode, trace_dir):
     rounds: list = []
 
     def once():
@@ -107,6 +120,13 @@ def test_active_part_scheduling(benchmark, workload, mode):
         return measurement
 
     benchmark.pedantic(once, rounds=bench_rounds(), iterations=1)
+    if trace_dir:
+        # one extra traced run, outside the timed rounds
+        _export_trace(
+            trace_dir,
+            f"sssp_{mode}",
+            _run_sssp(workload, active=(mode == "active"), trace=True),
+        )
     best = min(rounds, key=lambda r: r["elapsed_seconds"])
     _RESULTS[mode] = {"best": best, "rounds": rounds}
 
@@ -151,14 +171,16 @@ def adjacency(scale):
     return power_law_directed_graph(int(800 * scale), int(16_000 * scale), seed=88)
 
 
-def _run_pagerank(adjacency, compact: bool) -> dict:
+def _run_pagerank(adjacency, compact: bool, trace: bool = False) -> dict:
     store = PartitionedKVStore(n_partitions=6)
     try:
         n = build_pagerank_table(store, "pr", adjacency)
         started = time.perf_counter()
-        result = pagerank_direct(store, "pr", n, CONFIG, compact_spills=compact)
+        result = pagerank_direct(
+            store, "pr", n, CONFIG, compact_spills=compact, trace=trace
+        )
         elapsed = time.perf_counter() - started
-        return {
+        out = {
             "elapsed_seconds": elapsed,
             "marshalled_bytes": result.marshalled_bytes,
             "codec_sample_raw_bytes": result.counters.get("codec_sample_raw_bytes", 0),
@@ -167,12 +189,15 @@ def _run_pagerank(adjacency, compact: bool) -> dict:
             ),
             "spills_written": result.spills_written,
         }
+        if trace:
+            out["trace"] = result.trace
+        return out
     finally:
         store.close()
 
 
 @pytest.mark.parametrize("codec", ["classic", "compact"])
-def test_compact_spill_codec(benchmark, adjacency, codec):
+def test_compact_spill_codec(benchmark, adjacency, codec, trace_dir):
     rounds: list = []
 
     def once():
@@ -181,6 +206,12 @@ def test_compact_spill_codec(benchmark, adjacency, codec):
         return measurement
 
     benchmark.pedantic(once, rounds=bench_rounds(), iterations=1)
+    if trace_dir:
+        _export_trace(
+            trace_dir,
+            f"pagerank_{codec}",
+            _run_pagerank(adjacency, compact=(codec == "compact"), trace=True),
+        )
     best = min(rounds, key=lambda r: r["elapsed_seconds"])
     _CODEC_RESULTS[codec] = {"best": best, "rounds": rounds}
 

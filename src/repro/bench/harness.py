@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import time
@@ -86,6 +87,35 @@ def bench_scale() -> float:
     if scale <= 0:
         raise ValueError(f"RIPPLE_BENCH_SCALE must be positive, got {scale}")
     return scale
+
+
+def bench_trace_dir() -> Optional[str]:
+    """Directory for per-run Perfetto trace exports (``RIPPLE_TRACE_DIR``).
+
+    Created on first use; ``None`` (the default) disables trace capture.
+    ``repro.bench.paper --trace-dir DIR`` and the benchmark suite's
+    ``--trace-dir`` option both land here.
+    """
+    path = os.environ.get("RIPPLE_TRACE_DIR", "")
+    if not path:
+        return None
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_trace(directory: Optional[str], name: str, result: Any) -> Optional[str]:
+    """Write *result*'s Perfetto trace to ``directory/name.trace.json``.
+
+    No-op (returns ``None``) when *directory* is unset or the run was
+    not traced; returns the written path otherwise.
+    """
+    trace = getattr(result, "trace", None)
+    if not directory or trace is None:
+        return None
+    path = os.path.join(directory, f"{name}.trace.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return path
 
 
 def bench_trials(default: int) -> int:

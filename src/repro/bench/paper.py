@@ -4,15 +4,24 @@ Run::
 
     python -m repro.bench.paper            # laptop-minute workloads
     RIPPLE_BENCH_SCALE=8 python -m repro.bench.paper   # 8× larger
+    python -m repro.bench.paper --trace-dir traces/    # + Perfetto traces
 
 Prints Table I, Table II, the §V-B SUMMA timing, and the §V-C
 incremental-SSSP timing in the paper's row format, alongside the
 paper's own numbers for comparison.  EXPERIMENTS.md records a run of
 this harness.
+
+With ``--trace-dir`` (or ``RIPPLE_TRACE_DIR``), the harness follows the
+timed sections with one *traced* representative run per engine —
+PageRank-direct for the synchronized engine, SUMMA-without-sync for the
+queue-driven one — and writes each run's Chrome/Perfetto trace JSON
+into the directory (load them at https://ui.perfetto.dev).  Traced runs
+are separate from the timed trials so tracing never skews the tables.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.bench.experiments import (
@@ -22,8 +31,9 @@ from repro.bench.experiments import (
     run_table1,
     run_table2,
     sssp_workload,
+    table1_workloads,
 )
-from repro.bench.harness import bench_scale, bench_trials, format_table
+from repro.bench.harness import bench_scale, bench_trials, format_table, write_trace
 
 
 def print_table1(scale: float) -> None:
@@ -105,9 +115,64 @@ def print_sssp(scale: float) -> None:
     print()
 
 
+def export_traces(trace_dir: str, scale: float, only: str) -> None:
+    """One traced representative run per engine, written as Perfetto JSON."""
+    import numpy as np
+
+    from repro.apps.pagerank import PageRankConfig, build_pagerank_table, pagerank_direct
+    from repro.apps.summa import BlockGrid, summa_multiply
+    from repro.graph.generators import power_law_directed_graph
+    from repro.kvstore.partitioned import PartitionedKVStore
+    from repro.kvstore.replicated import ReplicatedKVStore
+
+    written = []
+    if only in ("all", "table1"):
+        store = PartitionedKVStore(n_partitions=6)
+        try:
+            n_vertices, n_edges = table1_workloads(scale)[0]
+            adjacency = power_law_directed_graph(n_vertices, n_edges, seed=2013)
+            n = build_pagerank_table(store, "pagerank", adjacency)
+            result = pagerank_direct(
+                store, "pagerank", n, PageRankConfig(iterations=4), trace=True
+            )
+            written.append(write_trace(trace_dir, "pagerank_direct", result))
+        finally:
+            store.close()
+    if only in ("all", "summa"):
+        grid = BlockGrid(3, 3, 3)
+        rng = np.random.default_rng(7)
+        size = 48
+        a = rng.standard_normal((size, size))
+        b = rng.standard_normal((size, size))
+        store = ReplicatedKVStore(n_shards=grid.m_rows * grid.n_cols, replication=0)
+        try:
+            _, result = summa_multiply(
+                store, a, b, grid, synchronize=False, poll_timeout=0.005, trace=True
+            )
+            written.append(write_trace(trace_dir, "summa_nosync", result))
+        finally:
+            store.close()
+    for path in written:
+        if path:
+            print(f"wrote trace {path}")
+
+
 def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.paper", description="Regenerate the paper's evaluation."
+    )
+    parser.add_argument(
+        "only", nargs="?", default="all",
+        choices=["all", "table1", "table2", "summa", "sssp"],
+        help="run one section (default: all)",
+    )
+    parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="also run one traced job per engine and write Perfetto JSON here",
+    )
+    args = parser.parse_args(argv[1:])
     scale = bench_scale()
-    only = argv[1] if len(argv) > 1 else "all"
+    only = args.only
     print(f"# Ripple evaluation harness (scale={scale})\n")
     if only in ("all", "table1"):
         print_table1(scale)
@@ -117,6 +182,16 @@ def main(argv: list) -> int:
         print_summa(scale)
     if only in ("all", "sssp"):
         print_sssp(scale)
+    trace_dir = args.trace_dir
+    if trace_dir is None:
+        from repro.bench.harness import bench_trace_dir
+
+        trace_dir = bench_trace_dir()
+    if trace_dir:
+        import os
+
+        os.makedirs(trace_dir, exist_ok=True)
+        export_traces(trace_dir, scale, only)
     return 0
 
 

@@ -42,6 +42,7 @@ from repro.ebsp.loaders import LoaderContext
 from repro.ebsp.properties import ExecutionPlan
 from repro.ebsp.results import Counters, JobResult
 from repro.ebsp.termination import WeightController, WeightPurse
+from repro.obs.trace import Tracer, activate, resolve_tracer
 from repro.kvstore.api import FnPairConsumer, KVStore, Table, TableSpec
 from repro.messaging.api import MessageQueuing, QueueWorkerContext
 from repro.messaging.local_queue import LocalMessageQueuing, LocalQueueSet
@@ -201,9 +202,12 @@ class AsyncEngine:
         batch_limit: int = 64,
         work_stealing: Optional[bool] = None,
         require_no_sync: bool = True,
+        trace: Any = None,
     ):
         self._store = store
         self._job = job
+        # None defers to RIPPLE_TRACE; True/False/Tracer are explicit.
+        self._tracer: Tracer = resolve_tracer(trace)
         self._compute = job.get_compute()
         aggs = job.aggregators()
         self._plan = ExecutionPlan.derive(job.properties(), bool(aggs), job.has_aborter)
@@ -321,28 +325,35 @@ class AsyncEngine:
     # -- execution -----------------------------------------------------------------
     def run(self) -> JobResult:
         started = time.monotonic()
-        if self._direct_exporter is not None:
-            self._direct_exporter.begin()
-        loader_ctx = _AsyncLoaderCtx(self)
-        for loader in self._job.loaders():
-            loader.load(loader_ctx)
+        # Activated processwide: the queue-set workers run on gang
+        # threads this engine does not own (see repro.obs.trace).
+        with activate(self._tracer):
+            with self._tracer.span("job", cat="engine", lane="driver", jid=self._jid):
+                if self._direct_exporter is not None:
+                    self._direct_exporter.begin()
+                with self._tracer.span("load", cat="engine", lane="driver"):
+                    loader_ctx = _AsyncLoaderCtx(self)
+                    for loader in self._job.loaders():
+                        loader.load(loader_ctx)
 
-        queue_set = self._queuing.create_queue_set(f"__ebsp_async_{self._jid}", self.n_parts)
-        if not self._work_stealing:
-            # parking: a worker with no seed starts parked; its event is
-            # raised by the first message routed to it
-            self._activation = [threading.Event() for _ in range(self.n_parts)]
-        try:
-            for part, record in loader_ctx.seeds:
-                queue_set.put(part, record)
-                self._activate(part)
-            if not loader_ctx.seeds:
-                # nothing to do: the controller still holds weight 1
-                invocations = [0] * self.n_parts
-            else:
-                invocations = queue_set.run_workers(self._worker)
-        finally:
-            self._queuing.delete_queue_set(queue_set.name)
+                queue_set = self._queuing.create_queue_set(
+                    f"__ebsp_async_{self._jid}", self.n_parts
+                )
+                if not self._work_stealing:
+                    # parking: a worker with no seed starts parked; its event is
+                    # raised by the first message routed to it
+                    self._activation = [threading.Event() for _ in range(self.n_parts)]
+                try:
+                    for part, record in loader_ctx.seeds:
+                        queue_set.put(part, record)
+                        self._activate(part)
+                    if not loader_ctx.seeds:
+                        # nothing to do: the controller still holds weight 1
+                        invocations = [0] * self.n_parts
+                    else:
+                        invocations = queue_set.run_workers(self._worker)
+                finally:
+                    self._queuing.delete_queue_set(queue_set.name)
 
         total_invocations = sum(invocations)
         self._counters.add("compute_invocations", total_invocations)
@@ -351,6 +362,13 @@ class AsyncEngine:
             from repro.runtime import stats_delta
 
             worker_stats = stats_delta(self._runtime_baseline, self._runtime.stats())
+            registry = self._counters.registry
+            registry.gauge("runtime.tasks").set(worker_stats.get("tasks", 0))
+            registry.gauge("runtime.busy_seconds", unit="seconds").set(
+                worker_stats.get("busy_seconds", 0.0)
+            )
+            registry.gauge("runtime.steals").set(worker_stats.get("steals", 0))
+            registry.gauge("runtime.gang_tasks").set(worker_stats.get("gang_tasks", 0))
         result = JobResult(
             steps=0,
             aggregates={},
@@ -359,10 +377,18 @@ class AsyncEngine:
             elapsed_seconds=time.monotonic() - started,
             synchronized=False,
             worker_stats=worker_stats,
+            metrics=self._counters.registry.dump(),
         )
-        from repro.ebsp.results import record_job_stats
+        if self._tracer.enabled:
+            from repro.obs.export import export_tracer
 
-        record_job_stats(self._store, result)
+            result.trace = export_tracer(
+                self._tracer, extra_metadata={"engine": "async"}
+            )
+        from repro.ebsp.results import record_job_stats, record_job_trace
+
+        job_seq = record_job_stats(self._store, result)
+        record_job_trace(self._store, job_seq, result)
         self._export_outputs()
         self._job.on_complete(result)
         return result
@@ -389,8 +415,15 @@ class AsyncEngine:
         event = (
             self._activation[qctx.part_index] if self._activation is not None else None
         )
+        tracer = self._tracer
+        # Phase attribution: time blocked on the queue (polls, parks) vs
+        # time invoking components, folded into the registry at loop end.
+        queue_wait = 0.0
+        compute_seconds = 0.0
         while not self._controller.is_done() and not self._abort.is_set():
+            t_poll = time.perf_counter()
             record = qctx.read(timeout=self._poll_timeout)
+            queue_wait += time.perf_counter() - t_poll
             if record is None and can_steal:
                 record = self._try_steal(qctx)
                 if record is not None:
@@ -409,7 +442,10 @@ class AsyncEngine:
                         if self._controller.is_done() or self._abort.is_set():
                             break
                         self._counters.add("worker_parks")
-                        event.wait()
+                        with tracer.span("park", cat="engine", part=qctx.part_index):
+                            t_park = time.perf_counter()
+                            event.wait()
+                            queue_wait += time.perf_counter() - t_park
                         continue
                 else:
                     continue
@@ -431,26 +467,34 @@ class AsyncEngine:
                     order.append(key)
                 if rec[0] == _MSG:
                     groups[key].append(rec[2])
-            for key in order:
-                ctx._bind(key, groups[key])
-                try:
-                    cont = bool(self._compute.compute(ctx))
-                except Exception as exc:
-                    raise ComputeError(key, ctx.invocations, exc) from exc
-                ctx._finish_invocation()
-                if cont:
-                    if no_continue:
-                        raise PropertyViolationError(
-                            f"job declares no-continue but component {key!r} "
-                            "returned the positive signal"
-                        )
-                    weight = purse.take_for_message()
-                    dest_part = self._part_of(key)
-                    qctx.put(dest_part, (_ENABLE, key, None, weight))
-                    self._activate(dest_part)
+            t_invoke = time.perf_counter()
+            with tracer.span(
+                "invoke-batch", cat="engine", part=qctx.part_index, records=len(batch)
+            ):
+                for key in order:
+                    ctx._bind(key, groups[key])
+                    try:
+                        cont = bool(self._compute.compute(ctx))
+                    except Exception as exc:
+                        raise ComputeError(key, ctx.invocations, exc) from exc
+                    ctx._finish_invocation()
+                    if cont:
+                        if no_continue:
+                            raise PropertyViolationError(
+                                f"job declares no-continue but component {key!r} "
+                                "returned the positive signal"
+                            )
+                        weight = purse.take_for_message()
+                        dest_part = self._part_of(key)
+                        qctx.put(dest_part, (_ENABLE, key, None, weight))
+                        self._activate(dest_part)
+            compute_seconds += time.perf_counter() - t_invoke
             if not purse.empty:
                 self._controller.return_weight(purse.drain())
         self._counters.add("messages_sent", ctx.messages_sent)
+        registry = self._counters.registry
+        registry.counter("engine.compute_seconds", unit="seconds").add(compute_seconds)
+        registry.counter("engine.queue_wait_seconds", unit="seconds").add(queue_wait)
         return ctx.invocations
 
     def _engine_self(self) -> "AsyncEngine":

@@ -47,6 +47,7 @@ from repro.ebsp.loaders import LoaderContext
 from repro.ebsp.properties import ExecutionPlan
 from repro.ebsp.recovery import FailureInjector, ProgressTable, SimulatedFailure
 from repro.ebsp.results import Counters, JobResult
+from repro.obs.trace import Tracer, activate, resolve_tracer
 from repro.ebsp.transport import (
     CLIENT_SRC,
     CONT,
@@ -270,14 +271,44 @@ class _StepContext(ComputeContext):
 
 
 class _PartStepResult:
-    """What one part's step hands back across the barrier."""
+    """What one part's step hands back across the barrier.
 
-    __slots__ = ("agg_partials", "invocations", "records_out")
+    Besides the aggregator partials and record counts, each part
+    carries its phase timings: worker-seconds in collect + compute,
+    worker-seconds at the commit point (state write-back + transport
+    flush), and its finish instant.  The finish instants are carried as
+    a *sum* (with a count) because results merge pairwise — the driver
+    recovers the step's total barrier wait as
+    ``n_timed * t_barrier − finished_sum``.
+    """
 
-    def __init__(self, agg_partials: Dict[str, Any], invocations: int, records_out: int):
+    __slots__ = (
+        "agg_partials",
+        "invocations",
+        "records_out",
+        "compute_seconds",
+        "flush_seconds",
+        "finished_sum",
+        "n_timed",
+    )
+
+    def __init__(
+        self,
+        agg_partials: Dict[str, Any],
+        invocations: int,
+        records_out: int,
+        compute_seconds: float = 0.0,
+        flush_seconds: float = 0.0,
+        finished_sum: float = 0.0,
+        n_timed: int = 0,
+    ):
         self.agg_partials = agg_partials
         self.invocations = invocations
         self.records_out = records_out
+        self.compute_seconds = compute_seconds
+        self.flush_seconds = flush_seconds
+        self.finished_sum = finished_sum
+        self.n_timed = n_timed
 
 
 class SyncEngine:
@@ -299,9 +330,12 @@ class SyncEngine:
         fault_tolerance: bool = False,
         failure_injector: Optional[FailureInjector] = None,
         max_retries: int = 5,
+        trace: Any = None,
     ):
         self._store = store
         self._job = job
+        # None defers to RIPPLE_TRACE; True/False/Tracer are explicit.
+        self._tracer: Tracer = resolve_tracer(trace)
         self._compute = job.get_compute()
         self._aggs = dict(job.aggregators())
         self._plan = ExecutionPlan.derive(
@@ -442,6 +476,7 @@ class SyncEngine:
             max_in_flight=self._spill_window,
             spills_per_batch=self._spill_coalesce,
             compact=self._compact_spills,
+            tracer=self._tracer,
         )
 
     def _harvest_writer(self, writer: SpillWriter) -> None:
@@ -503,25 +538,32 @@ class SyncEngine:
     def run(self) -> JobResult:
         started = time.monotonic()
         try:
-            self._initialize()
-            step = 0
-            aborted = False
-            while True:
-                if self._pending_records(step) == 0:
-                    # nothing is enabled: execution is over
-                    steps_taken = step
-                    break
-                if self._max_steps is not None and step >= self._max_steps:
-                    steps_taken = step
-                    break
-                self._run_step(step)
-                self._counters.add("barriers")
-                if self._job.has_aborter and self._job.aborter(step, dict(self._agg_values)):
-                    steps_taken = step + 1
-                    aborted = True
-                    break
-                step += 1
+            # The tracer is activated processwide for the run: spans are
+            # emitted from runtime threads this engine does not own, so
+            # they fetch the active tracer rather than being handed one.
+            with activate(self._tracer):
+                with self._tracer.span("job", cat="engine", lane="driver", jid=self._jid):
+                    with self._tracer.span("load", cat="engine", lane="driver"):
+                        self._initialize()
+                    step = 0
+                    aborted = False
+                    while True:
+                        if self._pending_records(step) == 0:
+                            # nothing is enabled: execution is over
+                            steps_taken = step
+                            break
+                        if self._max_steps is not None and step >= self._max_steps:
+                            steps_taken = step
+                            break
+                        self._run_step(step)
+                        self._counters.add("barriers")
+                        if self._job.has_aborter and self._job.aborter(step, dict(self._agg_values)):
+                            steps_taken = step + 1
+                            aborted = True
+                            break
+                        step += 1
             self._capture_store_stats()
+            self._capture_registry_extras()
             result = JobResult(
                 steps=steps_taken,
                 aggregates=dict(self._agg_values),
@@ -531,15 +573,38 @@ class SyncEngine:
                 synchronized=True,
                 timeline=list(self._timeline),
                 worker_stats=self._capture_runtime_stats(),
+                metrics=self._counters.registry.dump(),
             )
-            from repro.ebsp.results import record_job_stats
+            if self._tracer.enabled:
+                from repro.obs.export import export_tracer
 
-            record_job_stats(self._store, result)
+                result.trace = export_tracer(
+                    self._tracer,
+                    extra_metadata={"engine": "sync", "steps": steps_taken},
+                )
+            from repro.ebsp.results import record_job_stats, record_job_trace
+
+            job_seq = record_job_stats(self._store, result)
+            record_job_trace(self._store, job_seq, result)
             self._export_outputs()
             self._job.on_complete(result)
             return result
         finally:
             self._cleanup()
+
+    def _capture_registry_extras(self) -> None:
+        """Surface the runtime's per-worker counters through the registry
+        (as gauges — their single-writer hot paths stay lock-free)."""
+        stats = self._capture_runtime_stats()
+        if not stats:
+            return
+        registry = self._counters.registry
+        registry.gauge("runtime.tasks").set(stats.get("tasks", 0))
+        registry.gauge("runtime.busy_seconds", unit="seconds").set(
+            stats.get("busy_seconds", 0.0)
+        )
+        registry.gauge("runtime.steals").set(stats.get("steals", 0))
+        registry.gauge("runtime.gang_tasks").set(stats.get("gang_tasks", 0))
 
     def _initialize(self) -> None:
         if self._direct_exporter is not None:
@@ -567,7 +632,13 @@ class SyncEngine:
                 for name, agg in engine._aggs.items():
                     merged[name] = agg.merge(a.agg_partials[name], b.agg_partials[name])
                 return _PartStepResult(
-                    merged, a.invocations + b.invocations, a.records_out + b.records_out
+                    merged,
+                    a.invocations + b.invocations,
+                    a.records_out + b.records_out,
+                    a.compute_seconds + b.compute_seconds,
+                    a.flush_seconds + b.flush_seconds,
+                    a.finished_sum + b.finished_sum,
+                    a.n_timed + b.n_timed,
                 )
 
         if self._active_scheduling:
@@ -584,8 +655,47 @@ class SyncEngine:
             # a skipped part has no inputs — record it as trivially
             # complete so recovery never re-drives it for this step
             self._progress.mark_completed_many(skipped, step)
-        result = self._transport.enumerate_parts(_StepConsumer(), parts=active)
-        # ---- the synchronization barrier has happened here ----
+        with self._tracer.span("superstep", cat="engine", lane="driver", step=step) as step_span:
+            with self._tracer.span("barrier", cat="engine", lane="driver", step=step):
+                result = self._transport.enumerate_parts(_StepConsumer(), parts=active)
+            # ---- the synchronization barrier has happened here ----
+            t_barrier = time.perf_counter()
+            step_span.annotate(
+                invocations=result.invocations, records_out=result.records_out
+            )
+            with self._tracer.span("aggregate", cat="engine", lane="driver", step=step):
+                self._finish_step(result, step, active, skipped)
+        # Per-part barrier wait: Σ over timed parts of (t_barrier −
+        # finished_at), folded through the pairwise combine above.
+        barrier_wait = max(0.0, result.n_timed * t_barrier - result.finished_sum)
+        registry = self._counters.registry
+        registry.counter("engine.compute_seconds", unit="seconds").add(result.compute_seconds)
+        registry.counter("engine.flush_seconds", unit="seconds").add(result.flush_seconds)
+        registry.counter("engine.barrier_wait_seconds", unit="seconds").add(barrier_wait)
+        from repro.ebsp.results import StepMetrics
+
+        self._timeline.append(
+            StepMetrics(
+                step=step,
+                duration_seconds=time.monotonic() - started,
+                invocations=result.invocations,
+                records_out=result.records_out,
+                parts_run=len(active) if active is not None else self.n_parts,
+                parts_skipped=len(skipped),
+                compute_seconds=result.compute_seconds,
+                flush_seconds=result.flush_seconds,
+                barrier_wait_seconds=barrier_wait,
+            )
+        )
+
+    def _finish_step(
+        self,
+        result: "_PartStepResult",
+        step: int,
+        active: Optional[List[int]],
+        skipped: List[int],
+    ) -> None:
+        """Post-barrier bookkeeping: counters, aggregation, spill ledger."""
         self._counters.add("compute_invocations", result.invocations)
         self._counters.add(
             "part_steps_run", len(active) if active is not None else self.n_parts
@@ -602,18 +712,6 @@ class SyncEngine:
         self._finish_aggregation(result.agg_partials, step)
         with self._spill_lock:
             self._spilled_per_step.pop(step, None)
-        from repro.ebsp.results import StepMetrics
-
-        self._timeline.append(
-            StepMetrics(
-                step=step,
-                duration_seconds=time.monotonic() - started,
-                invocations=result.invocations,
-                records_out=result.records_out,
-                parts_run=len(active) if active is not None else self.n_parts,
-                parts_skipped=len(skipped),
-            )
-        )
 
     def _finish_aggregation(self, merged_partials: Dict[str, Any], step: int) -> None:
         """Make aggregation results readable in the following step.
@@ -665,8 +763,17 @@ class SyncEngine:
     def _attempt_part_step(self, part: int, view: Any, step: int) -> _PartStepResult:
         if self._plan.no_collect:
             return self._attempt_part_step_no_collect(part, view, step)
+        tracer = self._tracer
+        t_start = time.perf_counter()
+        # Lane resolves from the executing runtime thread (worker-<i>).
+        with tracer.span("part-step", cat="engine", part=part, step=step):
+            return self._part_step_body(part, view, step, t_start)
+
+    def _part_step_body(self, part: int, view: Any, step: int, t_start: float) -> _PartStepResult:
+        tracer = self._tracer
         combiner = self._combiner_for(step)
-        bundles, consumed = collect_step_records(view, step, combiner)
+        with tracer.span("collect", cat="engine", part=part, step=step):
+            bundles, consumed = collect_step_records(view, step, combiner)
         if not self._fault_tolerance:
             # no retry possible ⇒ no need to retain the input spills;
             # dropping them now frees the raw record lists before the
@@ -721,8 +828,19 @@ class SyncEngine:
                 writer.add((CONT, key))
 
         # ---- commit point ----
-        self._commit_part_step(ctx, writer, view, consumed, part, step)
-        return _PartStepResult(ctx.agg_partials, ctx.invocations, writer.records_written)
+        t_commit = time.perf_counter()
+        with tracer.span("commit", cat="engine", part=part, step=step):
+            self._commit_part_step(ctx, writer, view, consumed, part, step)
+        t_done = time.perf_counter()
+        return _PartStepResult(
+            ctx.agg_partials,
+            ctx.invocations,
+            writer.records_written,
+            compute_seconds=t_commit - t_start,
+            flush_seconds=t_done - t_commit,
+            finished_sum=t_done,
+            n_timed=1,
+        )
 
     def _commit_part_step(
         self,
@@ -757,7 +875,19 @@ class SyncEngine:
         """
         from repro.ebsp.transport import NO_MESSAGE, scan_step_records_no_collect
 
-        deliveries, creations, consumed = scan_step_records_no_collect(view, step)
+        tracer = self._tracer
+        t_start = time.perf_counter()
+        with tracer.span("part-step", cat="engine", part=part, step=step):
+            return self._part_step_body_no_collect(part, view, step, t_start)
+
+    def _part_step_body_no_collect(
+        self, part: int, view: Any, step: int, t_start: float
+    ) -> _PartStepResult:
+        from repro.ebsp.transport import NO_MESSAGE, scan_step_records_no_collect
+
+        tracer = self._tracer
+        with tracer.span("collect", cat="engine", part=part, step=step):
+            deliveries, creations, consumed = scan_step_records_no_collect(view, step)
         writer = self._make_writer(part, step + 1, step, hold=self._fault_tolerance)
         ctx = _StepContext(self, part, step, writer)
         base_ctx = _SimpleBaseContext(step)
@@ -801,8 +931,19 @@ class SyncEngine:
                     f"returned the positive signal in step {step}"
                 )
 
-        self._commit_part_step(ctx, writer, view, consumed, part, step)
-        return _PartStepResult(ctx.agg_partials, ctx.invocations, writer.records_written)
+        t_commit = time.perf_counter()
+        with tracer.span("commit", cat="engine", part=part, step=step):
+            self._commit_part_step(ctx, writer, view, consumed, part, step)
+        t_done = time.perf_counter()
+        return _PartStepResult(
+            ctx.agg_partials,
+            ctx.invocations,
+            writer.records_written,
+            compute_seconds=t_commit - t_start,
+            flush_seconds=t_done - t_commit,
+            finished_sum=t_done,
+            n_timed=1,
+        )
 
     def _merge_creations(
         self, ctx: BaseContext, key: Any, created: List[Tuple[int, Any]]

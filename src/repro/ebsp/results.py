@@ -1,36 +1,72 @@
-"""Job results and execution counters."""
+"""Job results and execution counters.
+
+Since the ``repro.obs`` subsystem landed, :class:`Counters` is a thin
+facade over an :class:`~repro.obs.MetricsRegistry` — the registry is
+the single source of truth, the facade keeps the engines' historical
+``add``/``record_max``/``snapshot`` API (and its integer-counter
+semantics) intact.  :class:`JobResult` likewise keeps every historical
+accessor while additionally carrying the full metrics dump and, for
+traced runs, the recorded span trace.
+"""
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 
 class Counters:
-    """Thread-safe named counters the engines use for instrumentation."""
+    """Thread-safe named counters the engines use for instrumentation.
 
-    def __init__(self) -> None:
+    A facade over a :class:`~repro.obs.MetricsRegistry`: ``add`` feeds
+    a registry counter, ``record_max`` a high-water-mark gauge, and
+    ``snapshot`` reads back exactly the names that came through this
+    facade (so engine counters keep their un-prefixed names while the
+    registry may hold other instruments alongside).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._values: Dict[str, int] = {}
+        self._counters: Dict[str, Any] = {}
+        self._maxima: Dict[str, Any] = {}
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    def _counter(self, name: str) -> Any:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._registry.counter(name)
+            with self._lock:
+                self._counters[name] = metric
+        return metric
 
     def add(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._values[name] = self._values.get(name, 0) + amount
+        self._counter(name).add(amount)
 
     def record_max(self, name: str, value: int) -> None:
         """Keep the largest reported *value* (high-water-mark counters)."""
-        with self._lock:
-            if value > self._values.get(name, 0):
-                self._values[name] = value
+        metric = self._maxima.get(name)
+        if metric is None:
+            metric = self._registry.gauge(name)
+            with self._lock:
+                self._maxima[name] = metric
+        metric.record_max(value)
 
     def get(self, name: str) -> int:
         with self._lock:
-            return self._values.get(name, 0)
+            metric = self._counters.get(name) or self._maxima.get(name)
+        return metric.value() if metric is not None else 0
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
-            return dict(self._values)
+            metrics = {**self._counters, **self._maxima}
+        return {name: metric.value() for name, metric in metrics.items()}
 
 
 @dataclass(frozen=True)
@@ -45,6 +81,15 @@ class StepMetrics:
     parts_run: int = 0
     #: Parts skipped by active-part scheduling (no pending records).
     parts_skipped: int = 0
+    #: Worker-seconds the step's part-steps spent in collect + compute
+    #: (summed across parts, so it can exceed the wall duration).
+    compute_seconds: float = 0.0
+    #: Worker-seconds spent at part-step commit points: batched state
+    #: write-back plus the transport flush gather.
+    flush_seconds: float = 0.0
+    #: Worker-seconds parts sat finished waiting for the step's global
+    #: barrier to release (stragglers make this grow).
+    barrier_wait_seconds: float = 0.0
 
 
 @dataclass
@@ -70,6 +115,13 @@ class JobResult:
     #: list with the same split per worker.  Empty when the store has no
     #: runtime (e.g. a bare Table implementation).
     worker_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Full metrics-registry dump for this run: name → {type, unit,
+    #: value}.  Superset of ``counters`` (which keeps the legacy
+    #: un-typed view).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: For traced runs, the Chrome/Perfetto trace-event document the
+    #: run exported (``None`` when tracing was off).
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def compute_invocations(self) -> int:
@@ -149,12 +201,49 @@ class JobResult:
         compact = self.counters.get("codec_sample_compact_bytes", 0)
         return raw - compact if raw else 0
 
+    # -- phase attribution (repro.obs) --------------------------------------
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Wall-time attribution by execution phase.
+
+        Synchronized runs report ``compute`` / ``flush`` /
+        ``barrier_wait`` (worker-seconds, summed over the timeline);
+        no-sync runs report ``compute`` / ``queue_wait``.  This is what
+        the sync-vs-async and active-parts ablations compare.
+        """
+
+        def _metric(name: str) -> float:
+            entry = self.metrics.get(name)
+            return float(entry["value"]) if entry is not None else 0.0
+
+        if self.synchronized:
+            if self.timeline:
+                return {
+                    "compute": sum(m.compute_seconds for m in self.timeline),
+                    "flush": sum(m.flush_seconds for m in self.timeline),
+                    "barrier_wait": sum(m.barrier_wait_seconds for m in self.timeline),
+                }
+            return {
+                "compute": _metric("engine.compute_seconds"),
+                "flush": _metric("engine.flush_seconds"),
+                "barrier_wait": _metric("engine.barrier_wait_seconds"),
+            }
+        return {
+            "compute": _metric("engine.compute_seconds"),
+            "queue_wait": _metric("engine.queue_wait_seconds"),
+        }
+
 
 #: Cumulative per-store job counters live here so ``inspect --stats``
 #: can report them after the fact.  The name deliberately avoids the
 #: ``__ebsp`` prefix, which is reserved for per-job scratch tables that
 #: must not outlive a run.
 JOB_STATS_TABLE = "__ripple_job_stats"
+
+#: Per-job trace/metrics exports for traced runs on durable stores,
+#: keyed by the cumulative job sequence number; read back by
+#: ``inspect trace <job>`` and ``inspect metrics <job>``.
+JOB_TRACES_TABLE = "__ripple_job_traces"
 
 #: Counters accumulated into the job-stats table, plus derived totals.
 _RECORDED_COUNTERS = (
@@ -173,14 +262,16 @@ _RECORDED_COUNTERS = (
 )
 
 
-def record_job_stats(store: Any, result: "JobResult") -> None:
+def record_job_stats(store: Any, result: "JobResult") -> Optional[int]:
     """Fold one job's headline counters into the store's cumulative
     job-stats table, for durable stores (``store.keeps_job_stats``) —
     in-memory stores already hand the same counters back in the
-    :class:`JobResult`.  Best-effort: a store that cannot host the
-    table (closed, read-only, …) silently keeps no job stats."""
+    :class:`JobResult`.  Returns the job's cumulative sequence number
+    (1-based) when recorded, else ``None``.  Best-effort: a store that
+    cannot host the table (closed, read-only, …) silently keeps no job
+    stats."""
     if not getattr(store, "keeps_job_stats", False):
-        return
+        return None
     try:
         from repro.kvstore.api import TableSpec
 
@@ -193,6 +284,33 @@ def record_job_stats(store: Any, result: "JobResult") -> None:
         current = table.get_many([name for name, _ in updates])
         table.put_many(
             (name, (current.get(name) or 0) + delta) for name, delta in updates
+        )
+        return (current.get("jobs") or 0) + 1
+    except Exception:
+        return None
+
+
+def record_job_trace(store: Any, job_seq: Optional[int], result: "JobResult") -> None:
+    """Persist a traced run's exported trace and metrics for ``inspect``.
+
+    Only durable stores (``keeps_job_stats``) keep traces, under the
+    job's cumulative sequence number; the latest sequence is also
+    stored under the key ``"latest"``.  Best-effort like
+    :func:`record_job_stats`.
+    """
+    if result.trace is None or job_seq is None:
+        return
+    if not getattr(store, "keeps_job_stats", False):
+        return
+    try:
+        from repro.kvstore.api import TableSpec
+
+        table = store.get_or_create_table(TableSpec(name=JOB_TRACES_TABLE, n_parts=1))
+        table.put_many(
+            [
+                (job_seq, {"trace": result.trace, "metrics": result.metrics}),
+                ("latest", job_seq),
+            ]
         )
     except Exception:
         pass

@@ -172,7 +172,11 @@ class SpillWriter:
         max_in_flight: int = 8,
         spills_per_batch: int = 1,
         compact: bool = False,
+        tracer: Any = None,
     ):
+        from repro.obs.trace import NULL_TRACER
+
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._transport = transport
         self._src_part = src_part
         self._step = step
@@ -261,6 +265,12 @@ class SpillWriter:
         self._combine_index.pop(dest_part, None)
         if not buffer:
             return
+        span = None
+        if self._tracer.enabled:
+            span = self._tracer.span(
+                "spill.seal", cat="transport", dest=dest_part, records=len(buffer)
+            )
+            span.__enter__()
         key = (dest_part, self._step, self._src_part, self._seq)
         self._seq += 1
         if self._compact:
@@ -277,6 +287,8 @@ class SpillWriter:
         self._ready.setdefault(dest_part, []).append((key, value))
         self.spills_sealed += 1
         self.records_written += len(buffer)
+        if span is not None:
+            span.__exit__(None, None, None)
         if self._on_spill is not None:
             self._on_spill(dest_part, len(buffer))
 
@@ -285,6 +297,10 @@ class SpillWriter:
         batch = self._ready.pop(dest_part, None)
         if not batch:
             return
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "spill.dispatch", cat="transport", dest=dest_part, spills=len(batch)
+            )
         self.batches_dispatched += 1
         if not self._pipelined:
             # blocking transport: one synchronous put per spill, exactly
@@ -302,13 +318,14 @@ class SpillWriter:
     def flush_all(self) -> None:
         """Seal and dispatch every remaining buffer, then join all
         outstanding transport futures (the commit point under *hold*)."""
-        with self._lock:
-            for dest_part in list(self._buffers):
-                self._seal(dest_part)
-            for dest_part in list(self._ready):
-                self._dispatch(dest_part)
-            while self._in_flight:
-                self._in_flight.popleft().result()
+        with self._tracer.span("spill.flush", cat="transport", src=self._src_part):
+            with self._lock:
+                for dest_part in list(self._buffers):
+                    self._seal(dest_part)
+                for dest_part in list(self._ready):
+                    self._dispatch(dest_part)
+                while self._in_flight:
+                    self._in_flight.popleft().result()
 
     def discard(self) -> None:
         """Drop all buffered and sealed-but-undispatched records (failed

@@ -332,6 +332,23 @@ class Table(abc.ABC):
         except BaseException as exc:
             return completed_future(exception=exc)
 
+    def _batch_span(self, op: str, items: Any) -> tuple:
+        """``(items, span)`` for one batched RPC.
+
+        When tracing is active the items are materialized (to count
+        them) and a ``cat="store"`` span is returned for the caller to
+        enter around the batch; when tracing is off the items pass
+        through untouched and the span is the shared no-op.
+        """
+        from repro.obs.trace import NULL_SPAN, get_tracer
+
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return items, NULL_SPAN
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        return items, tracer.span(op, cat="store", table=self.name, records=len(items))
+
     # -- bulk operations (overridable for efficiency) ----------------------
     #
     # Stores that pay a per-operation routing or marshalling cost override

@@ -90,20 +90,34 @@ class LocalTable(Table):
         its part.
         """
         self._check()
-        if self.ubiquitous:
+        pairs, span = self._batch_span("store.put_many", pairs)
+        with span:
+            if self.ubiquitous:
+                for key, value in pairs:
+                    self.put(key, value)
+                return
+            parts = self._parts
+            part_of = self.part_of
             for key, value in pairs:
-                self.put(key, value)
-            return
-        parts = self._parts
-        part_of = self.part_of
-        for key, value in pairs:
-            parts[part_of(key)].put(key, value)
+                parts[part_of(key)].put(key, value)
 
     def get_many(self, keys: Iterable[Any]) -> dict:
         self._check()
-        parts = self._parts
-        part_of = self.part_of
-        return {key: parts[part_of(key)].get(key) for key in keys}
+        keys, span = self._batch_span("store.get_many", keys)
+        with span:
+            parts = self._parts
+            part_of = self.part_of
+            return {key: parts[part_of(key)].get(key) for key in keys}
+
+    def delete_many(self, keys: Iterable[Any]) -> None:
+        """Batch deletes routed straight to each key's part."""
+        self._check()
+        keys, span = self._batch_span("store.delete_many", keys)
+        with span:
+            parts = self._parts
+            part_of = self.part_of
+            for key in keys:
+                parts[part_of(key)].delete(key)
 
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()

@@ -300,8 +300,10 @@ class PartitionedTable(Table):
     def put_many(self, pairs: Iterable[tuple]) -> None:
         """Batch puts: one marshalled request per touched part, all parts
         dispatched concurrently, gathered before returning."""
-        for future in self.put_many_async(pairs):
-            future.result()
+        pairs, span = self._batch_span("store.put_many", pairs)
+        with span:
+            for future in self.put_many_async(pairs):
+                future.result()
 
     def put_many_async(self, pairs: Iterable[tuple]) -> list:
         """Dispatch per-part put batches concurrently; returns the futures.
@@ -336,8 +338,10 @@ class PartitionedTable(Table):
 
     def delete_many(self, keys: Iterable[Any]) -> None:
         """Batch deletes: one marshalled request per touched part."""
-        for future in self.delete_many_async(keys):
-            future.result()
+        keys, span = self._batch_span("store.delete_many", keys)
+        with span:
+            for future in self.delete_many_async(keys):
+                future.result()
 
     def delete_many_async(self, keys: Iterable[Any]) -> list:
         """Dispatch per-part delete batches concurrently; returns futures."""
@@ -360,6 +364,11 @@ class PartitionedTable(Table):
     def get_many(self, keys: Iterable[Any]) -> dict:
         """Batch gets: one readonly request per touched part, concurrent."""
         self._check()
+        keys, span = self._batch_span("store.get_many", keys)
+        with span:
+            return self._get_many_batched(keys)
+
+    def _get_many_batched(self, keys: Iterable[Any]) -> dict:
         by_part: dict = {}
         part_of = self.part_of
         for key in keys:

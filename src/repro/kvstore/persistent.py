@@ -178,23 +178,37 @@ class PersistentTable(Table):
     def put_many(self, pairs: Iterable[tuple]) -> None:
         """Group per part and log each part's batch with one disk flush."""
         self._check()
-        if self.ubiquitous:
+        pairs, span = self._batch_span("store.put_many", pairs)
+        with span:
+            if self.ubiquitous:
+                for key, value in pairs:
+                    self.put(key, value)
+                return
+            by_part: dict = {}
+            part_of = self.part_of
             for key, value in pairs:
-                self.put(key, value)
-            return
-        by_part: dict = {}
-        part_of = self.part_of
-        for key, value in pairs:
-            by_part.setdefault(part_of(key), []).append((key, value))
-        for part_index, batch in by_part.items():
-            self._store.stats.record_batch(len(batch))
-            self._parts[part_index].put_batch(batch)
+                by_part.setdefault(part_of(key), []).append((key, value))
+            for part_index, batch in by_part.items():
+                self._store.stats.record_batch(len(batch))
+                self._parts[part_index].put_batch(batch)
 
     def get_many(self, keys: Iterable[Any]) -> dict:
         self._check()
-        parts = self._parts
-        part_of = self.part_of
-        return {key: parts[part_of(key)].view.get(key) for key in keys}
+        keys, span = self._batch_span("store.get_many", keys)
+        with span:
+            parts = self._parts
+            part_of = self.part_of
+            return {key: parts[part_of(key)].view.get(key) for key in keys}
+
+    def delete_many(self, keys: Iterable[Any]) -> None:
+        """Batch deletes grouped per part (one log append per key)."""
+        self._check()
+        keys, span = self._batch_span("store.delete_many", keys)
+        with span:
+            parts = self._parts
+            part_of = self.part_of
+            for key in keys:
+                parts[part_of(key)].delete(key)
 
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()

@@ -441,41 +441,74 @@ class ReplicatedTable(Table):
     def put_many(self, pairs: Iterable[tuple]) -> None:
         """One replication batch (⇒ one marshal to backups) per touched part."""
         self._check()
-        if self.ubiquitous:
+        pairs, span = self._batch_span("store.put_many", pairs)
+        with span:
+            if self.ubiquitous:
+                for key, value in pairs:
+                    self.put(key, value)
+                return
+            by_part: dict = {}
+            part_of = self.part_of
             for key, value in pairs:
-                self.put(key, value)
-            return
-        by_part: dict = {}
-        part_of = self.part_of
-        for key, value in pairs:
-            if value is None:
-                raise ValueError("None is not a storable value; use delete()")
-            by_part.setdefault(part_of(key), []).append((key, value))
-        for part_index, batch in by_part.items():
-            shard = self._store._shard(part_index)
-            writes = [
-                (self.name, part_index, self.ordered, key, value) for key, value in batch
-            ]
-            if shard.backups:
-                self._store.stats.record_batch(len(batch))
-            with shard.lock:
-                self._store._apply_batch(shard, writes)
+                if value is None:
+                    raise ValueError("None is not a storable value; use delete()")
+                by_part.setdefault(part_of(key), []).append((key, value))
+            for part_index, batch in by_part.items():
+                shard = self._store._shard(part_index)
+                writes = [
+                    (self.name, part_index, self.ordered, key, value) for key, value in batch
+                ]
+                if shard.backups:
+                    self._store.stats.record_batch(len(batch))
+                with shard.lock:
+                    self._store._apply_batch(shard, writes)
 
     def get_many(self, keys: Iterable[Any]) -> dict:
         """Grouped reads: one lock acquisition per touched shard."""
         self._check()
-        by_part: dict = {}
-        part_of = self.part_of
-        for key in keys:
-            by_part.setdefault(part_of(key), []).append(key)
-        out: dict = {}
-        for part_index, part_keys in by_part.items():
-            shard = self._store._shard(part_index)
-            with shard.lock:
-                view = shard.primary.part(self.name, part_index, self.ordered)
-                for key in part_keys:
-                    out[key] = view.get(key)
-        return out
+        keys, span = self._batch_span("store.get_many", keys)
+        with span:
+            by_part: dict = {}
+            part_of = self.part_of
+            for key in keys:
+                by_part.setdefault(part_of(key), []).append(key)
+            out: dict = {}
+            for part_index, part_keys in by_part.items():
+                shard = self._store._shard(part_index)
+                with shard.lock:
+                    view = shard.primary.part(self.name, part_index, self.ordered)
+                    for key in part_keys:
+                        out[key] = view.get(key)
+            return out
+
+    def delete_many(self, keys: Iterable[Any]) -> None:
+        """One replication batch of tombstones per touched part.
+
+        Mirrors :meth:`put_many`: present keys are tombstoned under one
+        shard-lock acquisition (and one marshal to backups) per part,
+        instead of a lock round-trip per key.
+        """
+        self._check()
+        keys, span = self._batch_span("store.delete_many", keys)
+        with span:
+            by_part: dict = {}
+            part_of = self.part_of
+            for key in keys:
+                by_part.setdefault(part_of(key), []).append(key)
+            for part_index, part_keys in by_part.items():
+                shard = self._store._shard(part_index)
+                with shard.lock:
+                    view = shard.primary.part(self.name, part_index, self.ordered)
+                    writes = [
+                        (self.name, part_index, self.ordered, key, None)
+                        for key in part_keys
+                        if view.get(key) is not None
+                    ]
+                    if not writes:
+                        continue
+                    if shard.backups:
+                        self._store.stats.record_batch(len(writes))
+                    self._store._apply_batch(shard, writes)
 
     # -- enumeration ----------------------------------------------------------
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:

@@ -63,6 +63,8 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.obs.trace import get_tracer
+
 
 class RuntimeClosedError(RuntimeError):
     """Raised when work is submitted to a closed runtime."""
@@ -188,12 +190,22 @@ class WorkerRuntime(abc.ABC):
         errors: List[Optional[BaseException]] = [None] * len(fns)
 
         def _run(index: int, fn: Callable[[], Any]) -> None:
+            # Each gang task owns its thread for its whole life, so its
+            # lane (e.g. "qs-updates-3") is pushed once and never shared.
+            tracer = get_tracer()
+            token = None
+            pushed = False
+            if tracer.enabled:
+                token = tracer.push_lane(f"{label}-{index}")
+                pushed = True
             started = time.perf_counter()
             try:
                 slots[index] = fn()
             except BaseException as exc:  # gathered and re-raised below
                 errors[index] = exc
             finally:
+                if pushed:
+                    tracer.pop_lane(token)
                 with self._gang_lock:
                     self._gang_tasks += 1
                     self._gang_busy_seconds += time.perf_counter() - started

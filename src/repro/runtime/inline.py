@@ -20,6 +20,7 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable
 
+from repro.obs.trace import get_tracer
 from repro.runtime.api import RuntimeClosedError, WorkerRuntime, finished_future
 
 
@@ -35,6 +36,15 @@ class InlineRuntime(WorkerRuntime):
         tls = self._tls
         previous = getattr(tls, "worker", None)
         tls.worker = worker
+        tracer = get_tracer()
+        span = None
+        token = None
+        if tracer.enabled:
+            # No separate rpc threads here: short and long tasks share
+            # the worker's single compute lane.
+            token = tracer.push_lane(f"worker-{worker}")
+            span = tracer.span(getattr(fn, "__name__", "task"), cat="runtime.task")
+            span.__enter__()
         started = time.perf_counter()
         try:
             result = fn(*args)
@@ -43,6 +53,9 @@ class InlineRuntime(WorkerRuntime):
         else:
             return finished_future(result)
         finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+                tracer.pop_lane(token)
             tls.worker = previous
             self._counters[worker].record_task(time.perf_counter() - started)
 

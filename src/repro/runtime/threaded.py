@@ -20,6 +20,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.trace import get_tracer
 from repro.runtime.api import RuntimeClosedError, WorkerRuntime
 
 _SENTINEL = object()
@@ -36,6 +37,7 @@ class _LaneWorker:
     def __init__(self, runtime: "ThreadedRuntime", index: int):
         self._runtime = runtime
         self.index = index
+        self.trace_lane = f"rpc-{index}"
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._start_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
@@ -45,7 +47,10 @@ class _LaneWorker:
         if self._closing:
             raise RuntimeClosedError(f"runtime {self._runtime.name!r} is closed")
         future: Future = Future()
-        self._queue.put((fn, args, future))
+        # Enqueue timestamp: only stamped when tracing, so the disabled
+        # submit path pays one attribute load and no clock read.
+        enqueued = time.perf_counter() if get_tracer().enabled else 0.0
+        self._queue.put((fn, args, future, enqueued))
         counters = self._runtime._counters[self.index]
         depth = self._queue.qsize()
         if depth > counters.max_queue_depth:
@@ -62,16 +67,28 @@ class _LaneWorker:
         return future
 
     def _run_one(self, item: Any, counters: Any) -> None:
-        fn, args, future = item
+        fn, args, future, enqueued = item
         if not future.set_running_or_notify_cancel():
             return
+        tracer = get_tracer()
         started = time.perf_counter()
+        span = None
+        if tracer.enabled:
+            span = tracer.span(
+                getattr(fn, "__name__", "task"),
+                cat="runtime.rpc",
+                lane=self.trace_lane,
+                queue_wait_ms=round((started - enqueued) * 1000.0, 3) if enqueued else 0.0,
+            )
+            span.__enter__()
         try:
             result = fn(*args)
         except BaseException as exc:
             future.set_exception(exc)
         else:
             future.set_result(result)
+        if span is not None:
+            span.__exit__(None, None, None)
         counters.record_task(time.perf_counter() - started)
 
     def _loop(self) -> None:
@@ -164,8 +181,16 @@ class ThreadedRuntime(WorkerRuntime):
         if not outer.set_running_or_notify_cancel():
             return
         # Pool threads are shared between workers: the marker is
-        # per-task, unlike a lane thread's permanent one.
+        # per-task, unlike a lane thread's permanent one.  The trace
+        # lane follows the same rule — spans the task emits (part-steps,
+        # store requests) land on this worker's compute lane.
         self._tls.worker = worker
+        tracer = get_tracer()
+        pushed = False
+        token = None
+        if tracer.enabled:
+            token = tracer.push_lane(f"worker-{worker}")
+            pushed = True
         started = time.perf_counter()
         try:
             result = fn(*args)
@@ -174,6 +199,8 @@ class ThreadedRuntime(WorkerRuntime):
         else:
             outer.set_result(result)
         finally:
+            if pushed:
+                tracer.pop_lane(token)
             self._tls.worker = None
             self._counters[worker].record_long_task(time.perf_counter() - started)
 

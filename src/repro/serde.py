@@ -11,56 +11,89 @@ boundaries.
 from __future__ import annotations
 
 import pickle
-import threading
-from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
 class SerdeStats:
-    """Counters for marshalling activity, safe to read concurrently."""
+    """Counters for marshalling activity, safe to read concurrently.
 
-    marshalled_objects: int = 0
-    marshalled_bytes: int = 0
-    unmarshalled_objects: int = 0
-    #: Cross-partition requests that carried a whole per-part batch
-    #: (put_many / get_many / pipelined spill flushes) and the records
-    #: they amortized — one marshalled request covering many operations.
-    batched_requests: int = 0
-    batched_records: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    A facade over a :class:`~repro.obs.MetricsRegistry`: the five
+    historical fields stay readable as properties and ``snapshot()``
+    keeps its exact key set, while the underlying counters live in the
+    registry under ``serde.*`` names (with units) alongside everything
+    else the store records.
+    """
+
+    __slots__ = (
+        "registry",
+        "_marshalled_objects",
+        "_marshalled_bytes",
+        "_unmarshalled_objects",
+        "_batched_requests",
+        "_batched_records",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._marshalled_objects = self.registry.counter("serde.marshalled_objects")
+        self._marshalled_bytes = self.registry.counter(
+            "serde.marshalled_bytes", unit="bytes"
+        )
+        self._unmarshalled_objects = self.registry.counter("serde.unmarshalled_objects")
+        # Cross-partition requests that carried a whole per-part batch
+        # (put_many / get_many / pipelined spill flushes) and the records
+        # they amortized — one marshalled request covering many operations.
+        self._batched_requests = self.registry.counter("serde.batched_requests")
+        self._batched_records = self.registry.counter("serde.batched_records")
+
+    @property
+    def marshalled_objects(self) -> int:
+        return self._marshalled_objects.value()
+
+    @property
+    def marshalled_bytes(self) -> int:
+        return self._marshalled_bytes.value()
+
+    @property
+    def unmarshalled_objects(self) -> int:
+        return self._unmarshalled_objects.value()
+
+    @property
+    def batched_requests(self) -> int:
+        return self._batched_requests.value()
+
+    @property
+    def batched_records(self) -> int:
+        return self._batched_records.value()
 
     def record_marshal(self, nbytes: int) -> None:
-        with self._lock:
-            self.marshalled_objects += 1
-            self.marshalled_bytes += nbytes
+        self._marshalled_objects.add(1)
+        self._marshalled_bytes.add(nbytes)
 
     def record_unmarshal(self) -> None:
-        with self._lock:
-            self.unmarshalled_objects += 1
+        self._unmarshalled_objects.add(1)
 
     def record_batch(self, n_records: int) -> None:
-        with self._lock:
-            self.batched_requests += 1
-            self.batched_records += n_records
+        self._batched_requests.add(1)
+        self._batched_records.add(n_records)
 
     def reset(self) -> None:
-        with self._lock:
-            self.marshalled_objects = 0
-            self.marshalled_bytes = 0
-            self.unmarshalled_objects = 0
-            self.batched_requests = 0
-            self.batched_records = 0
+        self._marshalled_objects.reset()
+        self._marshalled_bytes.reset()
+        self._unmarshalled_objects.reset()
+        self._batched_requests.reset()
+        self._batched_records.reset()
 
     def snapshot(self) -> dict:
-        with self._lock:
-            return {
-                "marshalled_objects": self.marshalled_objects,
-                "marshalled_bytes": self.marshalled_bytes,
-                "unmarshalled_objects": self.unmarshalled_objects,
-                "batched_requests": self.batched_requests,
-                "batched_records": self.batched_records,
-            }
+        return {
+            "marshalled_objects": self._marshalled_objects.value(),
+            "marshalled_bytes": self._marshalled_bytes.value(),
+            "unmarshalled_objects": self._unmarshalled_objects.value(),
+            "batched_requests": self._batched_requests.value(),
+            "batched_records": self._batched_records.value(),
+        }
 
 
 class Codec:

@@ -1,0 +1,174 @@
+"""The span tracer: no-op default, recording impl, lane bookkeeping."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    DRIVER_LANE,
+    NULL_SPAN,
+    NULL_TRACER,
+    RecordingTracer,
+    Tracer,
+    activate,
+    env_trace_enabled,
+    get_tracer,
+    resolve_tracer,
+)
+
+
+class TestNullTracer:
+    def test_disabled_by_default(self):
+        assert not NULL_TRACER.enabled
+        assert not Tracer().enabled
+
+    def test_span_is_shared_singleton(self):
+        # the disabled hot path must allocate nothing
+        a = NULL_TRACER.span("x", cat="t")
+        b = NULL_TRACER.span("y", cat="t", anything=1)
+        assert a is NULL_SPAN and b is NULL_SPAN
+
+    def test_null_span_is_inert_context_manager(self):
+        with NULL_TRACER.span("x") as span:
+            span.annotate(k=1)
+        token = NULL_TRACER.push_lane("worker-0")
+        NULL_TRACER.pop_lane(token)
+        NULL_TRACER.instant("x")
+
+    def test_global_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_disabled_overhead_is_flat(self):
+        """The no-op path is one attribute check + a shared singleton —
+        bound it generously so a regression to per-call allocation or
+        locking shows up without making the test timing-sensitive."""
+        tracer = get_tracer()
+        n = 100_000
+        start = time.perf_counter()
+        for _ in range(n):
+            if tracer.enabled:  # pragma: no cover - disabled here
+                pass
+            with tracer.span("op"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0, f"no-op span path took {elapsed / n * 1e6:.2f}µs/call"
+
+
+class TestRecordingTracer:
+    def test_records_span_with_duration_and_args(self):
+        tracer = RecordingTracer()
+        with tracer.span("work", cat="test", part=3) as span:
+            span.annotate(records=7)
+        (event,) = tracer.events()
+        assert event.name == "work"
+        assert event.cat == "test"
+        assert event.lane == DRIVER_LANE
+        assert event.duration >= 0.0
+        assert event.args == {"part": 3, "records": 7}
+
+    def test_lane_stack_per_thread(self):
+        tracer = RecordingTracer()
+        token = tracer.push_lane("worker-5")
+        with tracer.span("inner"):
+            pass
+        tracer.pop_lane(token)
+        with tracer.span("outer"):
+            pass
+        lanes = {e.name: e.lane for e in tracer.events()}
+        assert lanes == {"inner": "worker-5", "outer": DRIVER_LANE}
+
+    def test_explicit_lane_wins_over_stack(self):
+        tracer = RecordingTracer()
+        token = tracer.push_lane("worker-1")
+        with tracer.span("op", lane="rpc-0"):
+            pass
+        tracer.pop_lane(token)
+        (event,) = tracer.events()
+        assert event.lane == "rpc-0"
+
+    def test_threads_have_independent_lanes(self):
+        tracer = RecordingTracer()
+
+        def worker(index):
+            token = tracer.push_lane(f"worker-{index}")
+            with tracer.span("t"):
+                pass
+            tracer.pop_lane(token)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(e.lane for e in tracer.events()) == [
+            f"worker-{i}" for i in range(4)
+        ]
+
+    def test_instant_event(self):
+        tracer = RecordingTracer()
+        tracer.instant("tick", cat="test", n=1)
+        (event,) = tracer.events()
+        assert event.duration == 0.0
+        assert event.args == {"n": 1}
+
+    def test_concurrent_spans_all_recorded(self):
+        tracer = RecordingTracer()
+        n_threads, per_thread = 8, 200
+
+        def worker(index):
+            token = tracer.push_lane(f"worker-{index}")
+            for _ in range(per_thread):
+                with tracer.span("op"):
+                    pass
+            tracer.pop_lane(token)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.events()) == n_threads * per_thread
+
+
+class TestActivation:
+    def test_activate_installs_and_restores(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_activating_null_tracer_is_noop(self):
+        with activate(NULL_TRACER):
+            assert get_tracer() is NULL_TRACER
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = RecordingTracer(), RecordingTracer()
+        with activate(outer):
+            with activate(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+
+
+class TestResolve:
+    def test_none_follows_env(self, monkeypatch):
+        monkeypatch.delenv("RIPPLE_TRACE", raising=False)
+        assert resolve_tracer(None) is NULL_TRACER
+        monkeypatch.setenv("RIPPLE_TRACE", "1")
+        assert resolve_tracer(None).enabled
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("", False), ("no", False),
+    ])
+    def test_env_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("RIPPLE_TRACE", raw)
+        assert env_trace_enabled() is expected
+
+    def test_bools_and_passthrough(self):
+        assert resolve_tracer(False) is NULL_TRACER
+        assert resolve_tracer(True).enabled
+        tracer = RecordingTracer()
+        assert resolve_tracer(tracer) is tracer

@@ -19,6 +19,7 @@ PUBLIC_MODULES = [
     "repro.ebsp",
     "repro.ebsp.convergence",
     "repro.ebsp.scheduler",
+    "repro.obs",
     "repro.mapreduce",
     "repro.graph",
     "repro.apps.pagerank",

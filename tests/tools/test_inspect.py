@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.kvstore.api import TableSpec
@@ -102,3 +104,103 @@ class TestInspect:
         assert "parts skipped:" in out
         assert "part-steps run:" in out
         assert "writeback batches:" in out
+
+
+def _traced_store(tmp_path) -> str:
+    """A persistent store that has run one traced job."""
+    from repro.ebsp.loaders import MessageListLoader
+    from repro.ebsp.runner import run_job
+    from tests.ebsp.jobs import TestJob
+
+    def fn(ctx):
+        for value in ctx.input_messages():
+            ctx.write_state(0, value)
+            if value < 2:
+                ctx.output_message(ctx.key, value + 1)
+        return False
+
+    path = str(tmp_path / "traced")
+    with PersistentKVStore(path, default_n_parts=4) as store:
+        run_job(
+            store,
+            TestJob(fn, loaders=[MessageListLoader([(i, 0) for i in range(8)])]),
+            synchronize=True,
+            trace=True,
+        )
+    return path
+
+
+class TestTraceAndMetricsCommands:
+    def test_trace_summary(self, tmp_path, capsys):
+        path = _traced_store(tmp_path)
+        assert main([path, "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace for job 1:" in out
+        assert "lanes:" in out and "driver" in out
+        assert "superstep" in out
+
+    def test_trace_latest_and_explicit_job_agree(self, tmp_path, capsys):
+        path = _traced_store(tmp_path)
+        assert main([path, "trace", "latest"]) == 0
+        latest = capsys.readouterr().out
+        assert main([path, "trace", "1"]) == 0
+        assert capsys.readouterr().out == latest
+
+    def test_trace_out_writes_valid_perfetto_json(self, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace
+
+        path = _traced_store(tmp_path)
+        out_file = str(tmp_path / "job.trace.json")
+        assert main([path, "trace", "--out", out_file]) == 0
+        with open(out_file) as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+
+    def test_trace_json_mode(self, tmp_path, capsys):
+        path = _traced_store(tmp_path)
+        assert main([path, "trace", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in doc
+
+    def test_metrics_command(self, tmp_path, capsys):
+        path = _traced_store(tmp_path)
+        assert main([path, "metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics for job 1:" in out
+        assert "compute_invocations" in out
+        assert "engine.compute_seconds" in out
+
+    def test_metrics_json_mode(self, tmp_path, capsys):
+        path = _traced_store(tmp_path)
+        assert main([path, "metrics", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["job"] == 1
+        assert doc["metrics"]["compute_invocations"]["type"] == "counter"
+
+    def test_unknown_job_fails(self, tmp_path, capsys):
+        path = _traced_store(tmp_path)
+        assert main([path, "trace", "99"]) == 1
+        assert "no trace recorded" in capsys.readouterr().err
+
+    def test_no_traces_recorded(self, store_dir, capsys):
+        assert main([store_dir, "trace"]) == 1
+        assert "no traced jobs" in capsys.readouterr().err
+
+    def test_job_arg_rejected_for_plain_tables(self, store_dir, capsys):
+        assert main([store_dir, "plain", "7"]) == 2
+
+    def test_stats_json(self, tmp_path, capsys):
+        path = _traced_store(tmp_path)
+        assert main([path, "--stats", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["serde"]["batched_requests"] >= 0
+        assert doc["runtime"]["n_workers"] > 0
+        assert doc["jobs"]["jobs"] == 1
+
+    def test_stats_json_on_table_summary(self, store_dir, capsys):
+        assert main([store_dir, "plain", "--stats", "--json"]) == 0
+        out = capsys.readouterr().out
+        # the table summary prints first, the JSON document last
+        assert "3 entries" in out
+        doc = json.loads(out.splitlines()[-1])
+        assert "serde" in doc
