@@ -8,6 +8,10 @@ Pass ``--trace-dir DIR`` (or set ``RIPPLE_TRACE_DIR``) to make each
 ablation follow its timed rounds with one extra *traced* run and write
 that run's Chrome/Perfetto trace JSON into DIR — timed rounds are never
 traced, so trace capture cannot skew the measurements.
+
+Pass ``--runtime KIND`` (or set ``RIPPLE_RUNTIME``) to run every
+benchmark's stores on that worker-runtime backend — ``threaded``
+(default), ``inline``, or ``process`` (multi-core).
 """
 
 from __future__ import annotations
@@ -30,6 +34,24 @@ def pytest_addoption(parser):
         metavar="DIR",
         help="write one Perfetto trace JSON per ablation mode into DIR",
     )
+    parser.addoption(
+        "--runtime",
+        action="store",
+        default=None,
+        choices=("threaded", "inline", "process"),
+        metavar="KIND",
+        help="worker-runtime backend for every store the benchmarks "
+        "build (default: RIPPLE_RUNTIME or threaded)",
+    )
+
+
+def pytest_configure(config):
+    runtime = config.getoption("--runtime")
+    if runtime:
+        # stores resolve runtime=None through the environment, so the
+        # option reaches every store without threading it through each
+        # benchmark module
+        os.environ["RIPPLE_RUNTIME"] = runtime
 
 
 @pytest.fixture(scope="session")

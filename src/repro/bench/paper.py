@@ -5,6 +5,12 @@ Run::
     python -m repro.bench.paper            # laptop-minute workloads
     RIPPLE_BENCH_SCALE=8 python -m repro.bench.paper   # 8× larger
     python -m repro.bench.paper --trace-dir traces/    # + Perfetto traces
+    python -m repro.bench.paper --runtime process      # multi-core backend
+
+``--runtime`` (or ``RIPPLE_RUNTIME``) selects the worker-runtime
+backend every store is built on: ``threaded`` (default), ``inline``
+(deterministic single-thread), or ``process`` (one OS process per
+worker — real cores for the compute-bound sections).
 
 Prints Table I, Table II, the §V-B SUMMA timing, and the §V-C
 incremental-SSSP timing in the paper's row format, alongside the
@@ -170,7 +176,19 @@ def main(argv: list) -> int:
         "--trace-dir", metavar="DIR", default=None,
         help="also run one traced job per engine and write Perfetto JSON here",
     )
+    parser.add_argument(
+        "--runtime", metavar="KIND", default=None,
+        choices=["threaded", "inline", "process"],
+        help="worker-runtime backend for every store (default: "
+        "RIPPLE_RUNTIME or threaded)",
+    )
     args = parser.parse_args(argv[1:])
+    if args.runtime:
+        # stores resolve runtime=None through the environment, so one
+        # setting reaches every store the experiment sections build
+        import os
+
+        os.environ["RIPPLE_RUNTIME"] = args.runtime
     scale = bench_scale()
     only = args.only
     print(f"# Ripple evaluation harness (scale={scale})\n")

@@ -32,6 +32,7 @@ failed part-step is re-driven from its retained input spills.
 from __future__ import annotations
 
 import itertools
+import pickle
 import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -47,7 +48,8 @@ from repro.ebsp.loaders import LoaderContext
 from repro.ebsp.properties import ExecutionPlan
 from repro.ebsp.recovery import FailureInjector, ProgressTable, SimulatedFailure
 from repro.ebsp.results import Counters, JobResult
-from repro.obs.trace import Tracer, activate, resolve_tracer
+from repro.obs.trace import Tracer, activate, get_tracer, resolve_tracer
+from repro.runtime.shipping import CONSUMER_SHIP_ATTR, ShippingError
 from repro.ebsp.transport import (
     CLIENT_SRC,
     CONT,
@@ -261,10 +263,18 @@ class _StepContext(ComputeContext):
         return self._engine._broadcast.get(key)
 
     def direct_job_output(self, key: Any, value: Any) -> None:
-        exporter = self._engine._direct_exporter
+        engine = self._engine
+        if engine._is_shipped:
+            # Running inside a worker process: the exporter lives in the
+            # parent, so buffer (when the parent has one) and ship the
+            # outputs back with the part-step result.
+            if engine._has_direct_exporter:
+                self.direct_outputs.append((key, value))
+            return
+        exporter = engine._direct_exporter
         if exporter is None:
             return
-        if self._engine._fault_tolerance:
+        if engine._fault_tolerance:
             self.direct_outputs.append((key, value))
         else:
             exporter.export(key, value)
@@ -280,6 +290,12 @@ class _PartStepResult:
     a *sum* (with a count) because results merge pairwise — the driver
     recovers the step's total barrier wait as
     ``n_timed * t_barrier − finished_sum``.
+
+    When the part-step ran *shipped* (in a worker process), the result
+    additionally carries everything the child engine copy accumulated
+    on the side: its spill ledger, its counter/maximum deltas, buffered
+    direct outputs, and the injected-failure count.  The parent folds
+    these at :meth:`SyncEngine._finish_step`.
     """
 
     __slots__ = (
@@ -290,6 +306,11 @@ class _PartStepResult:
         "flush_seconds",
         "finished_sum",
         "n_timed",
+        "spills",
+        "counters",
+        "maxima",
+        "outputs",
+        "injected",
     )
 
     def __init__(
@@ -309,6 +330,66 @@ class _PartStepResult:
         self.flush_seconds = flush_seconds
         self.finished_sum = finished_sum
         self.n_timed = n_timed
+        # shipped-execution deltas; empty when the part-step ran in-process
+        self.spills: Dict[int, Dict[int, int]] = {}
+        self.counters: Dict[str, int] = {}
+        self.maxima: Dict[str, int] = {}
+        self.outputs: List[Tuple[Any, Any]] = []
+        self.injected = 0
+
+
+class _StepConsumer(PartConsumer):
+    """Drives one step's part-step tasks through the transport table.
+
+    Module-level (not a closure inside ``_run_step``) so it can pickle:
+    under a process runtime the consumer — engine included — ships to
+    the part's owner process.  The ``_ripple_shippable_`` instance
+    attribute is the store's opt-in marker; it is set only when the
+    engine's preflight proved the ship state pickles.
+    """
+
+    def __init__(self, engine: "SyncEngine", step: int):
+        self._engine = engine
+        self._step = step
+        setattr(self, CONSUMER_SHIP_ATTR, engine._ship_parts)
+
+    def process_part(self, part_index: int, view: Any) -> Any:
+        return self._engine._run_part_step(part_index, view, self._step)
+
+    def combine(self, a: Any, b: Any) -> Any:
+        engine = self._engine
+        merged = {}
+        for name, agg in engine._aggs.items():
+            merged[name] = agg.merge(a.agg_partials[name], b.agg_partials[name])
+        out = _PartStepResult(
+            merged,
+            a.invocations + b.invocations,
+            a.records_out + b.records_out,
+            a.compute_seconds + b.compute_seconds,
+            a.flush_seconds + b.flush_seconds,
+            a.finished_sum + b.finished_sum,
+            a.n_timed + b.n_timed,
+        )
+        for side in (a, b):
+            for step, per_part in side.spills.items():
+                dest = out.spills.setdefault(step, {})
+                for part, count in per_part.items():
+                    dest[part] = dest.get(part, 0) + count
+            for name, value in side.counters.items():
+                if name.startswith("codec_sample_"):
+                    continue
+                out.counters[name] = out.counters.get(name, 0) + value
+            for name, value in side.maxima.items():
+                out.maxima[name] = max(out.maxima.get(name, 0), value)
+            out.outputs.extend(side.outputs)
+            out.injected += side.injected
+        # the codec byte sample is a one-shot *pair*, not a sum: carry
+        # one side's paired sample through the merge
+        sampled = a if a.counters.get("codec_sample_compact_bytes") else b
+        for name in ("codec_sample_raw_bytes", "codec_sample_compact_bytes"):
+            if sampled.counters.get(name):
+                out.counters[name] = sampled.counters[name]
+        return out
 
 
 class SyncEngine:
@@ -331,6 +412,7 @@ class SyncEngine:
         failure_injector: Optional[FailureInjector] = None,
         max_retries: int = 5,
         trace: Any = None,
+        ship_compute: Optional[bool] = None,
     ):
         self._store = store
         self._job = job
@@ -382,6 +464,84 @@ class SyncEngine:
         self._part_cache: Dict[Any, int] = {}
         self._codec_sampled = False
         self._timeline: list = []
+        # -- compute shipping (process runtimes) --------------------------
+        # True in a copy of this engine that was unpickled inside a
+        # worker process; such a copy accumulates counters/spills/outputs
+        # locally and ships them back with its _PartStepResult.
+        self._is_shipped = False
+        self._has_direct_exporter = self._direct_exporter is not None
+        self._ship_parts = self._preflight_shipping(ship_compute)
+
+    def _preflight_shipping(self, ship_compute: Optional[bool]) -> bool:
+        """Decide whether part-steps ship to worker processes.
+
+        Shipping needs a store that keeps parts resident in worker
+        processes (``ships_compute``) *and* a job whose engine ship
+        state pickles.  With ``ship_compute=None`` (the default) an
+        unpicklable job silently falls back to the parent-side path —
+        lambda-heavy jobs keep working on every runtime; with
+        ``ship_compute=True`` the failure surfaces as a clear error.
+        """
+        ships = bool(getattr(self._store, "ships_compute", False))
+        if ship_compute is False:
+            return False
+        if ship_compute and not ships:
+            raise ShippingError(
+                "ship_compute=True requires a store on a process runtime "
+                f"(this store's runtime is {getattr(self._runtime, 'kind', 'unknown')!r})"
+            )
+        if not ships:
+            return False
+        try:
+            pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+            return True
+        except Exception as exc:
+            if ship_compute:
+                raise ShippingError(
+                    "ship_compute=True but the job cannot be shipped to "
+                    f"worker processes: {exc}.  Computes, aggregators, "
+                    "combiners, and broadcast values must pickle — use "
+                    "module-level classes instead of lambdas/closures."
+                ) from exc
+            return False
+
+    def __getstate__(self) -> dict:
+        """The engine's *ship state*: what a part-step needs in a worker.
+
+        Parent-only machinery (store handle, job object, exporter,
+        runtime baselines, tracer, accumulators) is stripped; tables
+        travel as child-side references that resolve against the worker
+        process's resident parts.
+        """
+        state = self.__dict__.copy()
+        state["_is_shipped"] = True
+        for name in (
+            "_store",
+            "_job",
+            "_tracer",
+            "_counters",
+            "_direct_exporter",
+            "_runtime",
+            "_runtime_baseline",
+            "_stats_baseline",
+            "_spill_lock",
+            "_spilled_per_step",
+            "_part_cache",
+            "_timeline",
+        ):
+            state[name] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # unpickling happens inside the worker's tracer activation, so
+        # the child copy's spans land in the lane being replayed
+        self._tracer = get_tracer()
+        self._counters = Counters()
+        self._spill_lock = threading.Lock()
+        self._spilled_per_step = {}
+        self._part_cache = {}
+        self._timeline = []
 
     # -- setup -----------------------------------------------------------------
     def _resolve_tables(self) -> None:
@@ -620,27 +780,7 @@ class SyncEngine:
         }
 
     def _run_step(self, step: int) -> None:
-        engine = self
         started = time.monotonic()
-
-        class _StepConsumer(PartConsumer):
-            def process_part(self, part_index: int, view: Any) -> Any:
-                return engine._run_part_step(part_index, view, step)
-
-            def combine(self, a: Any, b: Any) -> Any:
-                merged = {}
-                for name, agg in engine._aggs.items():
-                    merged[name] = agg.merge(a.agg_partials[name], b.agg_partials[name])
-                return _PartStepResult(
-                    merged,
-                    a.invocations + b.invocations,
-                    a.records_out + b.records_out,
-                    a.compute_seconds + b.compute_seconds,
-                    a.flush_seconds + b.flush_seconds,
-                    a.finished_sum + b.finished_sum,
-                    a.n_timed + b.n_timed,
-                )
-
         if self._active_scheduling:
             # dispatch part-step tasks only where the spill path recorded
             # pending records — superstep cost scales with the frontier,
@@ -657,7 +797,9 @@ class SyncEngine:
             self._progress.mark_completed_many(skipped, step)
         with self._tracer.span("superstep", cat="engine", lane="driver", step=step) as step_span:
             with self._tracer.span("barrier", cat="engine", lane="driver", step=step):
-                result = self._transport.enumerate_parts(_StepConsumer(), parts=active)
+                result = self._transport.enumerate_parts(
+                    _StepConsumer(self, step), parts=active
+                )
             # ---- the synchronization barrier has happened here ----
             t_barrier = time.perf_counter()
             step_span.annotate(
@@ -696,6 +838,7 @@ class SyncEngine:
         skipped: List[int],
     ) -> None:
         """Post-barrier bookkeeping: counters, aggregation, spill ledger."""
+        self._fold_shipped(result)
         self._counters.add("compute_invocations", result.invocations)
         self._counters.add(
             "part_steps_run", len(active) if active is not None else self.n_parts
@@ -712,6 +855,38 @@ class SyncEngine:
         self._finish_aggregation(result.agg_partials, step)
         with self._spill_lock:
             self._spilled_per_step.pop(step, None)
+
+    def _fold_shipped(self, result: "_PartStepResult") -> None:
+        """Fold the deltas shipped-part-steps accumulated in workers.
+
+        No-op for in-process execution (the deltas are empty — parts
+        wrote straight into the parent engine's accumulators).
+        """
+        if result.spills:
+            with self._spill_lock:
+                for step, per_part in result.spills.items():
+                    dest = self._spilled_per_step.setdefault(step, {})
+                    for part, count in per_part.items():
+                        dest[part] = dest.get(part, 0) + count
+        for name, value in result.counters.items():
+            if name.startswith("codec_sample_"):
+                continue
+            self._counters.add(name, value)
+        raw = result.counters.get("codec_sample_raw_bytes", 0)
+        if raw and not self._codec_sampled:
+            self._codec_sampled = True
+            self._counters.add("codec_sample_raw_bytes", raw)
+            self._counters.add(
+                "codec_sample_compact_bytes",
+                result.counters.get("codec_sample_compact_bytes", 0),
+            )
+        for name, value in result.maxima.items():
+            self._counters.record_max(name, value)
+        if result.outputs and self._direct_exporter is not None:
+            for key, value in result.outputs:
+                self._direct_exporter.export(key, value)
+        if result.injected and self._failure_injector is not None:
+            self._failure_injector.failures_injected += result.injected
 
     def _finish_aggregation(self, merged_partials: Dict[str, Any], step: int) -> None:
         """Make aggregation results readable in the following step.
@@ -751,7 +926,8 @@ class SyncEngine:
         attempts = 0
         while True:
             try:
-                return self._attempt_part_step(part, view, step)
+                result = self._attempt_part_step(part, view, step)
+                break
             except SimulatedFailure:
                 attempts += 1
                 self._counters.add("part_step_retries")
@@ -759,6 +935,17 @@ class SyncEngine:
                     raise
                 # Nothing was committed; the spills for this step are still
                 # in the transport table, so simply retry.
+        if self._is_shipped:
+            # attach everything this child-side engine copy accumulated,
+            # for the parent to fold after the barrier
+            with self._spill_lock:
+                result.spills = {
+                    s: dict(per_part) for s, per_part in self._spilled_per_step.items()
+                }
+            result.counters, result.maxima = self._counters.split_snapshot()
+            if self._failure_injector is not None:
+                result.injected = self._failure_injector.failures_injected
+        return result
 
     def _attempt_part_step(self, part: int, view: Any, step: int) -> _PartStepResult:
         if self._plan.no_collect:
@@ -832,7 +1019,7 @@ class SyncEngine:
         with tracer.span("commit", cat="engine", part=part, step=step):
             self._commit_part_step(ctx, writer, view, consumed, part, step)
         t_done = time.perf_counter()
-        return _PartStepResult(
+        result = _PartStepResult(
             ctx.agg_partials,
             ctx.invocations,
             writer.records_written,
@@ -841,6 +1028,9 @@ class SyncEngine:
             finished_sum=t_done,
             n_timed=1,
         )
+        if self._is_shipped:
+            result.outputs = ctx.direct_outputs
+        return result
 
     def _commit_part_step(
         self,
@@ -862,8 +1052,11 @@ class SyncEngine:
         for transport_key in consumed:
             view.delete(transport_key)
         if self._fault_tolerance:
-            for key, value in ctx.direct_outputs:
-                self._direct_exporter.export(key, value)
+            if self._direct_exporter is not None:
+                # shipped part-steps have no exporter here; their buffered
+                # outputs ride back on the result instead
+                for key, value in ctx.direct_outputs:
+                    self._direct_exporter.export(key, value)
             self._progress.mark_completed(part, step)
 
     def _attempt_part_step_no_collect(self, part: int, view: Any, step: int) -> _PartStepResult:
@@ -935,7 +1128,7 @@ class SyncEngine:
         with tracer.span("commit", cat="engine", part=part, step=step):
             self._commit_part_step(ctx, writer, view, consumed, part, step)
         t_done = time.perf_counter()
-        return _PartStepResult(
+        result = _PartStepResult(
             ctx.agg_partials,
             ctx.invocations,
             writer.records_written,
@@ -944,6 +1137,9 @@ class SyncEngine:
             finished_sum=t_done,
             n_timed=1,
         )
+        if self._is_shipped:
+            result.outputs = ctx.direct_outputs
+        return result
 
     def _merge_creations(
         self, ctx: BaseContext, key: Any, created: List[Tuple[int, Any]]

@@ -67,13 +67,30 @@ class FailureInjector:
                 self.failures_injected += 1
                 raise SimulatedFailure(part, step)
 
+    def __getstate__(self) -> dict:
+        # A copy shipped to a worker process starts with a zeroed
+        # injection count: the engine folds each part-step's child-side
+        # count back into the parent injector as a delta.
+        with self._lock:
+            return {"_remaining": dict(self._remaining), "failures_injected": 0}
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.Lock()
+        self._remaining = state["_remaining"]
+        self.failures_injected = state["failures_injected"]
+
+
+def _progress_part(part: int) -> int:
+    """Progress-table key hash (module-level so the spec pickles)."""
+    return part
+
 
 class ProgressTable:
     """The part → completed-step table from the recovery outline."""
 
     def __init__(self, store: KVStore, name: str, n_parts: int):
         self._table = store.create_table(
-            TableSpec(name=name, n_parts=n_parts, key_hash=lambda part: part)
+            TableSpec(name=name, n_parts=n_parts, key_hash=_progress_part)
         )
         self._n_parts = n_parts
 

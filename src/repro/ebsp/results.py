@@ -68,6 +68,21 @@ class Counters:
             metrics = {**self._counters, **self._maxima}
         return {name: metric.value() for name, metric in metrics.items()}
 
+    def split_snapshot(self) -> tuple:
+        """``(counters, maxima)`` as separate dicts.
+
+        A worker process ships its fresh Counters back as deltas; the
+        parent needs to know which names fold with ``add`` and which
+        with ``record_max``.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            maxima = dict(self._maxima)
+        return (
+            {name: metric.value() for name, metric in counters.items()},
+            {name: metric.value() for name, metric in maxima.items()},
+        )
+
 
 @dataclass(frozen=True)
 class StepMetrics:

@@ -121,10 +121,19 @@ def spill_record_count(value: Any) -> int:
     return len(value)
 
 
+def _spill_dest_part(key: tuple) -> int:
+    """Transport-table key hash: a spill lives at its destination part.
+
+    Module-level (not a lambda) so a transport table can be referenced
+    from worker processes — the spec must pickle.
+    """
+    return key[0]
+
+
 def create_transport_table(store: KVStore, name: str, n_parts: int) -> Table:
     """Create the private transport table for one job execution."""
     return store.create_table(
-        TableSpec(name=name, n_parts=n_parts, key_hash=lambda key: key[0])
+        TableSpec(name=name, n_parts=n_parts, key_hash=_spill_dest_part)
     )
 
 

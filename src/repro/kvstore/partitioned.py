@@ -28,11 +28,30 @@ part-by-part, which is what the EBSP layer's co-partitioning relies on.
 
 Pass ``runtime="inline"`` for single-threaded deterministic execution
 with the marshalling semantics intact.
+
+Process mode (paper §III: the same SPI on real cores)
+-----------------------------------------------------
+
+With ``runtime="process"`` each emulated partition becomes a real OS
+process and the emulation stops being an emulation: each part's
+backing table lives *resident in its owner process* (created there on
+first touch, keyed by a per-table uid in the process-global
+``_PART_REGISTRY``), so state never bounces between address spaces.
+The parent keeps :class:`_PartHandle` proxies in ``_views``; a handle
+ships the same module-level ``_op_*`` bodies through the runtime and
+pickles *as* its resident part, which is what lets shipped operations,
+enumeration consumers, and whole tables (via :class:`_ChildTable`)
+cross the boundary with one pickle.  A worker process reaching a part
+owned by a sibling routes the already-pickled operation through the
+parent (an *upcall*), preserving the per-(src, dest) FIFO the spill
+transport needs.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
+import uuid
 from concurrent.futures import Future
 from typing import Any, Callable, Iterable, Iterator, Optional
 
@@ -53,37 +72,139 @@ from repro.kvstore.api import (
 )
 from repro.kvstore.local import fold_part_results, resolve_n_parts
 from repro.kvstore.memory_table import make_part
-from repro.runtime import RuntimeSpec, resolve_runtime
+from repro.runtime import RuntimeSpec, resolve_runtime, shippable
+from repro.runtime.process import child_upcall_async, current_child_context
+from repro.runtime.shipping import CONSUMER_SHIP_ATTR, ShippingError
 from repro.serde import Codec, SerdeStats
 
 
 # Shared operation bodies for point/batch requests.  Module-level (not
-# per-call lambdas) so the hot path does not allocate a closure per op.
+# per-call lambdas) so the hot path does not allocate a closure per op,
+# and @shippable so a process runtime executes them in the part's owner
+# process instead of the parent.
+@shippable
 def _op_get(view: PartView, key: Any) -> Any:
     return view.get(key)
 
 
+@shippable
 def _op_put(view: PartView, key: Any, value: Any) -> None:
     view.put(key, value)
 
 
+@shippable
 def _op_delete(view: PartView, key: Any) -> bool:
     return view.delete(key)
 
 
+@shippable
 def _op_put_batch(view: PartView, batch: list) -> None:
     for key, value in batch:
         view.put(key, value)
 
 
+@shippable
 def _op_get_batch(view: PartView, keys: list) -> list:
     get = view.get
     return [get(key) for key in keys]
 
 
+@shippable
 def _op_delete_batch(view: PartView, keys: list) -> None:
     for key in keys:
         view.delete(key)
+
+
+@shippable
+def _op_items(view: PartView) -> list:
+    return list(view.items())
+
+
+@shippable
+def _op_range_items(view: PartView, lo: Any, hi: Any) -> list:
+    return list(view.range_items(lo, hi))
+
+
+@shippable
+def _op_len(view: PartView) -> int:
+    return len(view)
+
+
+@shippable
+def _op_clear(view: PartView) -> None:
+    view.clear()  # type: ignore[attr-defined]
+
+
+@shippable
+def _op_checked_put(view: PartView, key: Any, value: Any, limit: int, name: str) -> None:
+    """A put enforcing the ubiquity limit collocated with the part."""
+    if len(view) >= limit and view.get(key) is None:
+        raise UbiquityViolationError(
+            f"ubiquitous table {name!r} exceeds its limit of {limit}"
+        )
+    view.put(key, value)
+
+
+@shippable
+def _op_checked_put_batch(view: PartView, batch: list, limit: int, name: str) -> None:
+    for key, value in batch:
+        _op_checked_put(view, key, value, limit, name)
+
+
+@shippable
+def _enum_parts_op(part_index: int, view: PartView, consumer: PartConsumer) -> Any:
+    return consumer.process_part(part_index, view)
+
+
+@shippable
+def _enum_pairs_op(part_index: int, view: PartView, consumer: PairConsumer) -> Any:
+    consumer.setup_part(part_index)
+    for key, value in view.items():
+        if consumer.consume(key, value):
+            break
+    return consumer.finish_part(part_index)
+
+
+# -- process-mode part residency ---------------------------------------------
+#
+# In a worker process, parts are created on first touch and kept in this
+# process-global registry, keyed by (table uid, part index) — the uid
+# (not the name) so dropping and recreating a table can never resurrect
+# a dropped part's data.
+
+_PART_REGISTRY: dict = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _resolve_part(uid: str, part_index: int, ordered: bool) -> "_LockedPart":
+    key = (uid, part_index)
+    with _REGISTRY_LOCK:
+        part = _PART_REGISTRY.get(key)
+        if part is None:
+            part = _LockedPart(make_part(ordered), threading.RLock())
+            _PART_REGISTRY[key] = part
+    return part
+
+
+@shippable
+def _registry_drop(uid: str, n_parts: int) -> None:
+    with _REGISTRY_LOCK:
+        for part_index in range(n_parts):
+            _PART_REGISTRY.pop((uid, part_index), None)
+
+
+class _PartPointer:
+    """A picklable reference to a resident part (worker→worker upcalls)."""
+
+    __slots__ = ("uid", "part_index", "ordered")
+
+    def __init__(self, uid: str, part_index: int, ordered: bool):
+        self.uid = uid
+        self.part_index = part_index
+        self.ordered = ordered
+
+    def __reduce__(self):
+        return (_resolve_part, (self.uid, self.part_index, self.ordered))
 
 
 class _LockedPart(PartView):
@@ -139,6 +260,221 @@ class _Partition:
         self.parts: dict = {}
 
 
+class _PartHandle(PartView):
+    """Parent-side proxy for a part resident in a worker process.
+
+    Every operation ships the corresponding module-level ``_op_*`` body
+    to the owner process through the runtime's short lane.  The handle
+    *pickles as the resident part itself* (``__reduce__`` →
+    :func:`_resolve_part`), so passing a handle as a shipped-task
+    argument hands the task the real part — no second hop.
+    """
+
+    __slots__ = ("_table", "_part_index")
+
+    def __init__(self, table: "PartitionedTable", part_index: int):
+        self._table = table
+        self._part_index = part_index
+
+    def _ship(self, fn: Callable[..., Any], *args: Any) -> Any:
+        return self._table._store.runtime.submit(
+            self._part_index, fn, self, *args
+        ).result()
+
+    def get(self, key: Any) -> Any:
+        return self._ship(_op_get, key)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._ship(_op_put, key, value)
+
+    def delete(self, key: Any) -> bool:
+        return bool(self._ship(_op_delete, key))
+
+    def items(self) -> Iterator[tuple]:
+        return iter(self._ship(_op_items))
+
+    def range_items(self, lo: Any = None, hi: Any = None) -> Iterator[tuple]:
+        return iter(self._ship(_op_range_items, lo, hi))
+
+    def __len__(self) -> int:
+        return self._ship(_op_len)
+
+    def clear(self) -> None:
+        self._ship(_op_clear)
+
+    def __reduce__(self):
+        table = self._table
+        return (_resolve_part, (table._uid, self._part_index, table.ordered))
+
+
+def _resolve_child_table(
+    uid: str, name: str, n_parts: int, ordered: bool, key_hash: Any, n_partitions: int
+) -> "_ChildTable":
+    return _ChildTable(uid, name, n_parts, ordered, key_hash, n_partitions)
+
+
+class _ChildTable(Table):
+    """What a :class:`PartitionedTable` unpickles to in a worker process.
+
+    Locally-owned parts resolve straight out of the process registry;
+    operations on parts owned by sibling workers travel as upcalls —
+    pickled once here, routed verbatim by the parent.  Only the point,
+    batch, and size/clear surface is available: enumeration and
+    collocated dispatch stay parent-side where the placement map lives.
+    """
+
+    def __init__(
+        self, uid: str, name: str, n_parts: int, ordered: bool, key_hash: Any, n_partitions: int
+    ):
+        super().__init__(
+            TableSpec(name=name, ordered=ordered, key_hash=key_hash), n_parts
+        )
+        self._uid = uid
+        self._n_partitions = n_partitions
+
+    def __reduce__(self):
+        return (
+            _resolve_child_table,
+            (
+                self._uid,
+                self.name,
+                self._n_parts,
+                self.ordered,
+                self._spec.key_hash,
+                self._n_partitions,
+            ),
+        )
+
+    def _local_part(self, part_index: int) -> Optional["_LockedPart"]:
+        context = current_child_context()
+        if context is not None and part_index % self._n_partitions == context.worker:
+            return _resolve_part(self._uid, part_index, self.ordered)
+        return None
+
+    def _remote(self, part_index: int, fn: Callable[..., Any], *args: Any) -> Future:
+        pointer = _PartPointer(self._uid, part_index, self.ordered)
+        payload = pickle.dumps((fn, (pointer, *args)), protocol=pickle.HIGHEST_PROTOCOL)
+        return child_upcall_async(part_index, False, payload)
+
+    # -- point operations ----------------------------------------------------
+    def get(self, key: Any) -> Any:
+        part_index = self.part_of(key)
+        local = self._local_part(part_index)
+        if local is not None:
+            return local.get(key)
+        return self._remote(part_index, _op_get, key).result()
+
+    def put(self, key: Any, value: Any) -> None:
+        part_index = self.part_of(key)
+        local = self._local_part(part_index)
+        if local is not None:
+            local.put(key, value)
+            return
+        self._remote(part_index, _op_put, key, value).result()
+
+    def delete(self, key: Any) -> bool:
+        part_index = self.part_of(key)
+        local = self._local_part(part_index)
+        if local is not None:
+            return local.delete(key)
+        return bool(self._remote(part_index, _op_delete, key).result())
+
+    # -- bulk operations -----------------------------------------------------
+    def put_many_async(self, pairs: Iterable[tuple]) -> list:
+        by_part: dict = {}
+        part_of = self.part_of
+        for key, value in pairs:
+            by_part.setdefault(part_of(key), []).append((key, value))
+        futures = []
+        for part_index, batch in by_part.items():
+            local = self._local_part(part_index)
+            if local is not None:
+                try:
+                    _op_put_batch(local, batch)
+                except BaseException as exc:
+                    futures.append(completed_future(exception=exc))
+                else:
+                    futures.append(completed_future(None))
+            else:
+                futures.append(self._remote(part_index, _op_put_batch, batch))
+        return futures
+
+    def delete_many_async(self, keys: Iterable[Any]) -> list:
+        by_part: dict = {}
+        part_of = self.part_of
+        for key in keys:
+            by_part.setdefault(part_of(key), []).append(key)
+        futures = []
+        for part_index, batch in by_part.items():
+            local = self._local_part(part_index)
+            if local is not None:
+                try:
+                    _op_delete_batch(local, batch)
+                except BaseException as exc:
+                    futures.append(completed_future(exception=exc))
+                else:
+                    futures.append(completed_future(None))
+            else:
+                futures.append(self._remote(part_index, _op_delete_batch, batch))
+        return futures
+
+    def get_many(self, keys: Iterable[Any]) -> dict:
+        by_part: dict = {}
+        part_of = self.part_of
+        for key in keys:
+            by_part.setdefault(part_of(key), []).append(key)
+        out: dict = {}
+        remote: dict = {}
+        for part_index, part_keys in by_part.items():
+            local = self._local_part(part_index)
+            if local is not None:
+                out.update(zip(part_keys, _op_get_batch(local, part_keys)))
+            else:
+                remote[part_index] = self._remote(part_index, _op_get_batch, part_keys)
+        for part_index, future in remote.items():
+            out.update(zip(by_part[part_index], future.result()))
+        return out
+
+    # -- whole-table helpers -------------------------------------------------
+    def size(self) -> int:
+        total = 0
+        remote = []
+        for part_index in range(self._n_parts):
+            local = self._local_part(part_index)
+            if local is not None:
+                total += len(local)
+            else:
+                remote.append(self._remote(part_index, _op_len))
+        return total + sum(future.result() for future in remote)
+
+    def clear(self) -> None:
+        remote = []
+        for part_index in range(self._n_parts):
+            local = self._local_part(part_index)
+            if local is not None:
+                local.clear()
+            else:
+                remote.append(self._remote(part_index, _op_clear))
+        for future in remote:
+            future.result()
+
+    # -- unsupported in a worker process -------------------------------------
+    def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        raise ShippingError(
+            f"table {self.name!r}: enumeration is parent-side only in a worker process"
+        )
+
+    def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
+        raise ShippingError(
+            f"table {self.name!r}: enumeration is parent-side only in a worker process"
+        )
+
+    def run_collocated(self, part_index: int, fn: Callable[[int, PartView], Any]) -> Any:
+        raise ShippingError(
+            f"table {self.name!r}: collocated dispatch is parent-side only in a worker process"
+        )
+
+
 class PartitionedTable(Table):
     """A table whose parts are spread over the store's partitions."""
 
@@ -146,12 +482,41 @@ class PartitionedTable(Table):
         super().__init__(spec, n_parts)
         self._store = store
         self._dropped = False
+        # The registry key for process-resident parts: a fresh uid per
+        # table object, so a dropped-and-recreated table can never see
+        # the dropped incarnation's data.
+        self._uid = uuid.uuid4().hex
         self._views: list = []
+        if store._process_mode:
+            # Parts live resident in their owner process (created there
+            # on first touch); the parent only holds proxies.
+            self._views = [_PartHandle(self, i) for i in range(n_parts)]
+            return
         for part_index in range(n_parts):
             partition = store._partition_for(part_index)
             view = _LockedPart(make_part(spec.ordered), partition.lock)
             partition.parts.setdefault(spec.name, {})[part_index] = view
             self._views.append(view)
+
+    def __reduce__(self):
+        if self._store._process_mode:
+            return (
+                _resolve_child_table,
+                (
+                    self._uid,
+                    self.name,
+                    self.n_parts,
+                    self.ordered,
+                    self._spec.key_hash,
+                    self._store.n_partitions,
+                ),
+            )
+        # Thread-backed tables hold locks and live views; pickling one
+        # is a bug, not a fallback (object.__reduce__ would "succeed"
+        # with an empty shell).
+        raise pickle.PicklingError(
+            f"PartitionedTable {self.name!r} only pickles under a process runtime"
+        )
 
     # -- routing ---------------------------------------------------------
     def _check(self) -> None:
@@ -177,6 +542,12 @@ class PartitionedTable(Table):
         runtime = self._store.runtime
         pidx = runtime.worker_of(part_index)
         view = self._views[part_index]
+        if self._store._process_mode:
+            # Crossing a real address space *is* the marshalling; no
+            # emulation roundtrips.  Shippable ops run in the owner
+            # process, anything else runs parent-side against the
+            # handle (which ships each primitive itself).
+            return runtime.submit(part_index, fn, view, *args).result()
         if runtime.current_worker() == pidx:
             return fn(view, *args)
         codec = self._store._codec
@@ -202,6 +573,8 @@ class PartitionedTable(Table):
         runtime = self._store.runtime
         pidx = runtime.worker_of(part_index)
         view = self._views[part_index]
+        if self._store._process_mode:
+            return runtime.submit(part_index, fn, view, *args)
         if runtime.current_worker() == pidx:
             try:
                 return completed_future(fn(view, *args))
@@ -233,6 +606,8 @@ class PartitionedTable(Table):
         self._check()
         runtime = self._store.runtime
         view = self._views[part_index]
+        if self._store._process_mode:
+            return runtime.submit_long(part_index, fn, part_index, view, *args).result()
         if runtime.current_worker() == runtime.worker_of(part_index):
             return fn(part_index, view, *args)
         codec = self._store._codec
@@ -253,32 +628,20 @@ class PartitionedTable(Table):
     def put(self, key: Any, value: Any) -> None:
         self._check()
         if self.ubiquitous:
-            # The limit check runs collocated with the (single) part, so
-            # one put costs one cross-partition request instead of three
-            # (size + get + put).
+            # The limit check runs collocated with the (single) part —
+            # ubiquitous tables have exactly one part, so the part's
+            # length is the table size — and one put costs one
+            # cross-partition request instead of three (size + get + put).
             self._call_short(
-                self.part_of(key), self._checked_put_op(), key, value
+                self.part_of(key),
+                _op_checked_put,
+                key,
+                value,
+                self.spec.ubiquity_limit,
+                self.name,
             )
             return
         self._call_short(self.part_of(key), _op_put, key, value)
-
-    def _checked_put_op(self) -> Callable[[PartView, Any, Any], None]:
-        """A put body enforcing the ubiquity limit at the part itself.
-
-        Ubiquitous tables have exactly one part, so the part's length is
-        the table size and the whole check is local to the callee.
-        """
-        limit = self.spec.ubiquity_limit
-        name = self.name
-
-        def _put_checked(view: PartView, key: Any, value: Any) -> None:
-            if len(view) >= limit and view.get(key) is None:
-                raise UbiquityViolationError(
-                    f"ubiquitous table {name!r} exceeds its limit of {limit}"
-                )
-            view.put(key, value)
-
-        return _put_checked
 
     def delete(self, key: Any) -> bool:
         return bool(
@@ -289,7 +652,12 @@ class PartitionedTable(Table):
         """Dispatch a put without waiting; the future resolves when applied."""
         if self.ubiquitous:
             return self._submit_short(
-                self.part_of(key), self._checked_put_op(), key, value
+                self.part_of(key),
+                _op_checked_put,
+                key,
+                value,
+                self.spec.ubiquity_limit,
+                self.name,
             )
         return self._submit_short(self.part_of(key), _op_put, key, value)
 
@@ -316,13 +684,11 @@ class PartitionedTable(Table):
             batch = list(pairs)
             if not batch:
                 return []
-            checked = self._checked_put_op()
-
-            def _apply_checked(view: PartView, items: list) -> None:
-                for key, value in items:
-                    checked(view, key, value)
-
-            return [self._submit_short(0, _apply_checked, batch)]
+            return [
+                self._submit_short(
+                    0, _op_checked_put_batch, batch, self.spec.ubiquity_limit, self.name
+                )
+            ]
         by_part: dict = {}
         part_of = self.part_of
         for key, value in pairs:
@@ -391,6 +757,13 @@ class PartitionedTable(Table):
     def enumerate_parts(self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
         indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
+        if self._store._process_mode and getattr(consumer, CONSUMER_SHIP_ATTR, False):
+            # The consumer opted into running *in* the part's owner
+            # process (the sync engine's shipped part-steps): one pickle
+            # of the consumer per part, all workers computing at once,
+            # per-part results folded parent-side.
+            futures = [self._submit_long(i, _enum_parts_op, consumer) for i in indices]
+            return fold_part_results(consumer, [f.result() for f in futures])
 
         def _run(part_index: int, view: PartView) -> Any:
             return consumer.process_part(part_index, view)
@@ -400,6 +773,28 @@ class PartitionedTable(Table):
     def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
         indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
+        if self._store._process_mode and getattr(consumer, CONSUMER_SHIP_ATTR, False):
+            futures = [self._submit_long(i, _enum_pairs_op, consumer) for i in indices]
+            return fold_part_results(consumer, [f.result() for f in futures])
+        if self._store._process_mode:
+            # Fallback consumers are shared parent-side objects, usually
+            # stateful closures, and each remote view touch is a pipe
+            # round-trip — wide enough a window for part callbacks to
+            # interleave.  Snapshot the resident parts concurrently,
+            # then run the consumer serially in part order so each
+            # part's setup/consume/finish sequence stays contiguous.
+            runtime = self._store.runtime
+            snapshots = [
+                runtime.submit(i, _op_items, self._views[i]) for i in indices
+            ]
+            results = []
+            for part_index, future in zip(indices, snapshots):
+                consumer.setup_part(part_index)
+                for key, value in future.result():
+                    if consumer.consume(key, value):
+                        break
+                results.append(consumer.finish_part(part_index))
+            return fold_part_results(consumer, results)
 
         def _run(part_index: int, view: PartView) -> Any:
             consumer.setup_part(part_index)
@@ -417,11 +812,15 @@ class PartitionedTable(Table):
         waiting on our own serialized long slot would deadlock.
         """
         here = self._store.runtime.current_worker()
+        process_mode = self._store._process_mode
         codec = self._store._codec
         futures: dict = {}
         inline: dict = {}
         for i in indices:
             if self._partition_index(i) == here:
+                # Waiting on our own serialized long slot would deadlock;
+                # under a process runtime the view is a handle, so the
+                # part's data still lives (and stays) with its owner.
                 inline[i] = fn(i, self._views[i])
             else:
                 futures[i] = self._submit_long(i, fn)
@@ -431,8 +830,13 @@ class PartitionedTable(Table):
                 results.append(inline[i])
             else:
                 result = futures[i].result()
-                # results cross the partition boundary like any message
-                results.append(codec.roundtrip(result) if result is not None else None)
+                if process_mode:
+                    results.append(result)  # already a cross-process copy
+                else:
+                    # results cross the partition boundary like any message
+                    results.append(
+                        codec.roundtrip(result) if result is not None else None
+                    )
         return results
 
     # -- collocated compute --------------------------------------------------
@@ -495,6 +899,13 @@ class PartitionedKVStore(KVStore):
         self.stats = SerdeStats()
         self._codec = Codec(self.stats)
         self._closed = False
+        # Workers in another address space: parts live with their owner
+        # process, parent-side views are handles, and engines may ship
+        # whole part-steps (``ships_compute``).
+        self._process_mode = not getattr(self.runtime, "shares_memory", True)
+        self.ships_compute = self._process_mode
+        if self._process_mode:
+            self.runtime.attach_serde_stats(self.stats)
 
     @property
     def default_n_parts(self) -> int:
@@ -521,6 +932,18 @@ class PartitionedKVStore(KVStore):
         for partition in self._partitions:
             with partition.lock:
                 partition.parts.pop(name, None)
+        if self._process_mode:
+            # Evict the resident parts from every spawned worker.  The
+            # uid keying already isolates a recreated table; this frees
+            # the memory.  Best-effort: a dying worker cannot block drop.
+            started = getattr(self.runtime, "started_workers", lambda: [])()
+            for worker in started:
+                try:
+                    self.runtime.submit(
+                        worker, _registry_drop, table._uid, table.n_parts
+                    ).result(timeout=5)
+                except Exception:
+                    pass
 
     def get_table(self, name: str) -> Table:
         with self._lock:

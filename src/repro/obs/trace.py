@@ -208,6 +208,31 @@ class RecordingTracer(Tracer):
         with self._lock:
             self._events.append(event)
 
+    def record_event(
+        self,
+        name: str,
+        cat: str,
+        lane: str,
+        start: float,
+        duration: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append an already-measured span (*start* relative to this
+        tracer's epoch).  The replay hook the process runtime uses to
+        merge spans recorded in worker processes — ``perf_counter`` is
+        CLOCK_MONOTONIC processwide on Linux, so child events rebase
+        onto the parent epoch losslessly — into one timeline."""
+        self._append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                lane=lane,
+                start=start,
+                duration=duration,
+                args=args if args is not None else {},
+            )
+        )
+
     # -- lanes -------------------------------------------------------------
     def push_lane(self, lane: str) -> Any:
         previous = getattr(self._tls, "lane", None)

@@ -3,7 +3,7 @@
 All execution resources of the fundamental layer live behind
 :class:`~repro.runtime.api.WorkerRuntime`: the stores, the queue sets,
 and both EBSP engines submit work through a runtime instead of owning
-private thread pools.  Two implementations ship:
+private thread pools.  Three implementations ship:
 
 - :class:`~repro.runtime.threaded.ThreadedRuntime` — the default; one
   thread per worker for short FIFO operations plus a shared bounded
@@ -11,9 +11,15 @@ private thread pools.  Two implementations ship:
 - :class:`~repro.runtime.inline.InlineRuntime` — single-threaded
   deterministic execution for debugging and reproducible failure
   injection.
+- :class:`~repro.runtime.process.ProcessRuntime` — one OS process per
+  worker for multi-core execution; tasks marked
+  :func:`~repro.runtime.shipping.shippable` run in the owning worker
+  process, everything else falls back to the threaded machinery in
+  the parent.
 
-Stores accept ``runtime="threaded"``, ``runtime="inline"``, or a
-:class:`WorkerRuntime` instance at construction.
+Stores accept ``runtime="threaded"``, ``runtime="inline"``,
+``runtime="process"``, or a :class:`WorkerRuntime` instance at
+construction; ``RIPPLE_RUNTIME`` selects the default for the process.
 """
 
 from repro.runtime.api import (
@@ -25,15 +31,22 @@ from repro.runtime.api import (
     stats_delta,
 )
 from repro.runtime.inline import InlineRuntime
+from repro.runtime.process import ProcessRuntime
+from repro.runtime.shipping import ShippingError, ensure_picklable, is_shippable, shippable
 from repro.runtime.threaded import ThreadedRuntime
 
 __all__ = [
     "WorkerRuntime",
     "ThreadedRuntime",
     "InlineRuntime",
+    "ProcessRuntime",
     "RuntimeClosedError",
     "RuntimeSpec",
+    "ShippingError",
     "resolve_runtime",
     "stats_delta",
     "finished_future",
+    "shippable",
+    "is_shippable",
+    "ensure_picklable",
 ]

@@ -137,8 +137,13 @@ class _WorkerCounters:
 class WorkerRuntime(abc.ABC):
     """Execution substrate: workers, placement, lanes, lifecycle, stats."""
 
-    #: Short identifier ("threaded", "inline") reported in stats.
+    #: Short identifier ("threaded", "inline", "process") reported in stats.
     kind: str = "abstract"
+
+    #: Whether workers share the client's address space.  Stores use
+    #: this to decide between direct part access (threads) and
+    #: resident-part handles (processes).
+    shares_memory: bool = True
 
     def __init__(self, n_workers: int, name: str = "worker"):
         if n_workers <= 0:
@@ -285,16 +290,21 @@ def stats_delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]
     workers = []
     for w in after.get("workers", []):
         b = before_workers.get(w["worker"], {})
-        workers.append(
-            {
-                "worker": w["worker"],
-                "tasks": w["tasks"] - b.get("tasks", 0),
-                "busy_seconds": w["busy_seconds"] - b.get("busy_seconds", 0.0),
-                "max_queue_depth": w["max_queue_depth"],
-                "steals": w["steals"] - b.get("steals", 0),
-            }
-        )
+        entry = {
+            "worker": w["worker"],
+            "tasks": w["tasks"] - b.get("tasks", 0),
+            "busy_seconds": w["busy_seconds"] - b.get("busy_seconds", 0.0),
+            "max_queue_depth": w["max_queue_depth"],
+            "steals": w["steals"] - b.get("steals", 0),
+        }
+        if "pid" in w:
+            entry["pid"] = w["pid"]
+        workers.append(entry)
     delta["workers"] = workers
+    # Identity facts (which backend, which worker→pid map) pass through
+    # so A/B artifacts built from deltas stay self-describing.
+    if "pids" in after:
+        delta["pids"] = after["pids"]
     return delta
 
 
@@ -307,16 +317,20 @@ def resolve_runtime(
 ) -> "WorkerRuntime":
     """Build (or validate) a runtime from a construction-time selector.
 
-    ``None`` picks *default*; ``"threaded"``/``"inline"`` construct that
-    implementation with *n_workers* workers; a :class:`WorkerRuntime`
-    instance is used as-is, provided its worker count matches the
-    placement the caller needs.
+    ``None`` defers to the ``RIPPLE_RUNTIME`` environment variable and
+    then *default*; ``"threaded"``/``"inline"``/``"process"`` construct
+    that implementation with *n_workers* workers; a
+    :class:`WorkerRuntime` instance is used as-is, provided its worker
+    count matches the placement the caller needs.
     """
+    import os
+
     from repro.runtime.inline import InlineRuntime
+    from repro.runtime.process import ProcessRuntime
     from repro.runtime.threaded import ThreadedRuntime
 
     if runtime is None:
-        runtime = default
+        runtime = os.environ.get("RIPPLE_RUNTIME") or default
     if isinstance(runtime, WorkerRuntime):
         if runtime.n_workers != n_workers:
             raise ValueError(
@@ -328,4 +342,8 @@ def resolve_runtime(
         return ThreadedRuntime(n_workers, name=name)
     if runtime == "inline":
         return InlineRuntime(n_workers, name=name)
-    raise ValueError(f"unknown runtime {runtime!r} (expected 'threaded' or 'inline')")
+    if runtime == "process":
+        return ProcessRuntime(n_workers, name=name)
+    raise ValueError(
+        f"unknown runtime {runtime!r} (expected 'threaded', 'inline', or 'process')"
+    )

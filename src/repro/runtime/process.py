@@ -1,0 +1,597 @@
+"""The multi-core runtime: one OS process per worker, pipes in between.
+
+Every other runtime executes workers as threads in one interpreter, so
+compute-bound part-steps serialize on the GIL and "as fast as the
+hardware allows" tops out at one core.  :class:`ProcessRuntime` keeps
+the whole :class:`~repro.runtime.api.WorkerRuntime` SPI — placement,
+FIFO short lanes, one-at-a-time long ops, gang tasks, drain-then-stop
+idempotent close, per-worker stats — but serves each worker from a
+dedicated child process.
+
+Shipping is opt-in
+------------------
+
+Only functions marked with :func:`~repro.runtime.shipping.shippable`
+execute in a worker process; everything else (closures over shared
+memory, bound methods, test lambdas) runs on the inherited
+:class:`~repro.runtime.threaded.ThreadedRuntime` machinery in the
+parent, against whatever proxies the caller handed it.  This is what
+lets every existing store, queue set, engine, and the scheduler run
+unmodified on ``runtime="process"``: their un-marked callables keep
+shared-memory semantics, while the partitioned store's module-level
+part operations (and the sync engine's shipped part-steps) opt in and
+escape the GIL.
+
+Transport
+---------
+
+One duplex pipe per worker.  A task travels as **one** pickle — the
+``(fn, args)`` payload is marshalled once in the parent and the bytes
+pass through :meth:`Connection.send` untouched, so routing a sealed
+compact-codec spill batch to its owner process costs one object-graph
+pickle, not two.  Results, exceptions, and recorded trace spans travel
+back the same way; a per-child parent listener thread resolves
+futures, folds per-worker busy time into the shared counters, and
+replays child spans (clock-rebased — ``perf_counter`` is
+CLOCK_MONOTONIC processwide on Linux) into the active tracer so a
+traced run exports one merged Perfetto timeline.
+
+A task running in worker *A* that needs part state owned by worker *B*
+sends an *upcall*: the already-pickled operation payload goes to the
+parent, which forwards the bytes verbatim to *B* and routes the reply
+back — the parent never unpickles what it merely routes.
+
+Lifecycle
+---------
+
+Children start lazily (a store that never ships a task spawns zero
+processes) and are daemons with a parent-pid watchdog: under ``fork``
+a later child inherits the parent ends of earlier children's pipes,
+so pipe EOF alone cannot signal "parent is gone" — the watchdog makes
+orphaned children exit within a second of the parent dying uncleanly.
+``close()`` drains the parent-side fallback first, waits for every
+in-flight remote future, then sends each child a stop frame (children
+drain their queues before exiting) and joins processes and listeners.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+import time
+import warnings
+from concurrent.futures import Future
+from concurrent.futures import wait as wait_futures
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.trace import RecordingTracer, activate, get_tracer
+from repro.runtime.api import RuntimeClosedError
+from repro.runtime.shipping import ShippingError, is_shippable
+from repro.runtime.threaded import ThreadedRuntime
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+#: Seconds between parent-liveness polls in a worker's watchdog thread.
+_WATCHDOG_INTERVAL = 1.0
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=_PROTO)
+
+
+class _ChildHandle:
+    """Parent-side record of one started worker process."""
+
+    __slots__ = ("process", "conn", "send_lock", "listener")
+
+    def __init__(self, process: Any, conn: Any):
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.listener: Optional[threading.Thread] = None
+
+    def send(self, frame: tuple) -> None:
+        with self.send_lock:
+            self.conn.send(frame)
+
+
+class ProcessRuntime(ThreadedRuntime):
+    """N worker processes behind the WorkerRuntime SPI.
+
+    Parameters mirror :class:`ThreadedRuntime`; *start_method* (or the
+    ``RIPPLE_MP_START`` environment variable) picks the
+    ``multiprocessing`` start method, defaulting to ``fork`` where
+    available (``spawn`` elsewhere).
+    """
+
+    kind = "process"
+    shares_memory = False
+
+    def __init__(
+        self,
+        n_workers: int,
+        name: str = "worker",
+        long_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        super().__init__(n_workers, name=name, long_workers=long_workers)
+        method = start_method or os.environ.get("RIPPLE_MP_START")
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        self._mp = multiprocessing.get_context(method)
+        self._children: List[Optional[_ChildHandle]] = [None] * n_workers
+        self._spawn_lock = threading.Lock()
+        self._pending: Dict[int, Tuple[Future, int]] = {}
+        self._pending_lock = threading.Lock()
+        self._pending_per_worker = [0] * n_workers
+        self._task_seq = 0
+        self._serde_stats: Any = None
+        self._proc_closed = False
+        self._proc_close_lock = threading.Lock()
+
+    # -- serde accounting ----------------------------------------------------
+    def attach_serde_stats(self, stats: Any) -> None:
+        """Count shipped payload bytes against a store's ``SerdeStats``."""
+        self._serde_stats = stats
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
+        if not is_shippable(fn):
+            return super().submit(lane, fn, *args)
+        return self._submit_remote(lane, fn, args, is_long=False)
+
+    def submit_long(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
+        if not is_shippable(fn):
+            return super().submit_long(lane, fn, *args)
+        return self._submit_remote(lane, fn, args, is_long=True)
+
+    def _ship_payload(self, fn: Callable[..., Any], args: tuple) -> bytes:
+        """One pickle for the whole task; diagnose the culprit on failure."""
+        try:
+            payload = _dumps((fn, args))
+        except Exception as exc:
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            culprit = f"task {name!r}"
+            for index, arg in enumerate(args):
+                try:
+                    _dumps(arg)
+                except Exception:
+                    culprit = (
+                        f"argument {index} of task {name!r} "
+                        f"({type(arg).__name__} instance)"
+                    )
+                    break
+            raise ShippingError(
+                f"cannot ship {culprit} to a worker process: it failed to "
+                f"pickle ({exc}).  Only picklable module-level functions and "
+                "arguments may run in a process runtime's workers; run "
+                "closures and shared-memory objects in the parent instead "
+                "(unmarked callables do so automatically)."
+            ) from exc
+        if self._serde_stats is not None:
+            self._serde_stats.record_marshal(len(payload))
+        return payload
+
+    def _submit_remote(self, lane: int, fn: Callable[..., Any], args: tuple, is_long: bool) -> Future:
+        # Gate on the *process*-side close flag, not ``_closed``: while
+        # ``close()`` drains the parent fallback, draining tasks may
+        # still proxy operations through the worker processes.
+        if self._proc_closed:
+            raise RuntimeClosedError(f"runtime {self.name!r} is closed")
+        worker = self.worker_of(lane)
+        payload = self._ship_payload(fn, args)
+        child = self._ensure_child(worker)
+        future: Future = Future()
+        with self._pending_lock:
+            tid = self._task_seq
+            self._task_seq += 1
+            self._pending[tid] = (future, worker)
+            self._pending_per_worker[worker] += 1
+            depth = self._pending_per_worker[worker]
+        counters = self._counters[worker]
+        if depth > counters.max_queue_depth:
+            counters.max_queue_depth = depth
+        try:
+            child.send(("task", tid, is_long, get_tracer().enabled, payload))
+        except (OSError, ValueError) as exc:
+            self._forget_pending(tid)
+            raise ShippingError(
+                f"worker process {worker} of runtime {self.name!r} is gone: {exc}"
+            ) from exc
+        return future
+
+    def _forget_pending(self, tid: int) -> Optional[Tuple[Future, int]]:
+        with self._pending_lock:
+            entry = self._pending.pop(tid, None)
+            if entry is not None:
+                self._pending_per_worker[entry[1]] -= 1
+        return entry
+
+    # -- child management ----------------------------------------------------
+    def _ensure_child(self, worker: int) -> _ChildHandle:
+        child = self._children[worker]
+        if child is not None:
+            return child
+        with self._spawn_lock:
+            child = self._children[worker]
+            if child is not None:
+                return child
+            if self._proc_closed:
+                raise RuntimeClosedError(f"runtime {self.name!r} is closed")
+            parent_conn, child_conn = self._mp.Pipe(duplex=True)
+            process = self._mp.Process(
+                target=_child_main,
+                args=(worker, self._n_workers, child_conn, os.getpid(), self.name),
+                name=f"{self.name}-proc-{worker}",
+                daemon=True,
+            )
+            with warnings.catch_warnings():
+                # Python 3.12 warns on fork-in-multithreaded-process; our
+                # children only touch their own pipe and fresh threads.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                process.start()
+            child_conn.close()
+            child = _ChildHandle(process, parent_conn)
+            listener = threading.Thread(
+                target=self._listen,
+                args=(worker, child),
+                name=f"{self.name}-proc-{worker}-listener",
+                daemon=True,
+            )
+            child.listener = listener
+            self._children[worker] = child
+            listener.start()
+            return child
+
+    # -- parent listener -----------------------------------------------------
+    def _listen(self, worker: int, child: _ChildHandle) -> None:
+        while True:
+            try:
+                frame = child.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = frame[0]
+            if kind == "done":
+                self._on_done(frame)
+            elif kind == "upcall":
+                self._on_upcall(frame)
+            elif kind == "xdone":
+                self._on_xdone(frame)
+            elif kind == "bye":
+                break
+        self._fail_worker_pending(worker)
+
+    def _load_result(self, ok: bool, payload: Optional[bytes]) -> Tuple[bool, Any]:
+        if payload is None:
+            return ok, None
+        if self._serde_stats is not None:
+            self._serde_stats.record_unmarshal()
+        try:
+            return ok, pickle.loads(payload)
+        except Exception as exc:  # a result that unpickles only child-side
+            return False, ShippingError(f"could not unpickle worker result: {exc}")
+
+    def _replay_spans(self, spans: Optional[list]) -> None:
+        tracer = get_tracer()
+        if not spans or not isinstance(tracer, RecordingTracer):
+            return
+        for name, cat, lane, abs_start, duration, args in spans:
+            tracer.record_event(name, cat, lane, abs_start - tracer.epoch, duration, args)
+
+    def _on_done(self, frame: tuple) -> None:
+        _, tid, ok, payload, seconds, is_long, spans = frame
+        entry = self._forget_pending(tid)
+        if entry is None:
+            return
+        future, worker = entry
+        counters = self._counters[worker]
+        if is_long:
+            counters.record_long_task(seconds)
+        else:
+            counters.record_task(seconds)
+        self._replay_spans(spans)
+        ok, value = self._load_result(ok, payload)
+        if not future.set_running_or_notify_cancel():
+            return
+        if ok:
+            future.set_result(value)
+        else:
+            future.set_exception(value if isinstance(value, BaseException) else ShippingError(repr(value)))
+
+    def _on_upcall(self, frame: tuple) -> None:
+        _, uid, src_worker, lane, is_long, payload = frame
+        dest = self.worker_of(lane)
+        try:
+            self._ensure_child(dest).send(
+                ("xtask", uid, src_worker, is_long, get_tracer().enabled, payload)
+            )
+        except (OSError, ValueError) as exc:
+            error = _dumps(ShippingError(f"worker process {dest} is gone: {exc}"))
+            source = self._children[src_worker]
+            if source is not None:
+                try:
+                    source.send(("ack", uid, False, error))
+                except (OSError, ValueError):
+                    pass
+
+    def _on_xdone(self, frame: tuple) -> None:
+        _, uid, src_worker, dest_worker, ok, payload, seconds, is_long, spans = frame
+        counters = self._counters[dest_worker]
+        if is_long:
+            counters.record_long_task(seconds)
+        else:
+            counters.record_task(seconds)
+        self._replay_spans(spans)
+        source = self._children[src_worker]
+        if source is not None:
+            try:
+                source.send(("ack", uid, ok, payload))
+            except (OSError, ValueError):
+                pass
+
+    def _fail_worker_pending(self, worker: int) -> None:
+        with self._pending_lock:
+            dead = [tid for tid, (_, w) in self._pending.items() if w == worker]
+            entries = [self._pending.pop(tid) for tid in dead]
+            self._pending_per_worker[worker] -= len(entries)
+        for future, _ in entries:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(
+                    ShippingError(
+                        f"worker process {worker} of runtime {self.name!r} exited "
+                        "with tasks in flight"
+                    )
+                )
+
+    def started_workers(self) -> List[int]:
+        """Indices of workers whose process has been spawned (lazily)."""
+        return [i for i, child in enumerate(self._children) if child is not None]
+
+    # -- instrumentation -----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        doc = super().stats()
+        pids: Dict[int, int] = {}
+        for index, child in enumerate(self._children):
+            if child is not None and child.process.pid is not None:
+                pids[index] = child.process.pid
+        for entry in doc["workers"]:
+            pid = pids.get(entry["worker"])
+            if pid is not None:
+                entry["pid"] = pid
+        doc["pids"] = pids
+        return doc
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        super().close(wait=wait)  # parent-side fallback: drain-then-stop
+        with self._proc_close_lock:
+            if self._proc_closed:
+                return
+            self._proc_closed = True
+        if wait:
+            while True:
+                with self._pending_lock:
+                    outstanding = [future for future, _ in self._pending.values()]
+                if not outstanding:
+                    break
+                wait_futures(outstanding, timeout=1.0)
+        for child in self._children:
+            if child is None:
+                continue
+            try:
+                child.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        if not wait:
+            return
+        for child in self._children:
+            if child is None:
+                continue
+            child.process.join(timeout=10.0)
+            if child.process.is_alive():
+                child.process.terminate()
+                child.process.join(timeout=5.0)
+            if child.listener is not None:
+                child.listener.join(timeout=5.0)
+            try:
+                child.conn.close()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side.  Everything below runs in a child; module-level so
+# the ``spawn`` start method can import it.
+# ---------------------------------------------------------------------------
+
+
+class _ChildContext:
+    """Process-global state of one worker process."""
+
+    __slots__ = ("worker", "n_workers", "conn", "send_lock", "upcalls", "upcall_lock", "upcall_seq")
+
+    def __init__(self, worker: int, n_workers: int, conn: Any):
+        self.worker = worker
+        self.n_workers = n_workers
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.upcalls: Dict[int, Future] = {}
+        self.upcall_lock = threading.Lock()
+        self.upcall_seq = 0
+
+    def send(self, frame: tuple) -> None:
+        with self.send_lock:
+            self.conn.send(frame)
+
+
+_CHILD: Optional[_ChildContext] = None
+
+
+def current_child_context() -> Optional[_ChildContext]:
+    """This process's worker context, or ``None`` in the parent."""
+    return _CHILD
+
+
+def child_upcall_async(lane: int, is_long: bool, payload: bytes) -> Future:
+    """Route an already-pickled operation to *lane*'s owner via the parent.
+
+    The payload bytes pass through the parent verbatim; the future
+    resolves with the (unpickled) result when the owning worker acks.
+    """
+    ctx = _CHILD
+    if ctx is None:
+        raise ShippingError("child_upcall_async called outside a worker process")
+    future: Future = Future()
+    with ctx.upcall_lock:
+        uid = ctx.upcall_seq
+        ctx.upcall_seq += 1
+        ctx.upcalls[uid] = future
+    ctx.send(("upcall", uid, ctx.worker, lane, is_long, payload))
+    return future
+
+
+def child_upcall(lane: int, is_long: bool, payload: bytes) -> Any:
+    return child_upcall_async(lane, is_long, payload).result()
+
+
+def _watch_parent(parent_pid: int) -> None:
+    """Exit when the parent dies: fork children inherit the parent ends
+    of *earlier* children's pipes, so EOF alone cannot detect an
+    uncleanly-exiting parent."""
+    while True:
+        time.sleep(_WATCHDOG_INTERVAL)
+        try:
+            alive = os.getppid() == parent_pid
+        except OSError:
+            alive = False
+        if not alive:
+            os._exit(2)
+
+
+def _pickle_or_describe(value: Any) -> Tuple[bool, bytes]:
+    """Pickle *value*, degrading to a picklable description on failure."""
+    try:
+        return True, _dumps(value)
+    except Exception as exc:
+        if isinstance(value, BaseException):
+            replacement: Any = ShippingError(
+                f"worker task raised {type(value).__name__}: {value} "
+                f"(original exception did not pickle: {exc})"
+            )
+        else:
+            replacement = ShippingError(
+                f"worker task result of type {type(value).__name__} did not "
+                f"pickle: {exc}"
+            )
+        return False, _dumps(replacement)
+
+
+def _child_execute(payload: bytes, traced: bool, lane: str) -> Tuple[bool, bytes, float, Optional[list]]:
+    """Run one shipped task; returns (ok, result payload, seconds, spans)."""
+    started = time.perf_counter()
+    spans: Optional[list] = None
+    try:
+        if traced:
+            tracer = RecordingTracer()
+            tracer.push_lane(lane)
+            with activate(tracer):
+                # Unpickle *inside* the activation so __setstate__ hooks
+                # (the shipped engine re-binding its tracer) see it.
+                fn, args = pickle.loads(payload)
+                with tracer.span(getattr(fn, "__name__", "task"), cat="runtime.remote", lane=lane):
+                    result = fn(*args)
+            spans = [
+                (e.name, e.cat, e.lane, tracer.epoch + e.start, e.duration, e.args)
+                for e in tracer.events()
+            ]
+        else:
+            fn, args = pickle.loads(payload)
+            result = fn(*args)
+    except BaseException as exc:
+        _, blob = _pickle_or_describe(exc)
+        return False, blob, time.perf_counter() - started, spans
+    seconds = time.perf_counter() - started
+    ok, blob = _pickle_or_describe(result)
+    return ok, blob, seconds, spans
+
+
+def _child_exec_loop(ctx: _ChildContext, tasks: "queue.SimpleQueue", lane: str, is_long: bool) -> None:
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        kind, uid, src_worker, traced, payload = item
+        ok, blob, seconds, spans = _child_execute(payload, traced, lane)
+        if kind == "task":
+            frame = ("done", uid, ok, blob, seconds, is_long, spans)
+        else:
+            frame = ("xdone", uid, src_worker, ctx.worker, ok, blob, seconds, is_long, spans)
+        try:
+            ctx.send(frame)
+        except (OSError, ValueError):
+            os._exit(1)
+
+
+def _child_main(worker: int, n_workers: int, conn: Any, parent_pid: int, name: str) -> None:
+    global _CHILD
+    ctx = _ChildContext(worker, n_workers, conn)
+    _CHILD = ctx
+    threading.Thread(target=_watch_parent, args=(parent_pid,), daemon=True).start()
+    short_tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+    long_tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+    executors = [
+        threading.Thread(
+            target=_child_exec_loop,
+            args=(ctx, short_tasks, f"rpc-{worker}", False),
+            name=f"{name}{worker}-short",
+            daemon=True,
+        ),
+        threading.Thread(
+            # One thread == the SPI's one-at-a-time long-op discipline.
+            target=_child_exec_loop,
+            args=(ctx, long_tasks, f"worker-{worker}", True),
+            name=f"{name}{worker}-long",
+            daemon=True,
+        ),
+    ]
+    for thread in executors:
+        thread.start()
+    while True:
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError):
+            os._exit(0)
+        kind = frame[0]
+        if kind == "task":
+            _, tid, is_long, traced, payload = frame
+            (long_tasks if is_long else short_tasks).put(("task", tid, None, traced, payload))
+        elif kind == "xtask":
+            _, uid, src_worker, is_long, traced, payload = frame
+            (long_tasks if is_long else short_tasks).put(("xtask", uid, src_worker, traced, payload))
+        elif kind == "ack":
+            _, uid, ok, payload = frame
+            with ctx.upcall_lock:
+                future = ctx.upcalls.pop(uid, None)
+            if future is not None:
+                value = pickle.loads(payload) if payload is not None else None
+                if ok:
+                    future.set_result(value)
+                else:
+                    future.set_exception(
+                        value if isinstance(value, BaseException) else ShippingError(repr(value))
+                    )
+        elif kind == "stop":
+            break
+    # Drain-then-stop: the sentinels queue behind everything accepted.
+    short_tasks.put(None)
+    long_tasks.put(None)
+    for thread in executors:
+        thread.join()
+    try:
+        ctx.send(("bye",))
+        conn.close()
+    except (OSError, ValueError):
+        pass

@@ -1,0 +1,69 @@
+"""Opt-in task shipping for address-space-crossing runtimes.
+
+A :class:`~repro.runtime.process.ProcessRuntime` worker lives in a
+different address space, so a task can only run there if its function
+and arguments survive pickling — and if running it on a *copy* of any
+captured state is what the caller meant.  Closures over shared memory
+(the stores' ubiquity-check closures, test lambdas appending to lists)
+mean the opposite, so shipping is strictly opt-in:
+
+- :func:`shippable` marks a module-level function as safe to execute
+  in a worker process.  Unmarked callables always run in the parent
+  process (the process runtime keeps a full threaded fallback), which
+  preserves shared-memory semantics for every existing caller.
+- :func:`ensure_picklable` is the pre-flight check: it raises a
+  :class:`ShippingError` (a :class:`~repro.errors.RippleError`) that
+  *names the offending object* instead of letting a raw
+  ``PicklingError`` surface from a worker process.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, TypeVar
+
+from repro.errors import RippleError
+
+_SHIPPABLE_ATTR = "_ripple_shippable"
+
+#: Attribute consumers (``PartConsumer`` instances) set to request that
+#: an enumeration run *in* the part-owning process rather than against
+#: parent-side handles.  Checked with ``getattr(..., False)`` so plain
+#: consumers are unaffected.
+CONSUMER_SHIP_ATTR = "_ripple_shippable_"
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class ShippingError(RippleError):
+    """A payload headed for a worker process could not be pickled."""
+
+
+def shippable(fn: F) -> F:
+    """Mark a module-level function as executable in a worker process."""
+    setattr(fn, _SHIPPABLE_ATTR, True)
+    return fn
+
+
+def is_shippable(fn: Any) -> bool:
+    """Whether *fn* opted into cross-process execution."""
+    return getattr(fn, _SHIPPABLE_ATTR, False)
+
+
+def ensure_picklable(obj: Any, what: str) -> bytes:
+    """Pickle *obj* or raise a :class:`ShippingError` naming it.
+
+    *what* describes the object in the caller's vocabulary ("the job's
+    compute", "argument 2 of _op_put", …) so the error reads as a
+    diagnosis, not a traceback puzzle.
+    """
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ShippingError(
+            f"{what} cannot be shipped to a worker process: {type(obj).__name__} "
+            f"instance failed to pickle ({exc}).  Process-runtime tasks and their "
+            "arguments must be picklable module-level objects; closures, lambdas, "
+            "and objects holding locks or threads must stay in the parent "
+            "(they run on the threaded fallback automatically when unmarked)."
+        ) from exc

@@ -88,6 +88,11 @@ def _print_stats(store: PersistentKVStore) -> None:
         print(f"  gang tasks:       {rt['gang_tasks']}")
         if rt["steals"]:
             print(f"  messages stolen:  {rt['steals']}")
+        if rt.get("pids"):
+            pairs = ", ".join(
+                f"{worker}→{pid}" for worker, pid in sorted(rt["pids"].items())
+            )
+            print(f"  worker pids:      {pairs}")
     _print_job_stats(store)
 
 

@@ -4,11 +4,12 @@
 the cheap way to keep them conformant to the SPI (and the test-suite
 analog of the paper's store-portability claim).
 
-Setting ``RIPPLE_RUNTIME=inline`` (or ``threaded``) forces that worker
-runtime for every store the fixtures build, so the whole conformance
-surface can be re-run deterministically: ``RIPPLE_RUNTIME=inline
-pytest tests/kvstore``.  The local store is single-threaded by contract
-and ignores the override.
+Setting ``RIPPLE_RUNTIME=inline``, ``threaded``, or ``process`` forces
+that worker runtime for every store the fixtures build, so the whole
+conformance surface can be re-run deterministically (``RIPPLE_RUNTIME=
+inline pytest tests/kvstore``) or on real cores (``RIPPLE_RUNTIME=
+process pytest tests/kvstore``).  The local store is single-threaded by
+contract and ignores the override.
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ STORE_KINDS = ["local", "partitioned", "replicated", "persistent"]
 def runtime_override():
     """The worker-runtime kind forced via the environment, if any."""
     value = os.environ.get("RIPPLE_RUNTIME", "").strip().lower()
-    return value if value in ("threaded", "inline") else None
+    return value if value in ("threaded", "inline", "process") else None
 
 
 def make_store(kind: str, tmp_path, n_parts: int = 4):

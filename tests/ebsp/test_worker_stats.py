@@ -15,7 +15,7 @@ from repro.kvstore.partitioned import PartitionedKVStore
 from tests.ebsp.jobs import TestJob
 
 
-@pytest.fixture(params=["threaded", "inline"])
+@pytest.fixture(params=["threaded", "inline", "process"])
 def store(request):
     instance = PartitionedKVStore(n_partitions=4, runtime=request.param)
     yield instance

@@ -1,4 +1,12 @@
-"""Behaviour specific to the parallel debugging store (paper §V-A)."""
+"""Behaviour specific to the parallel debugging store (paper §V-A).
+
+Pinned to the threaded runtime: these tests assert shared-memory
+behaviour (zero-marshal collocated access, cross-part threading
+barriers) that a process runtime intentionally does not provide.
+Process-runtime behaviour is covered by ``tests/runtime/
+test_process_runtime.py`` and the conformance suite run with
+``RIPPLE_RUNTIME=process``.
+"""
 
 from __future__ import annotations
 
@@ -12,7 +20,7 @@ from repro.kvstore.partitioned import PartitionedKVStore
 
 @pytest.fixture
 def store():
-    instance = PartitionedKVStore(n_partitions=4)
+    instance = PartitionedKVStore(n_partitions=4, runtime="threaded")
     yield instance
     instance.close()
 
@@ -138,7 +146,7 @@ class TestLifecycle:
         store.close()
 
     def test_context_manager(self, tmp_path):
-        with PartitionedKVStore(n_partitions=2) as s:
+        with PartitionedKVStore(n_partitions=2, runtime="threaded") as s:
             t = s.create_table(TableSpec(name="t"))
             t.put(1, 1)
             assert t.get(1) == 1

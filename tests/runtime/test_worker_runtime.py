@@ -1,9 +1,14 @@
-"""The WorkerRuntime contract, pinned for both implementations.
+"""The WorkerRuntime contract, pinned for all three implementations.
 
 These tests are the executable form of the SPI documented in
 ``repro/runtime/api.py``: placement, per-worker FIFO, long-op
 serialization, drain-then-stop shutdown, gang dispatch, and the
 instrumentation counters.
+
+The process runtime participates through its fallback surface here
+(these tasks are closures, which never ship); its process-specific
+behaviour — shipped execution, part residency, child lifecycle — is
+pinned in ``test_process_runtime.py``.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import pytest
 
 from repro.runtime import (
     InlineRuntime,
+    ProcessRuntime,
     RuntimeClosedError,
     ThreadedRuntime,
     WorkerRuntime,
@@ -22,12 +28,14 @@ from repro.runtime import (
     stats_delta,
 )
 
-RUNTIME_KINDS = ["threaded", "inline"]
+RUNTIME_KINDS = ["threaded", "inline", "process"]
 
 
 def make_runtime(kind: str, n_workers: int = 4) -> WorkerRuntime:
     if kind == "threaded":
         return ThreadedRuntime(n_workers, name="t")
+    if kind == "process":
+        return ProcessRuntime(n_workers, name="t")
     return InlineRuntime(n_workers, name="t")
 
 

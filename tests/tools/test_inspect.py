@@ -8,7 +8,15 @@ import pytest
 
 from repro.kvstore.api import TableSpec
 from repro.kvstore.persistent import PersistentKVStore
+from repro.runtime.shipping import shippable
 from repro.tools.inspect import main
+
+
+@shippable
+def _worker_pid() -> int:
+    import os
+
+    return os.getpid()
 
 
 @pytest.fixture
@@ -71,6 +79,26 @@ class TestInspect:
         assert "worker runtime:" in out
         assert "inline" in out
         assert "tasks run:" in out
+
+    def test_stats_label_process_backend_with_pid_map(self, tmp_path, capsys):
+        """--stats names the backend and, on a process runtime with
+        started workers, prints the worker→pid map."""
+        from repro.runtime import ProcessRuntime
+        from repro.tools.inspect import _print_stats
+
+        runtime = ProcessRuntime(2, name="t")
+        try:
+            pid = runtime.submit(0, _worker_pid).result(timeout=30)
+            with PersistentKVStore(
+                str(tmp_path / "s"), default_n_parts=2, runtime=runtime
+            ) as store:
+                _print_stats(store)
+        finally:
+            runtime.close()
+        out = capsys.readouterr().out
+        assert "kind:             process" in out
+        assert "worker pids:" in out
+        assert f"0→{pid}" in out
 
     def test_stats_without_job_history_omit_job_counters(self, store_dir, capsys):
         assert main([store_dir, "--stats"]) == 0
