@@ -16,6 +16,7 @@ from repro.apps.pagerank.common import (
     read_ranks,
     reference_pagerank,
 )
+from repro.apps.pagerank.batch import pagerank_batch, read_rank_table
 from repro.apps.pagerank.direct import pagerank_direct
 from repro.apps.pagerank.mapreduce_variant import pagerank_mapreduce
 
@@ -24,6 +25,8 @@ __all__ = [
     "build_pagerank_table",
     "read_ranks",
     "reference_pagerank",
+    "pagerank_batch",
     "pagerank_direct",
     "pagerank_mapreduce",
+    "read_rank_table",
 ]

@@ -23,6 +23,8 @@ import abc
 import heapq
 from typing import Any, Callable, Optional
 
+import numpy as np
+
 
 class Aggregator(abc.ABC):
     """One named aggregation technique."""
@@ -43,6 +45,24 @@ class Aggregator(abc.ABC):
         """Convert the final partial into the readable result."""
         return partial
 
+    def add_many(self, partial: Any, values: Any) -> Any:
+        """Fold a column of contributed values into a partial.
+
+        The batch data plane contributes whole columns at once.  The
+        default is the sequential fold; numpy-aware aggregators
+        override it with a vectorized reduction (which, like
+        :meth:`merge`, may reassociate — contributions must tolerate
+        reassociation anyway because partials merge in arbitrary
+        order across parts).
+        """
+        for value in values:
+            partial = self.add(partial, value)
+        return partial
+
+
+def _is_typed_column(values: Any) -> bool:
+    return isinstance(values, np.ndarray) and values.dtype != object
+
 
 class SumAggregator(Aggregator):
     """Sum of contributed numbers; identity 0 (or a supplied zero)."""
@@ -55,6 +75,13 @@ class SumAggregator(Aggregator):
 
     def add(self, partial: Any, value: Any) -> Any:
         return partial + value
+
+    def add_many(self, partial: Any, values: Any) -> Any:
+        if _is_typed_column(values):
+            if len(values) == 0:
+                return partial
+            return partial + values.sum()
+        return super().add_many(partial, values)
 
     def merge(self, a: Any, b: Any) -> Any:
         return a + b
@@ -69,41 +96,109 @@ class CountAggregator(Aggregator):
     def add(self, partial: int, value: Any) -> int:
         return partial + 1
 
+    def add_many(self, partial: int, values: Any) -> int:
+        return partial + len(values)
+
     def merge(self, a: int, b: int) -> int:
         return a + b
 
 
+#: Types whose mutual comparisons are well-defined orderings.  bool is
+#: deliberately in the numeric family (Python's own semantics).
+_NUMERIC_FAMILY = (bool, int, float, np.bool_, np.integer, np.floating)
+_STR_FAMILY = (str, np.str_)
+_BYTES_FAMILY = (bytes, np.bytes_)
+
+
+def _check_comparable(aggregator: "Aggregator", a: Any, b: Any) -> None:
+    """Reject cross-family comparisons before they go silently wrong.
+
+    ``min``/``max`` over mixed types either raises an opaque built-in
+    error (str vs int) or — worse — *succeeds* with an order-dependent
+    answer (sets under partial ordering, numpy arrays broadcasting).
+    Both become a ``TypeError`` that names the aggregator at fault.
+    """
+    for family in (_NUMERIC_FAMILY, _STR_FAMILY, _BYTES_FAMILY):
+        if isinstance(a, family):
+            if isinstance(b, family):
+                return
+            break
+    else:
+        if type(a) is type(b) and not isinstance(a, (set, frozenset, np.ndarray)):
+            return
+    raise TypeError(
+        f"{type(aggregator).__name__} cannot order "
+        f"{type(a).__name__} and {type(b).__name__} contributions; "
+        "mixed-type min/max would be silently order-dependent — "
+        "contribute values of one comparable type"
+    )
+
+
 class MinAggregator(Aggregator):
-    """Minimum of contributed values; ``None`` when nothing contributed."""
+    """Minimum of contributed values; ``None`` when nothing contributed.
+
+    Contributions must share one comparable type family; mixing (say)
+    strings and numbers raises ``TypeError`` instead of producing an
+    order-dependent answer.
+    """
 
     def create(self) -> Any:
         return None
 
     def add(self, partial: Any, value: Any) -> Any:
-        return value if partial is None else min(partial, value)
+        if partial is None:
+            return value
+        _check_comparable(self, partial, value)
+        return min(partial, value)
+
+    def add_many(self, partial: Any, values: Any) -> Any:
+        if _is_typed_column(values):
+            if len(values) == 0:
+                return partial
+            low = values.min()
+            return low if partial is None else self.add(partial, low)
+        return super().add_many(partial, values)
 
     def merge(self, a: Any, b: Any) -> Any:
         if a is None:
             return b
         if b is None:
             return a
+        _check_comparable(self, a, b)
         return min(a, b)
 
 
 class MaxAggregator(Aggregator):
-    """Maximum of contributed values; ``None`` when nothing contributed."""
+    """Maximum of contributed values; ``None`` when nothing contributed.
+
+    Contributions must share one comparable type family; mixing (say)
+    strings and numbers raises ``TypeError`` instead of producing an
+    order-dependent answer.
+    """
 
     def create(self) -> Any:
         return None
 
     def add(self, partial: Any, value: Any) -> Any:
-        return value if partial is None else max(partial, value)
+        if partial is None:
+            return value
+        _check_comparable(self, partial, value)
+        return max(partial, value)
+
+    def add_many(self, partial: Any, values: Any) -> Any:
+        if _is_typed_column(values):
+            if len(values) == 0:
+                return partial
+            high = values.max()
+            return high if partial is None else self.add(partial, high)
+        return super().add_many(partial, values)
 
     def merge(self, a: Any, b: Any) -> Any:
         if a is None:
             return b
         if b is None:
             return a
+        _check_comparable(self, a, b)
         return max(a, b)
 
 

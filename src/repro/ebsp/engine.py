@@ -37,13 +37,21 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import (
     AggregatorError,
     ComputeError,
     JobSpecError,
     PropertyViolationError,
 )
-from repro.ebsp.job import BaseContext, Compute, ComputeContext, Job
+from repro.ebsp.job import (
+    BaseContext,
+    BatchComputeContext,
+    Compute,
+    ComputeContext,
+    Job,
+)
 from repro.ebsp.loaders import LoaderContext
 from repro.ebsp.properties import ExecutionPlan
 from repro.ebsp.recovery import FailureInjector, ProgressTable, SimulatedFailure
@@ -55,9 +63,12 @@ from repro.ebsp.transport import (
     CONT,
     CREATE,
     MSG,
+    MessageBatch,
     SpillWriter,
+    collect_step_columns,
     collect_step_records,
     create_transport_table,
+    group_step_columns,
 )
 from repro.kvstore.api import FnPairConsumer, KVStore, PartConsumer, Table, TableSpec
 
@@ -280,6 +291,138 @@ class _StepContext(ComputeContext):
             exporter.export(key, value)
 
 
+class _BatchStepContext(BatchComputeContext):
+    """The columnar face of one part's step context.
+
+    Wraps the part's :class:`_StepContext` so staged state, aggregator
+    partials, direct outputs, and the invocation count live in exactly
+    one place regardless of which face the compute used — the batch
+    path commits through the same write-back cache and the same
+    :meth:`_StepContext.commit_state` as the per-key path.
+    """
+
+    _ABSENT = _StepContext._ABSENT
+    _MISS = object()
+
+    def __init__(self, inner: _StepContext, writer: SpillWriter):
+        self._inner = inner
+        self._writer = writer
+        self._keys: Any = None
+        self._keys_list: List[Any] = []
+        self._batch: Optional[MessageBatch] = None
+
+    def _bind_batch(self, keys: Any, batch: MessageBatch) -> None:
+        self._keys = keys
+        # lowered once: store dicts key on Python scalars, and ``tolist``
+        # on a typed column is one C-level pass
+        self._keys_list = keys.tolist() if isinstance(keys, np.ndarray) else list(keys)
+        self._batch = batch
+        self._inner.invocations += len(self._keys_list)
+
+    # -- BatchComputeContext API ------------------------------------------------
+    @property
+    def step_num(self) -> int:
+        return self._inner.step_num
+
+    @property
+    def keys(self) -> Any:
+        return self._keys
+
+    @property
+    def messages(self) -> MessageBatch:
+        return self._batch
+
+    def read_states(self, tab_idx: int) -> List[Any]:
+        inner = self._inner
+        inner._check_tab(tab_idx)
+        cache = inner._cache
+        keys = self._keys_list
+        out: List[Any] = [None] * len(keys)
+        missing_keys: List[Any] = []
+        missing_at: List[int] = []
+        for i, key in enumerate(keys):
+            value = cache.get((tab_idx, key), _BatchStepContext._MISS)
+            if value is _BatchStepContext._MISS:
+                missing_keys.append(key)
+                missing_at.append(i)
+            elif value is not _BatchStepContext._ABSENT:
+                out[i] = value
+        if missing_keys:
+            table = inner._engine._state_tables[tab_idx]
+            fetched = table.get_many(missing_keys)
+            for key, i in zip(missing_keys, missing_at):
+                value = fetched.get(key)
+                cache[(tab_idx, key)] = (
+                    _BatchStepContext._ABSENT if value is None else value
+                )
+                out[i] = value
+        return out
+
+    def write_states(self, tab_idx: int, states: Any) -> None:
+        inner = self._inner
+        inner._check_tab(tab_idx)
+        keys = self._keys_list
+        if len(states) != len(keys):
+            raise ValueError(
+                f"write_states column has {len(states)} entries "
+                f"for a batch of {len(keys)} keys"
+            )
+        cache = inner._cache
+        pending = inner._dirty_tabs.setdefault(tab_idx, {})
+        if isinstance(states, np.ndarray):
+            states = states.tolist()
+        for key, state in zip(keys, states):
+            if state is None:
+                raise ValueError("None is not a storable state; use delete_states()")
+            cache[(tab_idx, key)] = state
+            pending[key] = state
+
+    def delete_states(self, tab_idx: int, keys: Any) -> None:
+        inner = self._inner
+        inner._check_tab(tab_idx)
+        cache = inner._cache
+        pending = inner._dirty_tabs.setdefault(tab_idx, {})
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        for key in keys:
+            cache[(tab_idx, key)] = _BatchStepContext._ABSENT
+            pending[key] = _BatchStepContext._ABSENT
+
+    def create_state(self, tab_idx: int, key: Any, state: Any) -> None:
+        inner = self._inner
+        inner._check_tab(tab_idx)
+        if state is None:
+            raise ValueError("None is not a creatable state")
+        self._writer.add((CREATE, key, tab_idx, state))
+
+    def send_messages(self, dest_keys: Any, payloads: Any) -> None:
+        self._writer.add_message_batch(dest_keys, payloads)
+
+    def output_message(self, key: Any, message: Any) -> None:
+        if message is None:
+            raise ValueError("None is not a sendable message")
+        self._writer.add((MSG, key, message))
+
+    def aggregate_value(self, name: str, value: Any) -> None:
+        self._inner.aggregate_value(name, value)
+
+    def aggregate_values(self, name: str, values: Any) -> None:
+        inner = self._inner
+        agg = inner._engine._aggs.get(name)
+        if agg is None:
+            raise AggregatorError(f"job has no aggregator named {name!r}")
+        inner.agg_partials[name] = agg.add_many(inner.agg_partials[name], values)
+
+    def get_aggregate_value(self, name: str) -> Any:
+        return self._inner.get_aggregate_value(name)
+
+    def get_broadcast_datum(self, key: Any) -> Any:
+        return self._inner.get_broadcast_datum(key)
+
+    def direct_job_output(self, key: Any, value: Any) -> None:
+        self._inner.direct_job_output(key, value)
+
+
 class _PartStepResult:
     """What one part's step hands back across the barrier.
 
@@ -413,6 +556,8 @@ class SyncEngine:
         max_retries: int = 5,
         trace: Any = None,
         ship_compute: Optional[bool] = None,
+        batch_compute: Optional[bool] = None,
+        compute_batch_size: int = 65536,
     ):
         self._store = store
         self._job = job
@@ -423,6 +568,24 @@ class SyncEngine:
         self._plan = ExecutionPlan.derive(
             job.properties(), bool(self._aggs), job.has_aborter
         )
+        # -- columnar data plane --------------------------------------
+        # batch_compute=None auto-detects a compute_batch override (the
+        # same detection-by-override idiom as combiners); False forces
+        # the per-key path (the ablation's A/B lever); True demands it.
+        supports = getattr(self._compute, "supports_batch", None)
+        supports_batch = bool(supports()) if supports is not None else False
+        if batch_compute and not supports_batch:
+            raise JobSpecError(
+                "batch_compute=True but the job's Compute does not "
+                "override compute_batch"
+            )
+        # the no-collect plan (one-msg ∧ no-continue) never builds the
+        # per-destination structure batching vectorizes, so it keeps
+        # its own specialized path
+        self._batch_compute = (
+            supports_batch and batch_compute is not False and not self._plan.no_collect
+        )
+        self._compute_batch_size = max(1, compute_batch_size)
         self._spill_batch = spill_batch
         self._spill_window = spill_window
         self._spill_coalesce = spill_coalesce
@@ -602,6 +765,19 @@ class SyncEngine:
 
         return part_for_key(key, self.n_parts)
 
+    def _part_of_many(self, keys: Any) -> Any:
+        """Vectorized key→part routing for whole columns."""
+        if self._state_tables:
+            return self._state_tables[0].part_of_many(keys)
+        from repro.util.hashing import part_for_key
+
+        n_parts = self.n_parts
+        return np.fromiter(
+            (part_for_key(k, n_parts) for k in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+
     def _record_spill(self, step: int, dest_part: int, n_records: int) -> None:
         with self._spill_lock:
             per_part = self._spilled_per_step.setdefault(step, {})
@@ -637,6 +813,8 @@ class SyncEngine:
             spills_per_batch=self._spill_coalesce,
             compact=self._compact_spills,
             tracer=self._tracer,
+            part_of_many=self._part_of_many,
+            vector_combiner=self._batch_combiner_for(combine_step),
         )
 
     def _harvest_writer(self, writer: SpillWriter) -> None:
@@ -691,6 +869,24 @@ class SyncEngine:
             # Destination key is not threaded through collect_step_records'
             # bundles; combiners that need it can encode it in the message.
             return compute.combine_messages(ctx, None, m1, m2)
+
+        return _combine
+
+    def _batch_combiner_for(self, step: int):
+        """A (dest_keys, payloads) -> (dest_keys, payloads) column
+        combiner, or None when the Compute does not override
+        ``combine_message_batch`` (detection-by-override, as above)."""
+        if (
+            type(self._compute).combine_message_batch
+            is Compute.combine_message_batch
+        ):
+            return None
+        ctx = _SimpleBaseContext(step)
+        compute = self._compute
+
+        def _combine(dest_keys: Any, payloads: Any) -> tuple:
+            out = compute.combine_message_batch(ctx, dest_keys, payloads)
+            return (dest_keys, payloads) if out is None else out
 
         return _combine
 
@@ -954,7 +1150,124 @@ class SyncEngine:
         t_start = time.perf_counter()
         # Lane resolves from the executing runtime thread (worker-<i>).
         with tracer.span("part-step", cat="engine", part=part, step=step):
+            if self._batch_compute:
+                return self._part_step_body_batch(part, view, step, t_start)
             return self._part_step_body(part, view, step, t_start)
+
+    def _part_step_body_batch(
+        self, part: int, view: Any, step: int, t_start: float
+    ) -> _PartStepResult:
+        """The columnar part-step: spills stay columns end to end.
+
+        Collect lifts each spill's key/payload arrays as chunks, one
+        vectorized argsort groups them by destination, and the job's
+        ``compute_batch`` is invoked over column slices instead of once
+        per component.  Staged state and the commit point are shared
+        with the per-key path (same write-back cache, same
+        ``put_many``-per-table commit), so fault tolerance, shipping,
+        and counters behave identically.
+        """
+        tracer = self._tracer
+        fallback = False
+        with tracer.span("collect", cat="engine", part=part, step=step):
+            cols = collect_step_columns(view, step)
+            try:
+                group_keys, batch = group_step_columns(cols)
+            except TypeError:
+                # keys not mutually orderable — nothing was deleted or
+                # written yet, so the per-key path re-drives the spills
+                fallback = True
+        if fallback:
+            self._counters.add("batch_fallbacks")
+            return self._part_step_body(part, view, step, t_start)
+
+        consumed = cols.consumed
+        if not self._fault_tolerance:
+            for transport_key in consumed:
+                view.delete(transport_key)
+            consumed = []
+
+        writer = self._make_writer(part, step + 1, step, hold=self._fault_tolerance)
+        ctx = _StepContext(self, part, step, writer)
+        bctx = _BatchStepContext(ctx, writer)
+
+        if cols.creates:
+            base_ctx = _SimpleBaseContext(step)
+            merged: Dict[Any, List[Tuple[int, Any]]] = {}
+            for dest_key, tab_idx, state in cols.creates:
+                merged.setdefault(dest_key, []).append((tab_idx, state))
+            for dest_key, created in merged.items():
+                for tab_idx, state in self._merge_creations(base_ctx, dest_key, created):
+                    ctx._stage(tab_idx, dest_key, state)
+
+        one_msg = self._plan.properties.one_msg
+        no_continue = self._plan.properties.no_continue
+        n = len(group_keys)
+        if one_msg and n:
+            over = np.flatnonzero(batch.counts > 1)
+            if len(over):
+                offender = group_keys[over[0]]
+                raise PropertyViolationError(
+                    f"job declares one-msg but component {offender!r} received "
+                    f"{int(batch.counts[over[0]])} messages in step {step}"
+                )
+
+        chunk = self._compute_batch_size
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            key_slice = group_keys[lo:hi]
+            bctx._bind_batch(key_slice, batch.slice(lo, hi))
+            if self._failure_injector is not None:
+                self._failure_injector.check(part, step)
+            try:
+                cont = self._compute.compute_batch(bctx)
+            except SimulatedFailure:
+                writer.discard()
+                raise
+            except Exception as exc:  # surface with batch/step context
+                raise ComputeError(f"batch[{lo}:{hi}] of part {part}", step, exc) from exc
+            if cont is None or isinstance(cont, (bool, np.bool_)):
+                all_continue = bool(cont)
+                mask = None
+            else:
+                mask = np.asarray(cont, dtype=bool)
+                if len(mask) != hi - lo:
+                    raise ComputeError(
+                        f"batch[{lo}:{hi}] of part {part}",
+                        step,
+                        ValueError(
+                            f"compute_batch returned {len(mask)} continue "
+                            f"signals for {hi - lo} components"
+                        ),
+                    )
+                all_continue = False
+            if all_continue or (mask is not None and mask.any()):
+                if no_continue:
+                    raise PropertyViolationError(
+                        f"job declares no-continue but a batch returned "
+                        f"positive signals in step {step}"
+                    )
+                writer.add_continue_batch(
+                    key_slice if all_continue else key_slice[mask]
+                )
+
+        # ---- commit point (shared with the per-key path) ----
+        t_commit = time.perf_counter()
+        with tracer.span("commit", cat="engine", part=part, step=step):
+            self._commit_part_step(ctx, writer, view, consumed, part, step)
+        t_done = time.perf_counter()
+        result = _PartStepResult(
+            ctx.agg_partials,
+            ctx.invocations,
+            writer.records_written,
+            compute_seconds=t_commit - t_start,
+            flush_seconds=t_done - t_commit,
+            finished_sum=t_done,
+            n_timed=1,
+        )
+        if self._is_shipped:
+            result.outputs = ctx.direct_outputs
+        return result
 
     def _part_step_body(self, part: int, view: Any, step: int, t_start: float) -> _PartStepResult:
         tracer = self._tracer

@@ -99,6 +99,81 @@ class ComputeContext(BaseContext):
         """Emit one (key, value) pair of direct job output."""
 
 
+class BatchComputeContext(BaseContext):
+    """Everything a *batch* compute invocation may touch.
+
+    One batch invocation covers a column of components of one part:
+    ``keys[i]`` is the i-th component, and every column argument or
+    result aligns with it positionally.  State moves as columns through
+    the part-step's write-back cache, so a batch write is one staged
+    ``put_many`` instead of per-key puts.
+    """
+
+    @property
+    @abc.abstractmethod
+    def keys(self) -> Any:
+        """The key column of the batch (1-D array, ascending order)."""
+
+    # -- local state, columnar -------------------------------------------------
+    @abc.abstractmethod
+    def read_states(self, tab_idx: int) -> List[Any]:
+        """This batch's entries in state table *tab_idx*, aligned with
+        :attr:`keys` (``None`` where absent)."""
+
+    @abc.abstractmethod
+    def write_states(self, tab_idx: int, states: Any) -> None:
+        """Write all entries of table *tab_idx* for this batch: one
+        state per key, aligned with :attr:`keys`."""
+
+    @abc.abstractmethod
+    def delete_states(self, tab_idx: int, keys: Any) -> None:
+        """Delete the entries for *keys* (a subset of the batch) in
+        state table *tab_idx*."""
+
+    @abc.abstractmethod
+    def create_state(self, tab_idx: int, key: Any, state: Any) -> None:
+        """Request creation of another component's state entry."""
+
+    # -- messaging, columnar -----------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def messages(self) -> Any:
+        """The delivered messages as a :class:`~repro.ebsp.transport.MessageBatch`
+        aligned with :attr:`keys`."""
+
+    @abc.abstractmethod
+    def send_messages(self, dest_keys: Any, payloads: Any) -> None:
+        """Send ``payloads[i]`` to component ``dest_keys[i]``, as columns."""
+
+    @abc.abstractmethod
+    def output_message(self, key: Any, message: Any) -> None:
+        """Send a single message (scalar escape hatch)."""
+
+    # -- aggregators ------------------------------------------------------------
+    @abc.abstractmethod
+    def aggregate_value(self, name: str, value: Any) -> None:
+        """Contribute one value to the named aggregator."""
+
+    @abc.abstractmethod
+    def aggregate_values(self, name: str, values: Any) -> None:
+        """Contribute a column of values to the named aggregator
+        (vectorized via :meth:`~repro.ebsp.aggregators.Aggregator.add_many`)."""
+
+    @abc.abstractmethod
+    def get_aggregate_value(self, name: str) -> Any:
+        """Read the named aggregator's result from the previous step."""
+
+    # -- broadcast data -----------------------------------------------------------
+    @abc.abstractmethod
+    def get_broadcast_datum(self, key: Any) -> Any:
+        """Read immutable broadcast data by key (cheap everywhere)."""
+
+    # -- direct job output ----------------------------------------------------------
+    @abc.abstractmethod
+    def direct_job_output(self, key: Any, value: Any) -> None:
+        """Emit one (key, value) pair of direct job output."""
+
+
 class Compute(abc.ABC):
     """The mobile code of a job (paper Listing 2).
 
@@ -116,6 +191,29 @@ class Compute(abc.ABC):
         following step even without receiving a message.
         """
 
+    def compute_batch(self, ctx: BatchComputeContext) -> Any:
+        """One invocation covering a whole column of components.
+
+        Override to opt into the columnar data plane: the engine hands
+        each part's enabled components to ``compute_batch`` as aligned
+        columns (``ctx.keys``, ``ctx.messages``, ``ctx.read_states``)
+        instead of one :meth:`compute` call per key.
+
+        Returns the continue signals: ``None``/``False`` (no component
+        continues), ``True`` (every component continues), or a boolean
+        column aligned with ``ctx.keys``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement compute_batch"
+        )
+
+    def supports_batch(self) -> bool:
+        """Whether the engine may drive this compute through
+        :meth:`compute_batch`.  Detected by override, the same way the
+        engine detects combiners; wrappers (e.g. the vertex-program
+        adapter) override this to delegate to the wrapped program."""
+        return type(self).compute_batch is not Compute.compute_batch
+
     def combine_messages(self, ctx: BaseContext, key: Any, m1: Any, m2: Any) -> Any:
         """Pairwise message combiner for destination *key*.
 
@@ -125,6 +223,18 @@ class Compute(abc.ABC):
         declining keeps both messages (this is how the paper's
         selective SSSP job opts its sender-tagged messages out of
         combining).
+        """
+        return None
+
+    def combine_message_batch(
+        self, ctx: BaseContext, dest_keys: Any, payloads: Any
+    ) -> Any:
+        """Columnar sender-side combiner for an outgoing message batch.
+
+        Invoked by the spill writer on columns sent through the batch
+        data plane.  Return the reduced ``(dest_keys, payloads)``
+        columns (e.g. one summed payload per distinct destination), or
+        ``None`` to decline and ship the columns unreduced.
         """
         return None
 

@@ -53,7 +53,14 @@ from collections import deque
 from concurrent.futures import Future
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.kvstore.api import KVStore, Table, TableSpec
+from repro.serde import (
+    pack_payload_column,
+    payload_column_array,
+    unpack_payload_column,
+)
 
 MSG = "m"
 CONT = "c"
@@ -89,7 +96,13 @@ def encode_spill(records: List[tuple]) -> tuple:
             creates.append((record[1], record[2], record[3]))
         else:
             raise ValueError(f"unknown transport record kind {kind!r}")
-    return (COMPACT_MARKER, msg_keys, msg_payloads, cont_keys, creates)
+    return (
+        COMPACT_MARKER,
+        msg_keys,
+        pack_payload_column(msg_payloads),
+        cont_keys,
+        creates,
+    )
 
 
 def is_compact_spill(value: Any) -> bool:
@@ -100,11 +113,21 @@ def is_compact_spill(value: Any) -> bool:
 
 
 def iter_spill_records(value: Any) -> Iterator[tuple]:
-    """Yield the record tuples of a spill value, whichever codec it uses."""
+    """Yield the record tuples of a spill value, whichever codec it uses.
+
+    Key columns written by the batch data plane arrive as typed numpy
+    arrays; for per-record readers they are lowered back to Python
+    scalars (``tolist``) so key identity matches per-key writes.
+    Payload columns unpack dtype-preserving (numpy scalars stay numpy).
+    """
     if is_compact_spill(value):
         _, msg_keys, msg_payloads, cont_keys, creates = value
-        for key, payload in zip(msg_keys, msg_payloads):
+        if isinstance(msg_keys, np.ndarray):
+            msg_keys = msg_keys.tolist()
+        for key, payload in zip(msg_keys, unpack_payload_column(msg_payloads)):
             yield (MSG, key, payload)
+        if isinstance(cont_keys, np.ndarray):
+            cont_keys = cont_keys.tolist()
         for key in cont_keys:
             yield (CONT, key)
         for key, tab_idx, state in creates:
@@ -182,6 +205,8 @@ class SpillWriter:
         spills_per_batch: int = 1,
         compact: bool = False,
         tracer: Any = None,
+        part_of_many: Optional[Callable[[Any], Any]] = None,
+        vector_combiner: Optional[Callable[[Any, Any], tuple]] = None,
     ):
         from repro.obs.trace import NULL_TRACER
 
@@ -191,6 +216,8 @@ class SpillWriter:
         self._step = step
         self._n_parts = n_parts
         self._part_of = part_of
+        self._part_of_many = part_of_many
+        self._vector_combiner = vector_combiner
         self._batch_size = max(1, batch_size)
         self._hold = hold
         self._on_spill = on_spill
@@ -200,6 +227,10 @@ class SpillWriter:
         self._spills_per_batch = max(1, spills_per_batch)
         self._compact = compact
         self._buffers: Dict[int, List[tuple]] = {}
+        # columnar buffers (batch data plane): dest_part -> list of
+        # (keys_array, payloads_array | None-for-continues) chunks
+        self._col_buffers: Dict[int, List[tuple]] = {}
+        self._col_counts: Dict[int, int] = {}
         # per destination part: dest_key -> index of its buffered MSG
         # record, for sender-side combining
         self._combine_index: Dict[int, Dict[Any, int]] = {}
@@ -262,6 +293,128 @@ class SpillWriter:
                         self._dispatch(dest_part)
                 else:
                     self._dispatch(dest_part)
+
+    # -- columnar (batch data plane) ------------------------------------
+
+    def _route_parts(self, dest_keys: Any) -> "np.ndarray":
+        """Destination part per key, vectorized when the table allows it."""
+        if self._part_of_many is not None:
+            return np.asarray(self._part_of_many(dest_keys), dtype=np.int64)
+        part_of = self._part_of
+        return np.fromiter(
+            (part_of(k) for k in dest_keys), dtype=np.int64, count=len(dest_keys)
+        )
+
+    def add_message_batch(self, dest_keys: Any, payloads: Any) -> None:
+        """Add one message per ``dest_keys[i]`` with payload ``payloads[i]``.
+
+        Columns are routed to destination parts in one vectorized pass
+        and buffered as array chunks; they seal directly into compact
+        spills without ever materializing per-record tuples.  When a
+        *vector_combiner* is installed, the column is pre-combined per
+        destination key before routing (the batch analogue of
+        sender-side combining).
+        """
+        dest_keys = np.asarray(dest_keys)
+        n = len(dest_keys)
+        if n == 0:
+            return
+        self.messages_added += n
+        if self._vector_combiner is not None:
+            dest_keys, payloads = self._vector_combiner(dest_keys, payloads)
+            dest_keys = np.asarray(dest_keys)
+            self.messages_combined += n - len(dest_keys)
+        if not isinstance(payloads, np.ndarray):
+            try:
+                arr = np.asarray(payloads)
+            except ValueError:  # ragged sequences refuse to stack
+                arr = None
+            if arr is None or arr.ndim != 1:
+                # tuple/ragged payloads: keep element identity in an
+                # object column instead of letting numpy reshape them
+                arr = np.empty(len(payloads), dtype=object)
+                arr[:] = payloads
+            payloads = arr
+        parts = self._route_parts(dest_keys)
+        order = np.argsort(parts, kind="stable")
+        parts = parts[order]
+        dest_keys = dest_keys[order]
+        payloads = payloads[order]
+        boundaries = np.flatnonzero(parts[1:] != parts[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(parts)]))
+        for lo, hi in zip(starts, ends):
+            self._add_column_chunk(
+                int(parts[lo]), dest_keys[lo:hi], payloads[lo:hi]
+            )
+
+    def add_continue_batch(self, dest_keys: Any) -> None:
+        """Add a continue/enable signal for every key in *dest_keys*."""
+        dest_keys = np.asarray(dest_keys)
+        n = len(dest_keys)
+        if n == 0:
+            return
+        self.continues_added += n
+        parts = self._route_parts(dest_keys)
+        order = np.argsort(parts, kind="stable")
+        parts = parts[order]
+        dest_keys = dest_keys[order]
+        boundaries = np.flatnonzero(parts[1:] != parts[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(parts)]))
+        for lo, hi in zip(starts, ends):
+            self._add_column_chunk(int(parts[lo]), dest_keys[lo:hi], None)
+
+    def _add_column_chunk(
+        self, dest_part: int, keys: "np.ndarray", payloads: Optional[Any]
+    ) -> None:
+        self._col_buffers.setdefault(dest_part, []).append((keys, payloads))
+        count = self._col_counts.get(dest_part, 0) + len(keys)
+        self._col_counts[dest_part] = count
+        if not self._hold and count >= self._batch_size:
+            with self._lock:
+                self._seal_columns(dest_part)
+                if self._pipelined:
+                    if len(self._ready.get(dest_part, ())) >= self._spills_per_batch:
+                        self._dispatch(dest_part)
+                else:
+                    self._dispatch(dest_part)
+
+    def _seal_columns(self, dest_part: int) -> None:
+        """Seal the columnar buffer for *dest_part* into a compact spill.
+
+        The spill value is the same struct-of-arrays tuple the compact
+        codec produces, except the key and payload columns stay typed
+        numpy arrays — readers on the other side either lift them into
+        batches directly (:func:`collect_step_columns`) or lower them
+        per record (:func:`iter_spill_records`).
+        """
+        chunks = self._col_buffers.pop(dest_part, None)
+        count = self._col_counts.pop(dest_part, 0)
+        if not chunks:
+            return
+        msg_key_chunks = [k for k, p in chunks if p is not None]
+        payload_chunks = [p for _, p in chunks if p is not None]
+        cont_chunks = [k for k, p in chunks if p is None]
+        msg_keys: Any = (
+            np.concatenate(msg_key_chunks) if msg_key_chunks else []
+        )
+        msg_payloads: Any = (
+            np.concatenate(payload_chunks) if payload_chunks else []
+        )
+        cont_keys: Any = np.concatenate(cont_chunks) if cont_chunks else []
+        key = (dest_part, self._step, self._src_part, self._seq)
+        self._seq += 1
+        value = (COMPACT_MARKER, msg_keys, msg_payloads, cont_keys, [])
+        self._ready.setdefault(dest_part, []).append((key, value))
+        self.spills_sealed += 1
+        self.records_written += count
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "spill.seal_columns", cat="transport", dest=dest_part, records=count
+            )
+        if self._on_spill is not None:
+            self._on_spill(dest_part, count)
 
     def _seal(self, dest_part: int) -> None:
         """Turn a buffer into a spill (key + records) ready for dispatch.
@@ -331,6 +484,8 @@ class SpillWriter:
             with self._lock:
                 for dest_part in list(self._buffers):
                     self._seal(dest_part)
+                for dest_part in list(self._col_buffers):
+                    self._seal_columns(dest_part)
                 for dest_part in list(self._ready):
                     self._dispatch(dest_part)
                 while self._in_flight:
@@ -342,6 +497,8 @@ class SpillWriter:
         with self._lock:
             self._buffers.clear()
             self._combine_index.clear()
+            self._col_buffers.clear()
+            self._col_counts.clear()
             for batch in self._ready.values():
                 for _, value in batch:
                     self.records_written -= spill_record_count(value)
@@ -415,6 +572,200 @@ def scan_step_records_no_collect(
             else:
                 raise ValueError(f"unknown transport record kind {kind!r}")
     return deliveries, creations, consumed
+
+
+class StepColumns:
+    """One part's incoming traffic for a step, kept as columns.
+
+    The batch collect path never explodes spills into per-record
+    tuples: compact spills contribute their key/payload arrays as-is,
+    and only legacy record-list spills pay a per-record scan.  Creation
+    records are rare (mutating jobs only) and stay a plain triple list.
+    """
+
+    __slots__ = (
+        "msg_key_chunks",
+        "msg_payload_chunks",
+        "cont_key_chunks",
+        "creates",
+        "consumed",
+    )
+
+    def __init__(self) -> None:
+        self.msg_key_chunks: List[np.ndarray] = []
+        self.msg_payload_chunks: List[np.ndarray] = []
+        self.cont_key_chunks: List[np.ndarray] = []
+        self.creates: List[Tuple[Any, int, Any]] = []
+        self.consumed: List[tuple] = []
+
+    @property
+    def n_messages(self) -> int:
+        return sum(len(c) for c in self.msg_key_chunks)
+
+
+def _object_column(values: Any) -> np.ndarray:
+    """A 1-D object array preserving element identity exactly."""
+    if isinstance(values, np.ndarray):
+        values = values.tolist()
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr
+
+
+def _key_chunk_array(keys: Any) -> np.ndarray:
+    """Lift a spill's key column to an array without changing identity.
+
+    Typed arrays (written by the batch plane) pass through.  Python
+    key lists become *object* arrays — letting numpy guess a dtype
+    could silently promote mixed int/float keys and change how they
+    hash for part routing.
+    """
+    if isinstance(keys, np.ndarray) and keys.dtype != object:
+        return keys
+    return _object_column(keys)
+
+
+def _concat_columns(chunks: List[np.ndarray]) -> np.ndarray:
+    """Concatenate column chunks; mixed dtypes degrade to object."""
+    if not chunks:
+        return np.empty(0, dtype=object)
+    if len(chunks) == 1:
+        return chunks[0]
+    first_dtype = chunks[0].dtype
+    if first_dtype != object and all(c.dtype == first_dtype for c in chunks):
+        return np.concatenate(chunks)
+    return np.concatenate([_object_column(c) for c in chunks])
+
+
+def collect_step_columns(view: Any, step: int) -> StepColumns:
+    """Scan a transport-table part for *step*, keeping spills columnar.
+
+    The batch analogue of :func:`collect_step_records`: no bundles, no
+    per-record combiner offers — grouping and folding happen later in
+    vectorized form (:func:`group_step_columns`).
+    """
+    cols = StepColumns()
+    for key, value in view.items():
+        if key[1] != step:
+            continue
+        cols.consumed.append(key)
+        if is_compact_spill(value):
+            _, msg_keys, msg_payloads, cont_keys, creates = value
+            if len(msg_keys):
+                cols.msg_key_chunks.append(_key_chunk_array(msg_keys))
+                arr = payload_column_array(msg_payloads)
+                if arr is None:
+                    arr = _object_column(unpack_payload_column(msg_payloads))
+                cols.msg_payload_chunks.append(arr)
+            if len(cont_keys):
+                cols.cont_key_chunks.append(_key_chunk_array(cont_keys))
+            cols.creates.extend(creates)
+        else:
+            mk: List[Any] = []
+            mp: List[Any] = []
+            ck: List[Any] = []
+            for record in value:
+                kind = record[0]
+                if kind == MSG:
+                    mk.append(record[1])
+                    mp.append(record[2])
+                elif kind == CONT:
+                    ck.append(record[1])
+                elif kind == CREATE:
+                    cols.creates.append((record[1], record[2], record[3]))
+                else:
+                    raise ValueError(f"unknown transport record kind {kind!r}")
+            if mk:
+                cols.msg_key_chunks.append(_object_column(mk))
+                cols.msg_payload_chunks.append(_object_column(mp))
+            if ck:
+                cols.cont_key_chunks.append(_object_column(ck))
+    return cols
+
+
+class MessageBatch:
+    """The messages delivered to a batch of components, as columns.
+
+    All payloads live in one array; component *i* of the batch owns
+    ``payloads[offsets[i]:offsets[i+1]]``.  Batch computes consume the
+    columns directly; ``__getitem__`` gives the per-component view for
+    generic code and tests.
+    """
+
+    __slots__ = ("payloads", "offsets")
+
+    def __init__(self, payloads: np.ndarray, offsets: np.ndarray):
+        self.payloads = payloads
+        self.offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Messages per component (vectorized ``len`` of each slice)."""
+        return np.diff(self.offsets)
+
+    def payload_array(self) -> Optional[np.ndarray]:
+        """The whole payload column when it is typed, else ``None``."""
+        if self.payloads.dtype != object:
+            return self.payloads
+        return None
+
+    def group_index(self) -> np.ndarray:
+        """Component index per payload — ``payloads[j]`` belongs to
+        component ``group_index()[j]`` of the batch."""
+        return np.repeat(np.arange(len(self), dtype=np.int64), self.counts)
+
+    def __getitem__(self, i: int) -> list:
+        lo, hi = self.offsets[i], self.offsets[i + 1]
+        return list(self.payloads[lo:hi])
+
+    def __iter__(self) -> Iterator[list]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def slice(self, lo: int, hi: int) -> "MessageBatch":
+        """The sub-batch covering components ``lo:hi``."""
+        p_lo, p_hi = self.offsets[lo], self.offsets[hi]
+        return MessageBatch(
+            self.payloads[p_lo:p_hi], self.offsets[lo : hi + 1] - p_lo
+        )
+
+
+def group_step_columns(cols: StepColumns) -> Tuple[np.ndarray, MessageBatch]:
+    """Group collected columns by destination key, ascending.
+
+    Returns ``(keys, batch)``: *keys* holds each enabled destination
+    key once, in ascending order, and *batch* is the aligned
+    :class:`MessageBatch` (a zero-length slice for keys enabled only by
+    a continue signal).  Message payloads keep arrival order within a
+    destination.  Raises ``TypeError`` when keys are not mutually
+    orderable — callers fall back to the per-key path.
+    """
+    msg_keys = _concat_columns(cols.msg_key_chunks)
+    payloads = _concat_columns(cols.msg_payload_chunks)
+    cont_keys = _concat_columns(cols.cont_key_chunks)
+    n_msg = len(msg_keys)
+    all_keys = (
+        _concat_columns([msg_keys, cont_keys]) if len(cont_keys) else msg_keys
+    )
+    if len(all_keys) == 0:
+        return (
+            np.empty(0, dtype=object),
+            MessageBatch(payloads, np.zeros(1, dtype=np.int64)),
+        )
+    order = np.argsort(all_keys, kind="stable")
+    sorted_keys = all_keys[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1)
+    )
+    group_keys = sorted_keys[starts]
+    is_msg = order < n_msg
+    counts = np.add.reduceat(is_msg.astype(np.int64), starts)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    grouped_payloads = payloads[order[is_msg]]
+    return group_keys, MessageBatch(grouped_payloads, offsets)
 
 
 def collect_step_records(

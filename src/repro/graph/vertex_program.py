@@ -9,7 +9,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.ebsp.aggregators import Aggregator
-from repro.ebsp.job import Compute, ComputeContext, Job
+from repro.ebsp.job import BatchComputeContext, Compute, ComputeContext, Job
 from repro.ebsp.loaders import Loader, TableScanLoader
 from repro.ebsp.results import JobResult
 from repro.ebsp.runner import run_job
@@ -115,6 +115,76 @@ class VertexContext:
         self._halted = True
 
 
+class BatchVertexContext:
+    """What one *batch* vertex invocation sees: a column of vertices.
+
+    Everything aligns positionally with :attr:`vertex_ids`; messages
+    arrive as a :class:`~repro.ebsp.transport.MessageBatch` so a
+    program can fold the whole part's traffic with array operations.
+    """
+
+    __slots__ = ("_ctx", "_states")
+
+    def __init__(self, ctx: BatchComputeContext):
+        self._ctx = ctx
+        self._states: Optional[List[Optional[VertexState]]] = None
+
+    @property
+    def vertex_ids(self) -> Any:
+        """The vertex-id column (1-D array, ascending)."""
+        return self._ctx.keys
+
+    @property
+    def superstep(self) -> int:
+        return self._ctx.step_num
+
+    @property
+    def states(self) -> List[Optional[VertexState]]:
+        """The :class:`VertexState` per vertex (``None`` where absent)."""
+        if self._states is None:
+            self._states = self._ctx.read_states(0)
+        return self._states
+
+    def values(self, dtype: Any = None) -> Any:
+        """The vertex values as a column (typed when *dtype* is given)."""
+        raw = [None if s is None else s.value for s in self.states]
+        return raw if dtype is None else np.asarray(raw, dtype=dtype)
+
+    def set_values(self, values: Any) -> None:
+        """Write one value per vertex, preserving each vertex's edges."""
+        states = self.states
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        new_states = [
+            VertexState.of(value, []) if state is None
+            else VertexState(value=value, edges=state.edges)
+            for state, value in zip(states, values)
+        ]
+        self._ctx.write_states(0, new_states)
+        self._states = new_states
+
+    @property
+    def messages(self) -> Any:
+        """Incoming messages, grouped per vertex (MessageBatch)."""
+        return self._ctx.messages
+
+    def send_messages(self, targets: Any, payloads: Any) -> None:
+        """Send ``payloads[i]`` to vertex ``targets[i]`` — as columns."""
+        self._ctx.send_messages(targets, payloads)
+
+    def send(self, target: Any, message: Any) -> None:
+        self._ctx.output_message(target, message)
+
+    def aggregate(self, name: str, value: Any) -> None:
+        self._ctx.aggregate_value(name, value)
+
+    def aggregate_column(self, name: str, values: Any) -> None:
+        self._ctx.aggregate_values(name, values)
+
+    def get_aggregate(self, name: str) -> Any:
+        return self._ctx.get_aggregate_value(name)
+
+
 class VertexProgram(abc.ABC):
     """Client code invoked once per active vertex per superstep."""
 
@@ -125,6 +195,19 @@ class VertexProgram(abc.ABC):
         A vertex stays active unless it calls ``vote_to_halt()``; a
         halted vertex is re-activated by an incoming message.
         """
+
+    def step_batch(self, bvctx: BatchVertexContext) -> Any:
+        """Process a whole column of active vertices for one superstep.
+
+        Override to opt the program into the columnar data plane (the
+        engine then slices each part into batches instead of invoking
+        :meth:`compute` per vertex).  Returns which vertices stay
+        active: ``True`` (all), ``None``/``False`` (none — all halt),
+        or a boolean column aligned with ``bvctx.vertex_ids``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement step_batch"
+        )
 
     def combine(self, m1: Any, m2: Any) -> Any:
         """Optional pairwise message combiner; ``None`` declines."""
@@ -147,6 +230,15 @@ class _GraphCompute(Compute):
         vctx = VertexContext(ctx, state)
         self._program.compute(vctx)
         return not vctx._halted
+
+    def compute_batch(self, ctx: BatchComputeContext) -> Any:
+        return self._program.step_batch(BatchVertexContext(ctx))
+
+    def supports_batch(self) -> bool:
+        # delegate detection to the wrapped program: the adapter always
+        # has compute_batch, but it is only usable when the program
+        # overrode step_batch
+        return type(self._program).step_batch is not VertexProgram.step_batch
 
     def combine_messages(self, ctx: Any, key: Any, m1: Any, m2: Any) -> Any:
         return self._program.combine(m1, m2)

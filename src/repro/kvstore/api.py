@@ -294,6 +294,27 @@ class Table(abc.ABC):
             return int(self._spec.key_hash(key)) % self._n_parts
         return part_for_key(key, self._n_parts)
 
+    def part_of_many(self, keys: Any) -> "Any":
+        """Part index per key, as an int64 array aligned with *keys*.
+
+        The batch data plane routes whole key columns at once.  Integer
+        key columns under the default hash vectorize (the stable hash
+        of an int is its low 32 bits); everything else falls back to a
+        per-key loop with identical results.
+        """
+        import numpy as np
+
+        n = len(keys)
+        if self._n_parts == 1:
+            return np.zeros(n, dtype=np.int64)
+        if self._spec.key_hash is None:
+            arr = keys if isinstance(keys, np.ndarray) else np.asarray(keys)
+            if arr.dtype.kind in "iu":
+                hashes = arr.astype(np.uint64) & np.uint64(0xFFFFFFFF)
+                return (hashes % np.uint64(self._n_parts)).astype(np.int64)
+        part_of = self.part_of
+        return np.fromiter((part_of(k) for k in keys), dtype=np.int64, count=n)
+
     # -- point operations ------------------------------------------------
     @abc.abstractmethod
     def get(self, key: Any) -> Any:

@@ -1,0 +1,203 @@
+"""Columnar view over a partitioned table (the batch data plane's floor).
+
+A :class:`ColumnarTable` presents a table's contents as typed numpy
+column batches — one key column plus one column per declared value
+field — while reading and writing exclusively through the narrow
+:class:`~repro.kvstore.api.Table` SPI.  Nothing about the underlying
+store changes: rows are stored as plain Python scalars (or tuples for
+multi-field schemas), so all four store implementations, replication,
+persistence, and the process-mode residency path keep working, and
+per-key readers see exactly the values they always did.
+
+The schema is the contract that makes the view total: every field
+declares a dtype, every batch read re-types through it, and every
+batch write validates shape against it.  Mixed per-key writes to the
+underlying table remain legal — they surface in batch reads as long as
+they coerce to the declared dtypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kvstore.api import FnPairConsumer, Table
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Declared layout of a columnar table view.
+
+    Parameters
+    ----------
+    key_dtype:
+        Dtype of the key column (e.g. ``"int64"``).
+    fields:
+        Ordered ``(name, dtype)`` pairs for the value columns.  With
+        one field, rows are stored as bare scalars; with several, as
+        tuples in field order.
+    """
+
+    key_dtype: str
+    fields: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError("a ColumnSchema needs at least one value field")
+        names = [name for name, _ in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in schema: {names}")
+
+    @property
+    def field_names(self) -> List[str]:
+        return [name for name, _ in self.fields]
+
+
+class ColumnBatch:
+    """A batch of rows as aligned columns: ``keys[i]`` owns row *i*."""
+
+    __slots__ = ("keys", "columns")
+
+    def __init__(self, keys: np.ndarray, columns: Dict[str, np.ndarray]):
+        self.keys = keys
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def rows(self) -> Iterator[tuple]:
+        """Per-row view ``(key, field0, field1, ...)`` — for tests and
+        per-key consumers; batch code should use the columns."""
+        cols = [self.columns[name] for name in self.columns]
+        for i in range(len(self.keys)):
+            yield (self.keys[i], *(col[i] for col in cols))
+
+
+class ColumnarTable:
+    """Typed column-batch access to an ordinary :class:`Table`.
+
+    A *view*, not a store: it owns no data and may coexist with per-key
+    access to the same table.  Batch writes lower to one ``put_many``
+    per call; batch reads lift ``get_many``/enumeration results into
+    typed arrays via the schema.
+    """
+
+    def __init__(self, table: Table, schema: ColumnSchema):
+        self._table = table
+        self._schema = schema
+        self._single = len(schema.fields) == 1
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    @property
+    def schema(self) -> ColumnSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._table.name
+
+    @property
+    def n_parts(self) -> int:
+        return self._table.n_parts
+
+    def part_of_many(self, keys: Any) -> np.ndarray:
+        return self._table.part_of_many(keys)
+
+    # -- writes -----------------------------------------------------------
+    def _lower_rows(self, keys: Any, columns: Sequence[Any]) -> List[tuple]:
+        schema = self._schema
+        key_col = np.asarray(keys, dtype=schema.key_dtype)
+        if len(columns) != len(schema.fields):
+            raise ValueError(
+                f"schema has {len(schema.fields)} fields, got {len(columns)} columns"
+            )
+        typed = []
+        for (name, dtype), col in zip(schema.fields, columns):
+            arr = np.asarray(col, dtype=dtype)
+            if len(arr) != len(key_col):
+                raise ValueError(
+                    f"column {name!r} has {len(arr)} entries for {len(key_col)} keys"
+                )
+            typed.append(arr)
+        key_list = key_col.tolist()
+        if self._single:
+            return list(zip(key_list, typed[0].tolist()))
+        value_rows = zip(*(arr.tolist() for arr in typed))
+        return list(zip(key_list, value_rows))
+
+    def put_batch(self, keys: Any, *columns: Any) -> None:
+        """Write one row per key: ``put_batch(keys, col0, col1, ...)``
+        with columns in schema field order.  One batched ``put_many``."""
+        self._table.put_many(self._lower_rows(keys, columns))
+
+    def delete_batch(self, keys: Any) -> None:
+        key_col = np.asarray(keys, dtype=self._schema.key_dtype)
+        self._table.delete_many(key_col.tolist())
+
+    # -- reads ------------------------------------------------------------
+    def _lift(self, keys: List[Any], rows: List[Any]) -> ColumnBatch:
+        schema = self._schema
+        key_col = np.asarray(keys, dtype=schema.key_dtype)
+        columns: Dict[str, np.ndarray] = {}
+        if self._single:
+            name, dtype = schema.fields[0]
+            columns[name] = np.asarray(rows, dtype=dtype)
+        else:
+            for idx, (name, dtype) in enumerate(schema.fields):
+                columns[name] = np.asarray(
+                    [row[idx] for row in rows], dtype=dtype
+                )
+        return ColumnBatch(key_col, columns)
+
+    def get_batch(self, keys: Any, default: Any = None) -> ColumnBatch:
+        """Read the rows for *keys* (one ``get_many``), aligned with it.
+
+        Absent keys take *default* in every field; with ``default=None``
+        an absent key raises ``KeyError`` instead — a typed column has
+        no natural hole.
+        """
+        key_col = np.asarray(keys, dtype=self._schema.key_dtype)
+        key_list = key_col.tolist()
+        fetched = self._table.get_many(key_list)
+        rows = []
+        for key in key_list:
+            value = fetched.get(key)
+            if value is None:
+                if default is None:
+                    raise KeyError(
+                        f"key {key!r} absent from {self.name!r} and no default given"
+                    )
+                value = default if self._single else (default,) * len(
+                    self._schema.fields
+                )
+            rows.append(value)
+        return self._lift(key_list, rows)
+
+    def read_part(self, part_index: int) -> ColumnBatch:
+        """One part's rows as columns, sorted ascending by key."""
+        pairs: List[tuple] = []
+        self._table.enumerate_pairs(
+            FnPairConsumer(lambda key, value: pairs.append((key, value)) and False),
+            parts=[part_index],
+        )
+        pairs.sort(key=lambda kv: kv[0])
+        return self._lift([k for k, _ in pairs], [v for _, v in pairs])
+
+    def read_all(self) -> ColumnBatch:
+        """Every row as columns, sorted ascending by key."""
+        pairs = sorted(self._table.items(), key=lambda kv: kv[0])
+        return self._lift([k for k, _ in pairs], [v for _, v in pairs])
+
+    def size(self) -> int:
+        return self._table.size()

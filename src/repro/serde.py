@@ -11,7 +11,9 @@ boundaries.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Optional
+from typing import Any, Optional, Union
+
+import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -125,6 +127,69 @@ class Codec:
         never an alias, exactly as it would be over a real network.
         """
         return self.loads(self.dumps(obj))
+
+
+# -- columnar message payloads -------------------------------------------------
+#
+# The compact spill codec stores message payloads as one column per
+# spill.  When every payload is a numpy scalar (or every payload is a
+# numpy array of one dtype and shape), the column packs into a single
+# typed ndarray — one pickle opcode stream for the whole column instead
+# of one ~60-byte reduce record per element — and unpacking restores
+# the original numpy types exactly.  Python objects (arbitrary ints,
+# tuples, strings, ...) never pack: a Python int can exceed int64, so
+# packing it would be silently lossy.
+
+
+def pack_payload_column(payloads: Union[list, "np.ndarray"]) -> Any:
+    """Pack a message-payload column for marshalling.
+
+    Returns a typed ``ndarray`` (1-D for scalar payloads, 2-D with one
+    row per array payload) when the column is homogeneous numpy data,
+    else the input unchanged.  ``unpack_payload_column`` inverts this,
+    preserving dtypes.
+    """
+    if isinstance(payloads, np.ndarray):
+        return payloads
+    if not payloads:
+        return payloads
+    first = payloads[0]
+    if isinstance(first, np.generic) and not isinstance(first, np.object_):
+        dtype = first.dtype
+        if all(
+            isinstance(p, np.generic) and p.dtype == dtype for p in payloads
+        ):
+            return np.asarray(payloads, dtype=dtype)
+        return payloads
+    if isinstance(first, np.ndarray) and first.dtype != object:
+        dtype, shape = first.dtype, first.shape
+        if len(shape) == 1 and all(
+            isinstance(p, np.ndarray) and p.dtype == dtype and p.shape == shape
+            for p in payloads
+        ):
+            return np.stack(payloads)
+        return payloads
+    return payloads
+
+
+def unpack_payload_column(packed: Any) -> list:
+    """Invert :func:`pack_payload_column` to per-record payloads.
+
+    A 1-D array yields its numpy scalars; a 2-D array yields its rows
+    (each an ``ndarray`` of the packed dtype); a list passes through.
+    """
+    return list(packed)
+
+
+def payload_column_array(packed: Any) -> Optional["np.ndarray"]:
+    """The packed column as a 1-D scalar ndarray, or ``None``.
+
+    The batch data plane uses this to lift a spill's payloads straight
+    into vectorized compute without touching individual elements.
+    """
+    if isinstance(packed, np.ndarray) and packed.ndim == 1 and packed.dtype != object:
+        return packed
+    return None
 
 
 #: A shared codec for callers that do not care about attribution.

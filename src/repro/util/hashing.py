@@ -17,6 +17,8 @@ import struct
 import zlib
 from typing import Any
 
+import numpy as np
+
 _INT_TAG = b"i"
 _STR_TAG = b"s"
 _BYTES_TAG = b"b"
@@ -77,6 +79,15 @@ def stable_hash(key: Any) -> int:
     custom = getattr(key, "__ripple_hash__", None)
     if custom is not None:
         return int(custom()) & 0xFFFFFFFF
+    # numpy scalar keys (the batch data plane hands these out) must
+    # route exactly like their Python counterparts: np.int64(5) and 5
+    # compare and hash equal in store dicts, so they must share a part.
+    if isinstance(key, np.integer):
+        return int(key) & 0xFFFFFFFF
+    if isinstance(key, np.floating):
+        return _hash_bytes(_encode(float(key)))
+    if isinstance(key, np.bool_):
+        return _hash_bytes(_encode(bool(key)))
     return _hash_bytes(_encode(key))
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -119,3 +120,85 @@ def test_merge_commutative(agg, values):
 def test_topk_matches_sorted(values, k):
     agg = TopKAggregator(k)
     assert fold(agg, values) == sorted(values, reverse=True)[:k]
+
+
+class TestAddMany:
+    """The batch data plane's column fold (default and vectorized)."""
+
+    def test_sum_typed_column_matches_loop(self):
+        agg = SumAggregator(0.0)
+        col = np.asarray([0.5, 1.5, 2.5])
+        assert agg.add_many(10.0, col) == fold(agg, [10.0, 0.5, 1.5, 2.5])
+
+    def test_sum_list_uses_sequential_default(self):
+        agg = SumAggregator(0)
+        assert agg.add_many(1, [2, 3, 4]) == 10
+
+    def test_sum_empty_column_is_identity(self):
+        agg = SumAggregator(0.0)
+        assert agg.add_many(5.0, np.empty(0)) == 5.0
+        assert agg.add_many(5.0, []) == 5.0
+
+    def test_count_column(self):
+        agg = CountAggregator()
+        assert agg.add_many(2, np.arange(7)) == 9
+        assert agg.add_many(2, ["a", "b"]) == 4
+
+    def test_min_max_typed_column(self):
+        col = np.asarray([4, -2, 9], dtype=np.int64)
+        assert MinAggregator().add_many(None, col) == -2
+        assert MaxAggregator().add_many(None, col) == 9
+        assert MinAggregator().add_many(-5, col) == -5
+        assert MaxAggregator().add_many(20, col) == 20
+
+    def test_min_max_empty_column_keeps_partial(self):
+        assert MinAggregator().add_many(None, np.empty(0)) is None
+        assert MaxAggregator().add_many(3, np.empty(0)) == 3
+
+    def test_object_column_takes_default_path(self):
+        # an object-dtype ndarray is not a typed column; the sequential
+        # fold still applies per-element type checks
+        col = np.empty(2, dtype=object)
+        col[:] = [3, "x"]
+        with pytest.raises(TypeError):
+            MinAggregator().add_many(None, col)
+
+
+class TestMixedTypeRejection:
+    """Min/Max refuse order-dependent cross-family comparisons."""
+
+    def test_add_str_vs_int_names_aggregator(self):
+        with pytest.raises(TypeError, match="MinAggregator"):
+            MinAggregator().add(3, "abc")
+        with pytest.raises(TypeError, match="MaxAggregator"):
+            MaxAggregator().add("abc", 3)
+
+    def test_merge_rejects_mixed_partials(self):
+        with pytest.raises(TypeError, match="MinAggregator"):
+            MinAggregator().merge(1.5, b"xx")
+        with pytest.raises(TypeError, match="MaxAggregator"):
+            MaxAggregator().merge("a", 0)
+
+    def test_numeric_family_mixes_freely(self):
+        agg = MinAggregator()
+        assert agg.add(True, np.float64(0.5)) == 0.5
+        assert agg.add(np.int64(3), 2) == 2
+        assert agg.merge(1, 0.5) == 0.5
+
+    def test_str_and_bytes_families(self):
+        assert MinAggregator().add("b", "a") == "a"
+        assert MaxAggregator().add(b"a", b"c") == b"c"
+        with pytest.raises(TypeError, match="cannot order"):
+            MinAggregator().add("a", b"a")
+
+    def test_sets_rejected_even_when_same_type(self):
+        # sets order partially: min({1},{2}) is order-dependent
+        with pytest.raises(TypeError, match="order-dependent"):
+            MaxAggregator().add({1}, {2})
+
+    def test_same_orderable_type_accepted(self):
+        assert MinAggregator().add((1, 2), (1, 1)) == (1, 1)
+
+    def test_none_partial_skips_check(self):
+        assert MinAggregator().add(None, "anything") == "anything"
+        assert MinAggregator().merge(None, 4) == 4

@@ -1,0 +1,138 @@
+"""ColumnarTable: typed column batches over the narrow Table SPI.
+
+The view must work identically over every store implementation — it
+only ever calls ``put_many``/``get_many``/``delete_many``/enumeration,
+so the ``store`` fixture is the whole conformance argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvstore import ColumnSchema, ColumnarTable
+from repro.kvstore.api import TableSpec
+
+SINGLE = ColumnSchema(key_dtype="int64", fields=(("rank", "float64"),))
+MULTI = ColumnSchema(
+    key_dtype="int64", fields=(("rank", "float64"), ("degree", "int64"))
+)
+
+
+def _view(store, schema, name="cols"):
+    return ColumnarTable(store.create_table(TableSpec(name=name, n_parts=4)), schema)
+
+
+class TestColumnSchema:
+    def test_requires_a_field(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ColumnSchema(key_dtype="int64", fields=())
+
+    def test_rejects_duplicate_field_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ColumnSchema(
+                key_dtype="int64", fields=(("x", "float64"), ("x", "int64"))
+            )
+
+    def test_field_names_in_order(self):
+        assert MULTI.field_names == ["rank", "degree"]
+
+
+class TestSingleField:
+    def test_put_get_roundtrip(self, store):
+        view = _view(store, SINGLE)
+        keys = np.arange(32, dtype=np.int64)
+        view.put_batch(keys, keys * 0.5)
+        batch = view.get_batch(keys)
+        assert batch.keys.dtype == np.int64
+        assert batch["rank"].dtype == np.float64
+        np.testing.assert_array_equal(batch["rank"], keys * 0.5)
+
+    def test_rows_store_bare_scalars(self, store):
+        view = _view(store, SINGLE)
+        view.put_batch([3, 4], [0.25, 0.75])
+        # per-key readers of the same table see plain floats, not tuples
+        assert view.table.get(3) == 0.25
+        assert isinstance(view.table.get(4), float)
+
+    def test_get_batch_default_fills_holes(self, store):
+        view = _view(store, SINGLE)
+        view.put_batch([1], [9.0])
+        batch = view.get_batch([1, 2], default=-1.0)
+        assert batch["rank"].tolist() == [9.0, -1.0]
+
+    def test_get_batch_absent_key_raises_without_default(self, store):
+        view = _view(store, SINGLE)
+        view.put_batch([1], [9.0])
+        with pytest.raises(KeyError, match="99"):
+            view.get_batch([1, 99])
+
+    def test_delete_batch(self, store):
+        view = _view(store, SINGLE)
+        keys = np.arange(8, dtype=np.int64)
+        view.put_batch(keys, np.ones(8))
+        view.delete_batch(keys[:4])
+        assert view.size() == 4
+        assert sorted(view.read_all().keys.tolist()) == [4, 5, 6, 7]
+
+
+class TestMultiField:
+    def test_roundtrip_and_tuple_storage(self, store):
+        view = _view(store, MULTI)
+        keys = np.asarray([5, 2, 9], dtype=np.int64)
+        view.put_batch(keys, [0.1, 0.2, 0.3], [10, 20, 30])
+        assert view.table.get(2) == (0.2, 20)
+        batch = view.get_batch([2, 5, 9])
+        assert batch["rank"].tolist() == [0.2, 0.1, 0.3]
+        assert batch["degree"].tolist() == [20, 10, 30]
+        assert list(batch.rows()) == [(2, 0.2, 20), (5, 0.1, 10), (9, 0.3, 30)]
+
+    def test_column_count_mismatch_raises(self, store):
+        view = _view(store, MULTI)
+        with pytest.raises(ValueError, match="2 fields"):
+            view.put_batch([1], [0.5])
+
+    def test_column_length_mismatch_raises(self, store):
+        view = _view(store, MULTI)
+        with pytest.raises(ValueError, match="degree"):
+            view.put_batch([1, 2], [0.5, 0.6], [7])
+
+
+class TestPartReads:
+    def test_read_all_sorted_ascending(self, store):
+        view = _view(store, SINGLE)
+        keys = np.asarray([9, 1, 5, 3], dtype=np.int64)
+        view.put_batch(keys, keys.astype(np.float64))
+        batch = view.read_all()
+        assert batch.keys.tolist() == [1, 3, 5, 9]
+        assert batch["rank"].tolist() == [1.0, 3.0, 5.0, 9.0]
+
+    def test_read_part_covers_the_table(self, store):
+        view = _view(store, SINGLE)
+        keys = np.arange(40, dtype=np.int64)
+        view.put_batch(keys, keys.astype(np.float64))
+        seen = []
+        for part in range(view.n_parts):
+            batch = view.read_part(part)
+            assert batch.keys.tolist() == sorted(batch.keys.tolist())
+            assert (view.part_of_many(batch.keys) == part).all()
+            seen.extend(batch.keys.tolist())
+        assert sorted(seen) == keys.tolist()
+
+
+class TestPartOfMany:
+    def test_matches_per_key_routing(self, store):
+        table = store.create_table(TableSpec(name="routing", n_parts=4))
+        keys = np.arange(-50, 50, dtype=np.int64)
+        vector = table.part_of_many(keys)
+        assert vector.tolist() == [table.part_of(int(k)) for k in keys]
+
+    def test_string_keys_fall_back_per_key(self, store):
+        table = store.create_table(TableSpec(name="routing_s", n_parts=4))
+        keys = np.asarray(["a", "bb", "ccc"], dtype=object)
+        vector = table.part_of_many(keys)
+        assert vector.tolist() == [table.part_of(k) for k in keys.tolist()]
+
+    def test_single_part_is_all_zeros(self, store):
+        table = store.create_table(TableSpec(name="one_part", n_parts=1))
+        assert table.part_of_many(np.arange(10)).tolist() == [0] * 10

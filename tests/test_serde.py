@@ -7,7 +7,14 @@ import threading
 import numpy as np
 from hypothesis import given, strategies as st
 
-from repro.serde import Codec, SerdeStats, deep_copy_via_marshal
+from repro.serde import (
+    Codec,
+    SerdeStats,
+    deep_copy_via_marshal,
+    pack_payload_column,
+    payload_column_array,
+    unpack_payload_column,
+)
 
 
 class TestCodec:
@@ -73,3 +80,65 @@ class TestCodec:
     )
     def test_roundtrip_identity_property(self, obj):
         assert deep_copy_via_marshal(obj) == obj
+
+
+class TestPayloadColumn:
+    """The spill codec's column packing (batch data plane)."""
+
+    def test_numpy_scalars_pack_to_typed_1d(self):
+        payloads = [np.float64(0.5), np.float64(1.5), np.float64(2.5)]
+        packed = pack_payload_column(payloads)
+        assert isinstance(packed, np.ndarray)
+        assert packed.ndim == 1 and packed.dtype == np.float64
+        unpacked = unpack_payload_column(packed)
+        assert unpacked == payloads
+        assert all(isinstance(p, np.float64) for p in unpacked)
+
+    def test_int64_scalars_pack(self):
+        packed = pack_payload_column([np.int64(7), np.int64(-3)])
+        assert isinstance(packed, np.ndarray) and packed.dtype == np.int64
+
+    def test_python_ints_never_pack(self):
+        # arbitrary-precision ints must not be coerced to a fixed dtype
+        payloads = [1, 2, 10**30]
+        assert pack_payload_column(payloads) is payloads
+
+    def test_mixed_dtypes_pass_through(self):
+        payloads = [np.float64(0.5), np.int64(1)]
+        assert pack_payload_column(payloads) is payloads
+
+    def test_same_shape_arrays_stack_to_2d(self):
+        rows = [np.asarray([1.0, 2.0]), np.asarray([3.0, 4.0])]
+        packed = pack_payload_column(rows)
+        assert isinstance(packed, np.ndarray) and packed.shape == (2, 2)
+        unpacked = unpack_payload_column(packed)
+        assert len(unpacked) == 2
+        assert np.array_equal(unpacked[0], rows[0])
+        assert np.array_equal(unpacked[1], rows[1])
+
+    def test_ragged_arrays_pass_through(self):
+        rows = [np.asarray([1.0, 2.0]), np.asarray([3.0])]
+        assert pack_payload_column(rows) is rows
+
+    def test_ndarray_input_passes_through(self):
+        col = np.arange(5, dtype=np.float64)
+        assert pack_payload_column(col) is col
+
+    def test_roundtrip_through_codec_preserves_dtype(self):
+        packed = pack_payload_column([np.float32(1.0), np.float32(2.0)])
+        restored = deep_copy_via_marshal(packed)
+        unpacked = unpack_payload_column(restored)
+        assert all(isinstance(p, np.float32) for p in unpacked)
+
+    def test_payload_column_array_contract(self):
+        assert payload_column_array(np.arange(3)) is not None
+        assert payload_column_array([1, 2, 3]) is None
+        assert payload_column_array(np.ones((2, 2))) is None  # 2-D: per-row
+        obj = np.empty(2, dtype=object)
+        obj[:] = [(1,), (2,)]
+        assert payload_column_array(obj) is None
+
+    def test_empty_column_passes_through(self):
+        empty: list = []
+        assert pack_payload_column(empty) is empty
+        assert unpack_payload_column(empty) == []
