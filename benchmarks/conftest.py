@@ -12,10 +12,16 @@ traced, so trace capture cannot skew the measurements.
 Pass ``--runtime KIND`` (or set ``RIPPLE_RUNTIME``) to run every
 benchmark's stores on that worker-runtime backend — ``threaded``
 (default), ``inline``, or ``process`` (multi-core).
+
+A benchmark that hangs (a recovery bug leaving a future unresolved, a
+respawn loop that never converges) dumps every thread's stack to
+stderr after ``RIPPLE_BENCH_HANG_TIMEOUT`` seconds (default 300; 0
+disables) so CI logs show *where* instead of timing out silently.
 """
 
 from __future__ import annotations
 
+import faulthandler
 import os
 from typing import Optional
 
@@ -52,6 +58,19 @@ def pytest_configure(config):
         # option reaches every store without threading it through each
         # benchmark module
         os.environ["RIPPLE_RUNTIME"] = runtime
+
+
+def pytest_runtest_setup(item):
+    # Arm a per-test watchdog: if the test is still running when the
+    # timer fires, every thread's traceback lands on stderr.  The run
+    # itself is not interrupted (exit=False is the default).
+    timeout = float(os.environ.get("RIPPLE_BENCH_HANG_TIMEOUT", "300"))
+    if timeout > 0:
+        faulthandler.dump_traceback_later(timeout, repeat=True)
+
+
+def pytest_runtest_teardown(item, nextitem):
+    faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,144 @@
+"""Superstep checkpoints: persist and restore a synchronized job mid-run.
+
+The fault-tolerance machinery in :mod:`repro.ebsp.recovery` survives the
+loss of *workers*; a checkpoint survives the loss of the *job*.  At
+configurable barrier intervals the engine captures everything a future
+engine needs to restart from that barrier — the progress table, final
+aggregator values, the sealed-but-undelivered transport spills, the
+spill ledger, every state table's contents, and the step timeline — and
+hands it to a :class:`CheckpointManager` to persist.
+
+Two backends:
+
+- **file** (``checkpoint_dir=...``): one atomically-replaced pickle per
+  job key, surviving the death of the whole process and its in-memory
+  store;
+- **store table** (durable stores, ``keeps_job_stats``): the payload
+  lives in the store's ``__ripple_checkpoints`` table, keyed by job key.
+
+Whichever backend holds the payload, a durable store additionally gets
+a small ``{"step", "bytes"}`` marker in ``__ripple_checkpoints`` so
+``inspect --stats`` can report the last checkpoint without unpickling
+anything.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.errors import JobSpecError
+
+#: Checkpoint payloads/markers by job key.  Like the job-stats table the
+#: name avoids the ``__ebsp`` per-job-scratch prefix: a checkpoint must
+#: outlive the run that wrote it.
+CHECKPOINT_TABLE = "__ripple_checkpoints"
+
+
+class CheckpointManager:
+    """Persists one job's superstep checkpoints under a stable key.
+
+    With *directory* set, payloads go to ``ckpt_<job_key>.pkl`` in that
+    directory (written to a temp file and :func:`os.replace`\\ d, so a
+    crash mid-write can never corrupt the previous checkpoint).
+    Without a directory the store itself must be durable
+    (``keeps_job_stats``) and the payload is stored in
+    :data:`CHECKPOINT_TABLE`.
+    """
+
+    def __init__(self, store: Any, job_key: str, directory: Optional[str] = None):
+        if not job_key:
+            raise JobSpecError("checkpointing needs a non-empty job_key")
+        self._store = store
+        self.job_key = job_key
+        self._dir = directory
+        self._durable = bool(getattr(store, "keeps_job_stats", False))
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        elif not self._durable:
+            raise JobSpecError(
+                "checkpointing needs a checkpoint_dir or a durable store "
+                "(this store does not keep job stats across runs)"
+            )
+
+    # -- backends ------------------------------------------------------------
+    def _path(self) -> str:
+        return os.path.join(self._dir, f"ckpt_{self.job_key}.pkl")
+
+    def _table(self) -> Any:
+        from repro.kvstore.api import TableSpec
+
+        return self._store.get_or_create_table(
+            TableSpec(name=CHECKPOINT_TABLE, n_parts=1)
+        )
+
+    # -- API -----------------------------------------------------------------
+    def save(self, step: int, payload: Dict[str, Any]) -> int:
+        """Persist *payload* as the checkpoint for completed *step*.
+
+        Returns the marshalled payload size in bytes.  Each save
+        replaces the previous checkpoint for this job key — resume
+        always restarts from the newest barrier that was captured.
+        """
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self._dir is not None:
+            path = self._path()
+            fd, tmp = tempfile.mkstemp(
+                prefix=f"ckpt_{self.job_key}.", suffix=".tmp", dir=self._dir
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        marker: Dict[str, Any] = {"step": step, "bytes": len(blob)}
+        if self._dir is None:
+            marker["blob"] = blob
+        if self._durable:
+            self._table().put(self.job_key, marker)
+        return len(blob)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The newest checkpoint payload for this job key, or ``None``."""
+        if self._dir is not None:
+            try:
+                with open(self._path(), "rb") as handle:
+                    return pickle.loads(handle.read())
+            except FileNotFoundError:
+                return None
+        marker = self._table().get(self.job_key)
+        if marker is None or "blob" not in marker:
+            return None
+        return pickle.loads(marker["blob"])
+
+    def last_step(self) -> Optional[int]:
+        """Completed step of the newest checkpoint, without unpickling it."""
+        if self._durable:
+            marker = self._table().get(self.job_key)
+            if marker is not None:
+                return marker["step"]
+        if self._dir is not None:
+            payload = self.load()
+            if payload is not None:
+                return payload["step"]
+        return None
+
+    def clear(self) -> None:
+        """Drop this job key's checkpoint (the job ran to completion)."""
+        if self._dir is not None:
+            try:
+                os.unlink(self._path())
+            except OSError:
+                pass
+        if self._durable:
+            try:
+                self._table().delete(self.job_key)
+            except Exception:
+                pass

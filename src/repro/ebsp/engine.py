@@ -44,6 +44,7 @@ from repro.errors import (
     ComputeError,
     JobSpecError,
     PropertyViolationError,
+    RecoveryError,
 )
 from repro.ebsp.job import (
     BaseContext,
@@ -535,6 +536,34 @@ class _StepConsumer(PartConsumer):
         return out
 
 
+class _DiscardSpillsConsumer(PartConsumer):
+    """Deletes every spill a failed part-step attempt already shipped.
+
+    Spill keys are ``(dest_part, step, src_part, seq)``; a failed
+    attempt's output is exactly the keys with its write step and its
+    source part, wherever they landed.  Shippable so the deletes run in
+    the parts' owner processes (one task per part, no data movement).
+    """
+
+    def __init__(self, write_step: int, src_part: int):
+        self._write_step = write_step
+        self._src_part = src_part
+        setattr(self, CONSUMER_SHIP_ATTR, True)
+
+    def process_part(self, part_index: int, view: Any) -> int:
+        doomed = [
+            key
+            for key, _ in view.items()
+            if key[1] == self._write_step and key[2] == self._src_part
+        ]
+        for key in doomed:
+            view.delete(key)
+        return len(doomed)
+
+    def combine(self, a: int, b: int) -> int:
+        return a + b
+
+
 class SyncEngine:
     """Executes one job, synchronously, over a given store."""
 
@@ -558,6 +587,10 @@ class SyncEngine:
         ship_compute: Optional[bool] = None,
         batch_compute: Optional[bool] = None,
         compute_batch_size: int = 65536,
+        checkpoint_interval: int = 0,
+        checkpoint_dir: Optional[str] = None,
+        job_key: Optional[str] = None,
+        resume: bool = False,
     ):
         self._store = store
         self._job = job
@@ -601,6 +634,25 @@ class SyncEngine:
         self._agg_values: Dict[str, Any] = {}
         self._direct_exporter = job.direct_output_exporter()
         self._jid = next(_job_ids)
+        # -- superstep checkpointing ----------------------------------
+        if checkpoint_interval < 0:
+            raise JobSpecError("checkpoint_interval must be >= 0")
+        self._checkpoint_interval = checkpoint_interval
+        self._resume = bool(resume)
+        if checkpoint_interval or resume:
+            if not fault_tolerance:
+                raise JobSpecError(
+                    "checkpointing/resume requires fault_tolerance=True "
+                    "(checkpoints capture the progress table and retained "
+                    "spills, which only exist under fault tolerance)"
+                )
+            from repro.ebsp.checkpoint import CheckpointManager
+
+            self._checkpoints: Optional[CheckpointManager] = CheckpointManager(
+                store, job_key or type(job).__name__, directory=checkpoint_dir
+            )
+        else:
+            self._checkpoints = None
 
         self._resolve_tables()
         # Baseline for the store's marshalling/batching statistics (when
@@ -634,6 +686,18 @@ class SyncEngine:
         self._is_shipped = False
         self._has_direct_exporter = self._direct_exporter is not None
         self._ship_parts = self._preflight_shipping(ship_compute)
+        # -- real crash tolerance -------------------------------------
+        # Simulated failures (SimulatedFailure) retry inside the part-step
+        # on every configuration; surviving a real worker death takes the
+        # whole stack: shipped part-steps (so a part-step failure is one
+        # future, not the job), per-part futures, and a store that mirrors
+        # resident parts parent-side so a respawned worker can be rebuilt.
+        self._ft_real = (
+            fault_tolerance
+            and self._ship_parts
+            and hasattr(self._transport, "submit_part_steps")
+            and bool(getattr(store, "crash_tolerance", False))
+        )
 
     def _preflight_shipping(self, ship_compute: Optional[bool]) -> bool:
         """Decide whether part-steps ship to worker processes.
@@ -691,6 +755,7 @@ class SyncEngine:
             "_spilled_per_step",
             "_part_cache",
             "_timeline",
+            "_checkpoints",
         ):
             state[name] = None
         return state
@@ -899,9 +964,19 @@ class SyncEngine:
             # they fetch the active tracer rather than being handed one.
             with activate(self._tracer):
                 with self._tracer.span("job", cat="engine", lane="driver", jid=self._jid):
-                    with self._tracer.span("load", cat="engine", lane="driver"):
-                        self._initialize()
-                    step = 0
+                    resumed_step = -1
+                    if self._resume:
+                        with self._tracer.span("resume", cat="engine", lane="driver"):
+                            resumed_step = self._restore_checkpoint()
+                    if resumed_step >= 0:
+                        # loaders already ran in the crashed execution;
+                        # only the output side needs its lifecycle begun
+                        if self._direct_exporter is not None:
+                            self._direct_exporter.begin()
+                    else:
+                        with self._tracer.span("load", cat="engine", lane="driver"):
+                            self._initialize()
+                    step = resumed_step + 1
                     aborted = False
                     while True:
                         if self._pending_records(step) == 0:
@@ -913,6 +988,12 @@ class SyncEngine:
                             break
                         self._run_step(step)
                         self._counters.add("barriers")
+                        if (
+                            self._checkpoints is not None
+                            and self._checkpoint_interval
+                            and (step + 1) % self._checkpoint_interval == 0
+                        ):
+                            self._write_checkpoint(step)
                         if self._job.has_aborter and self._job.aborter(step, dict(self._agg_values)):
                             steps_taken = step + 1
                             aborted = True
@@ -944,6 +1025,10 @@ class SyncEngine:
             record_job_trace(self._store, job_seq, result)
             self._export_outputs()
             self._job.on_complete(result)
+            if self._checkpoints is not None:
+                # the job reached its natural end; a later resume must
+                # not replay it from a stale barrier
+                self._checkpoints.clear()
             return result
         finally:
             self._cleanup()
@@ -961,6 +1046,80 @@ class SyncEngine:
         )
         registry.gauge("runtime.steals").set(stats.get("steals", 0))
         registry.gauge("runtime.gang_tasks").set(stats.get("gang_tasks", 0))
+        # Crash-tolerance counters: how many workers this job lost (and
+        # got back), and how many it killed for blowing a task deadline.
+        if stats.get("respawns"):
+            self._counters.add("worker_respawns", stats["respawns"])
+        if stats.get("worker_timeouts"):
+            self._counters.add("worker_timeouts", stats["worker_timeouts"])
+        if stats.get("degraded"):
+            self._counters.record_max("workers_degraded", len(stats["degraded"]))
+
+    # -- superstep checkpoints -------------------------------------------------
+    def _write_checkpoint(self, step: int) -> None:
+        """Capture everything a resume needs to restart after *step*."""
+        started = time.perf_counter()
+        with self._tracer.span("checkpoint", cat="engine", lane="driver", step=step):
+            with self._spill_lock:
+                ledger = {
+                    s: dict(per_part) for s, per_part in self._spilled_per_step.items()
+                }
+            counters, maxima = self._counters.split_snapshot()
+            payload = {
+                "job_key": self._checkpoints.job_key,
+                "step": step,
+                "agg_values": dict(self._agg_values),
+                "spill_ledger": ledger,
+                "transport": list(self._transport.items()),
+                "progress": list(self._progress.table.items()),
+                "state_tables": [list(table.items()) for table in self._state_tables],
+                "broadcast": dict(self._broadcast),
+                "timeline": list(self._timeline),
+                "counters": counters,
+                "maxima": maxima,
+            }
+            n_bytes = self._checkpoints.save(step, payload)
+        self._counters.add("checkpoints_written")
+        self._counters.add("checkpoint_bytes", n_bytes)
+        self._counters.registry.counter("engine.checkpoint_seconds", unit="seconds").add(
+            time.perf_counter() - started
+        )
+
+    def _restore_checkpoint(self) -> int:
+        """Restore the newest checkpoint; returns its completed step."""
+        payload = self._checkpoints.load()
+        if payload is None:
+            raise RecoveryError(
+                f"resume=True but no checkpoint exists for job key "
+                f"{self._checkpoints.job_key!r}"
+            )
+        step = payload["step"]
+        for table, items in zip(self._state_tables, payload["state_tables"]):
+            # the store may hold post-checkpoint (or pre-crash) state;
+            # the checkpoint's contents replace it wholesale
+            stale = [key for key, _ in table.items()]
+            if stale:
+                table.delete_many(stale)
+            if items:
+                table.put_many(items)
+        if payload["transport"]:
+            self._transport.put_many(payload["transport"])
+        if payload["progress"]:
+            self._progress.table.put_many(payload["progress"])
+        self._agg_values = dict(payload["agg_values"])
+        self._broadcast = dict(payload["broadcast"])
+        with self._spill_lock:
+            self._spilled_per_step = {
+                s: dict(per_part) for s, per_part in payload["spill_ledger"].items()
+            }
+        self._timeline = list(payload["timeline"])
+        for name, value in payload["counters"].items():
+            self._counters.add(name, value)
+        for name, value in payload["maxima"].items():
+            self._counters.record_max(name, value)
+        # 1-based so "resumed at step 0" is distinguishable from "no resume"
+        self._counters.add("resumed_from_step", step + 1)
+        return step
 
     def _initialize(self) -> None:
         if self._direct_exporter is not None:
@@ -993,9 +1152,12 @@ class SyncEngine:
             self._progress.mark_completed_many(skipped, step)
         with self._tracer.span("superstep", cat="engine", lane="driver", step=step) as step_span:
             with self._tracer.span("barrier", cat="engine", lane="driver", step=step):
-                result = self._transport.enumerate_parts(
-                    _StepConsumer(self, step), parts=active
-                )
+                if self._ft_real:
+                    result = self._enumerate_parts_ft(step, active)
+                else:
+                    result = self._transport.enumerate_parts(
+                        _StepConsumer(self, step), parts=active
+                    )
             # ---- the synchronization barrier has happened here ----
             t_barrier = time.perf_counter()
             step_span.annotate(
@@ -1049,6 +1211,11 @@ class SyncEngine:
                     partial = agg.merge(partial, agg.create())
                 result.agg_partials[name] = partial
         self._finish_aggregation(result.agg_partials, step)
+        if self._ft_real:
+            # retained part-step results have been folded; drop them
+            self._progress.clear_partials(
+                active if active is not None else list(range(self.n_parts)), step
+            )
         with self._spill_lock:
             self._spilled_per_step.pop(step, None)
 
@@ -1083,6 +1250,107 @@ class SyncEngine:
                 self._direct_exporter.export(key, value)
         if result.injected and self._failure_injector is not None:
             self._failure_injector.failures_injected += result.injected
+
+    # -- real-crash part-step recovery ---------------------------------------
+    def _enumerate_parts_ft(self, step: int, active: Optional[List[int]]) -> "_PartStepResult":
+        """One step's part-steps as individually re-drivable futures.
+
+        The crash-tolerant analogue of ``transport.enumerate_parts``:
+        each part-step is one future, and a future failing with
+        :class:`~repro.runtime.retry.WorkerLostError` (the worker died
+        or was killed for blowing its deadline) costs only that
+        part-step.  Recovery follows the paper's §IV-A outline against a
+        *real* crash: consult the progress table — a part that committed
+        before its worker died contributes its retained partial; a part
+        that did not gets the failed attempt's spills deleted and is
+        re-driven from its retained input spills, on whatever worker now
+        owns the part (the respawned child, or the parent after
+        degradation).  Results fold in part order, so recovery never
+        perturbs aggregation order.
+        """
+        from repro.runtime.retry import WorkerLostError
+
+        consumer = _StepConsumer(self, step)
+        parts = active if active is not None else list(range(self.n_parts))
+        pending = self._transport.submit_part_steps(consumer, parts=parts)
+        results: Dict[int, _PartStepResult] = {}
+        attempts: Dict[int, int] = {}
+        while pending:
+            still_pending: Dict[int, Any] = {}
+            for part, future in pending.items():
+                try:
+                    results[part] = future.result()
+                    continue
+                except WorkerLostError as exc:
+                    failure = exc
+                self._counters.add("part_step_retries")
+                attempts[part] = attempts.get(part, 0) + 1
+                if attempts[part] > self._max_retries:
+                    raise RecoveryError(
+                        f"part {part} failed step {step} {attempts[part]} times; "
+                        f"giving up: {failure}"
+                    ) from failure
+                try:
+                    if self._progress.completed_step(part) >= step:
+                        # committed, then died before its result frame
+                        # made it back: the retained partial is the fold
+                        # input
+                        partial = self._progress.recorded_partial(part, step)
+                        if partial is not None:
+                            results[part] = self._recovered_result(partial)
+                            continue
+                    self._discard_failed_writes(part, step)
+                    still_pending[part] = self._transport.submit_part_steps(
+                        consumer, parts=[part]
+                    )[part]
+                except WorkerLostError:
+                    # Recovery itself tripped over a dead worker — the
+                    # progress consult, discard, or resubmit landed in
+                    # another casualty's mid-respawn window.  Try again on
+                    # the next sweep, against the same retry budget, paced
+                    # so a slow respawn cannot drain the budget in a spin.
+                    from repro.runtime.api import finished_future
+
+                    time.sleep(min(0.1 * attempts[part], 1.0))
+                    still_pending[part] = finished_future(exception=failure)
+            pending = still_pending
+        combined: Optional[_PartStepResult] = None
+        for part in sorted(results):
+            combined = (
+                results[part]
+                if combined is None
+                else consumer.combine(combined, results[part])
+            )
+        return combined
+
+    def _recovered_result(self, partial: Dict[str, Any]) -> "_PartStepResult":
+        """Rebuild a committed part-step's fold input from its retained
+        partial (its worker died between commit and reporting)."""
+        result = _PartStepResult(
+            partial["agg"], partial["invocations"], partial["records_out"]
+        )
+        result.spills = partial["spills"]
+        result.counters = partial["counters"]
+        result.maxima = partial["maxima"]
+        result.outputs = partial["outputs"]
+        result.injected = partial["injected"]
+        return result
+
+    def _discard_failed_writes(self, part: int, step: int) -> None:
+        """Delete the spills a failed part-step attempt already shipped.
+
+        A dying part-step's *local* writes never survive (they ride the
+        mutation journal of the frame the worker never sent), but spills
+        it pushed to parts on *other* workers did land.  They are
+        addressable without any record of the failed attempt: everything
+        the part-step wrote carries transport keys
+        ``(dest, step+1, src_part=part, seq)``.
+        """
+        discarded = self._transport.enumerate_parts(
+            _DiscardSpillsConsumer(step + 1, part)
+        )
+        if discarded:
+            self._counters.add("spills_discarded", discarded)
 
     def _finish_aggregation(self, merged_partials: Dict[str, Any], step: int) -> None:
         """Make aggregation results readable in the following step.
@@ -1370,6 +1638,37 @@ class SyncEngine:
                 # outputs ride back on the result instead
                 for key, value in ctx.direct_outputs:
                     self._direct_exporter.export(key, value)
+            if self._ft_real and self._is_shipped:
+                # Retain the fold input next to the completion mark (same
+                # part of the progress table, same worker, same mutation
+                # journal): if this worker dies after committing but
+                # before its result frame reaches the parent, recovery
+                # reads the partial instead of re-driving inputs this
+                # commit just deleted.  Cleared after the step's fold.
+                with self._spill_lock:
+                    spills = {
+                        s: dict(per_part)
+                        for s, per_part in self._spilled_per_step.items()
+                    }
+                counters, maxima = self._counters.split_snapshot()
+                self._progress.record_partial(
+                    part,
+                    step,
+                    {
+                        "agg": ctx.agg_partials,
+                        "invocations": ctx.invocations,
+                        "records_out": writer.records_written,
+                        "spills": spills,
+                        "outputs": ctx.direct_outputs,
+                        "counters": counters,
+                        "maxima": maxima,
+                        "injected": (
+                            self._failure_injector.failures_injected
+                            if self._failure_injector is not None
+                            else 0
+                        ),
+                    },
+                )
             self._progress.mark_completed(part, step)
 
     def _attempt_part_step_no_collect(self, part: int, view: Any, step: int) -> _PartStepResult:

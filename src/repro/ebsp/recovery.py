@@ -22,8 +22,11 @@ part-step crash a chosen number of times.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
-from typing import Dict, List, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import RecoveryError
 from repro.kvstore.api import KVStore, Table, TableSpec
@@ -80,9 +83,104 @@ class FailureInjector:
         self.failures_injected = state["failures_injected"]
 
 
-def _progress_part(part: int) -> int:
-    """Progress-table key hash (module-level so the spec pickles)."""
-    return part
+class ProcessFailureInjector:
+    """Chaos injector that really kills worker processes (and hangs them).
+
+    Where :class:`FailureInjector` raises an exception inside a live
+    worker, this one SIGKILLs the worker process mid-part-step, or
+    sleeps past the runtime's task deadline so the parent kills it.  A
+    ``delay`` keeps the sleep *under* the deadline — a straggler, not a
+    casualty.
+
+    The claim ledger lives in token files under *token_dir* rather than
+    in memory: a claim must survive the claiming process's own SIGKILL,
+    or the re-driven part-step would claim again and die again, forever.
+    ``check(part, step)`` is driven by the engine's existing mid-step
+    injection hook, so every injected crash lands after state writes
+    have been buffered — recovery has something real to discard.
+    """
+
+    def __init__(self, token_dir: str):
+        self._token_dir = token_dir
+        self._plan: Dict[Tuple[int, int], List[Tuple[str, float, str]]] = {}
+        self.failures_injected = 0
+
+    def schedule_kill(self, part: int, step: int, times: int = 1) -> None:
+        """SIGKILL the worker running this part-step, *times* times."""
+        self._schedule("kill", part, step, 0.0, times)
+
+    def schedule_hang(self, part: int, step: int, seconds: float, times: int = 1) -> None:
+        """Sleep *seconds* mid-part-step (pick it past the task deadline)."""
+        self._schedule("hang", part, step, seconds, times)
+
+    def schedule_delay(self, part: int, step: int, seconds: float, times: int = 1) -> None:
+        """Sleep *seconds* mid-part-step (pick it under the task deadline)."""
+        self._schedule("delay", part, step, seconds, times)
+
+    def _schedule(self, kind: str, part: int, step: int, seconds: float, times: int) -> None:
+        if times <= 0:
+            raise ValueError("times must be positive")
+        entries = self._plan.setdefault((part, step), [])
+        for _ in range(times):
+            entries.append((kind, seconds, f"{kind}_{part}_{step}_{len(entries)}.token"))
+
+    def check(self, part: int, step: int) -> None:
+        for kind, seconds, token in self._plan.get((part, step), ()):
+            path = os.path.join(self._token_dir, token)
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue  # this occurrence already fired (possibly pre-crash)
+            os.close(fd)
+            self.failures_injected += 1
+            if kind == "kill":
+                from repro.runtime.process import current_child_context
+
+                if current_child_context() is not None:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                # Thread/inline mode: killing the pid would take the whole
+                # job down, so degrade to the simulated-crash path.
+                raise SimulatedFailure(part, step)
+            time.sleep(seconds)
+
+    def claimed(self, kind: Optional[str] = None) -> int:
+        """How many scheduled occurrences actually fired (parent-readable).
+
+        The in-memory ``failures_injected`` count dies with the killed
+        process; the token files are the durable record.
+        """
+        count = 0
+        for entries in self._plan.values():
+            for entry_kind, _, token in entries:
+                if kind is not None and entry_kind != kind:
+                    continue
+                if os.path.exists(os.path.join(self._token_dir, token)):
+                    count += 1
+        return count
+
+    def __getstate__(self) -> dict:
+        # Like FailureInjector: shipped copies start at zero so child-side
+        # counts fold back into the parent as deltas.
+        return {
+            "_token_dir": self._token_dir,
+            "_plan": dict(self._plan),
+            "failures_injected": 0,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._token_dir = state["_token_dir"]
+        self._plan = state["_plan"]
+        self.failures_injected = state["failures_injected"]
+
+
+def _progress_part(key: Any) -> int:
+    """Progress-table key hash (module-level so the spec pickles).
+
+    Plain int keys are completion marks; ``("partial", part, step)``
+    tuples are retained part-step results.  Both hash to the part so a
+    part's whole recovery record lives in one partition.
+    """
+    return key[1] if isinstance(key, tuple) else key
 
 
 class ProgressTable:
@@ -126,7 +224,29 @@ class ProgressTable:
         return -1 if value is None else value
 
     def min_completed_step(self) -> int:
-        return min(self.completed_step(p) for p in range(self._n_parts))
+        # One batched get (one marshalled request per touched partition)
+        # instead of a round-trip per part.
+        parts = list(range(self._n_parts))
+        found = self._table.get_many(parts)
+        return min(-1 if found.get(part) is None else found[part] for part in parts)
+
+    def record_partial(self, part: int, step: int, payload: dict) -> None:
+        """Retain a committed part-step's foldable result.
+
+        Written just *before* the completion mark, on the worker that ran
+        the part-step: if the worker dies after committing but before its
+        result frame reaches the parent, the engine recovers the fold
+        input from here instead of re-driving inputs it already deleted.
+        """
+        self._table.put(("partial", part, step), payload)
+
+    def recorded_partial(self, part: int, step: int) -> Optional[dict]:
+        return self._table.get(("partial", part, step))
+
+    def clear_partials(self, parts: List[int], step: int) -> None:
+        """Drop retained results once the superstep's fold has consumed them."""
+        if parts:
+            self._table.delete_many(("partial", part, step) for part in parts)
 
     @property
     def table(self) -> Table:

@@ -216,6 +216,40 @@ class JobResult:
         compact = self.counters.get("codec_sample_compact_bytes", 0)
         return raw - compact if raw else 0
 
+    # -- crash tolerance (paper §IV-A, real failures) -----------------------
+    @property
+    def worker_respawns(self) -> int:
+        """Worker processes that died (or were killed for blowing a task
+        deadline) and were respawned during this job."""
+        return self.counters.get("worker_respawns", 0)
+
+    @property
+    def part_step_retries(self) -> int:
+        """Part-step attempts that failed (simulated failure, worker
+        loss, or deadline kill) and were re-driven from retained spills."""
+        return self.counters.get("part_step_retries", 0)
+
+    @property
+    def worker_timeouts(self) -> int:
+        """Tasks killed for exceeding the runtime's task deadline."""
+        return self.counters.get("worker_timeouts", 0)
+
+    @property
+    def checkpoints_written(self) -> int:
+        """Superstep checkpoints persisted during this run."""
+        return self.counters.get("checkpoints_written", 0)
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        """Total marshalled bytes across this run's checkpoints."""
+        return self.counters.get("checkpoint_bytes", 0)
+
+    @property
+    def resumed_from_step(self) -> int:
+        """1-based step this run resumed after (0 = started fresh): a
+        value of *n* means supersteps 0..n−1 came from a checkpoint."""
+        return self.counters.get("resumed_from_step", 0)
+
     # -- phase attribution (repro.obs) --------------------------------------
     @property
     def phase_seconds(self) -> Dict[str, float]:
@@ -274,6 +308,11 @@ _RECORDED_COUNTERS = (
     "codec_sample_raw_bytes",
     "codec_sample_compact_bytes",
     "store_marshalled_bytes",
+    "part_step_retries",
+    "worker_respawns",
+    "worker_timeouts",
+    "checkpoints_written",
+    "checkpoint_bytes",
 )
 
 

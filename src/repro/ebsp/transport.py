@@ -160,6 +160,23 @@ def create_transport_table(store: KVStore, name: str, n_parts: int) -> Table:
     )
 
 
+def step_spills(view: Any, step: int) -> List[Tuple[tuple, Any]]:
+    """One part's spills for *step*, in deterministic key order.
+
+    A part's spills arrive concurrently from many source parts, so the
+    view's insertion order — and with it per-destination message fold
+    order — varies run to run.  Sorting the consumed keys (all-int
+    ``(dest_part, step, src_part, seq)`` tuples, so the order is
+    ``(src_part, seq)`` ascending) makes every collect path consume the
+    same spills in the same order on every run, which is what lets the
+    fault-recovery ablation demand byte-identical results across
+    crash-free and crash-riddled executions.
+    """
+    matched = [(key, value) for key, value in view.items() if key[1] == step]
+    matched.sort(key=lambda pair: pair[0])
+    return matched
+
+
 class SpillWriter:
     """Accumulates outgoing records per destination part and spills them.
 
@@ -557,9 +574,7 @@ def scan_step_records_no_collect(
     deliveries: List[Tuple[Any, Any]] = []
     creations: List[Tuple[Any, int, Any]] = []
     consumed: List[tuple] = []
-    for key, records in view.items():
-        if key[1] != step:
-            continue
+    for key, records in step_spills(view, step):
         consumed.append(key)
         for record in iter_spill_records(records):
             kind = record[0]
@@ -645,9 +660,7 @@ def collect_step_columns(view: Any, step: int) -> StepColumns:
     vectorized form (:func:`group_step_columns`).
     """
     cols = StepColumns()
-    for key, value in view.items():
-        if key[1] != step:
-            continue
+    for key, value in step_spills(view, step):
         cols.consumed.append(key)
         if is_compact_spill(value):
             _, msg_keys, msg_payloads, cont_keys, creates = value
@@ -781,9 +794,7 @@ def collect_step_records(
     """
     bundles: Dict[Any, CombiningBundle] = {}
     consumed: List[tuple] = []
-    for key, records in view.items():
-        if key[1] != step:
-            continue
+    for key, records in step_spills(view, step):
         consumed.append(key)
         for record in iter_spill_records(records):
             kind = record[0]

@@ -73,7 +73,12 @@ from repro.kvstore.api import (
 from repro.kvstore.local import fold_part_results, resolve_n_parts
 from repro.kvstore.memory_table import make_part
 from repro.runtime import RuntimeSpec, resolve_runtime, shippable
-from repro.runtime.process import child_upcall_async, current_child_context
+from repro.runtime.process import (
+    child_upcall_async,
+    current_child_context,
+    journal_append,
+    journal_enabled,
+)
 from repro.runtime.shipping import CONSUMER_SHIP_ATTR, ShippingError
 from repro.serde import Codec, SerdeStats
 
@@ -181,7 +186,12 @@ def _resolve_part(uid: str, part_index: int, ordered: bool) -> "_LockedPart":
     with _REGISTRY_LOCK:
         part = _PART_REGISTRY.get(key)
         if part is None:
-            part = _LockedPart(make_part(ordered), threading.RLock())
+            if journal_enabled():
+                # Crash-tolerant store: every mutation of a resident part
+                # is journaled back to the parent mirror.
+                part = _JournaledPart(make_part(ordered), threading.RLock(), uid, part_index)
+            else:
+                part = _LockedPart(make_part(ordered), threading.RLock())
             _PART_REGISTRY[key] = part
     return part
 
@@ -191,6 +201,16 @@ def _registry_drop(uid: str, n_parts: int) -> None:
     with _REGISTRY_LOCK:
         for part_index in range(n_parts):
             _PART_REGISTRY.pop((uid, part_index), None)
+
+
+@shippable
+def _registry_load(uid: str, part_index: int, ordered: bool, items: list) -> int:
+    """Rebuild one resident part from parent-mirror items (worker respawn)."""
+    part = _resolve_part(uid, part_index, ordered)
+    part.clear()
+    for key, value in items:
+        part.put(key, value)
+    return len(items)
 
 
 class _PartPointer:
@@ -250,6 +270,39 @@ class _LockedPart(PartView):
             self._part.clear()  # type: ignore[attr-defined]
 
 
+class _JournaledPart(_LockedPart):
+    """A resident part that journals every mutation for the parent mirror.
+
+    The journal entry is recorded under the part lock, so journal order
+    is exactly the applied order — which is what lets the parent replay
+    it into a plain dict and get a byte-faithful copy (including dict
+    insertion order, which enumeration order — and therefore message
+    fold order — depends on).
+    """
+
+    __slots__ = ("_uid", "_part_index")
+
+    def __init__(self, part: PartView, lock: threading.RLock, uid: str, part_index: int):
+        super().__init__(part, lock)
+        self._uid = uid
+        self._part_index = part_index
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            journal_append((self._uid, self._part_index, "put", key, value))
+            self._part.put(key, value)
+
+    def delete(self, key: Any) -> bool:
+        with self._lock:
+            journal_append((self._uid, self._part_index, "del", key, None))
+            return self._part.delete(key)
+
+    def clear(self) -> None:
+        with self._lock:
+            journal_append((self._uid, self._part_index, "clear", None, None))
+            self._part.clear()  # type: ignore[attr-defined]
+
+
 class _Partition:
     """One emulated partition: its lock and the local data of its parts."""
 
@@ -277,9 +330,23 @@ class _PartHandle(PartView):
         self._part_index = part_index
 
     def _ship(self, fn: Callable[..., Any], *args: Any) -> Any:
-        return self._table._store.runtime.submit(
-            self._part_index, fn, self, *args
-        ).result()
+        store = self._table._store
+        runtime = store.runtime
+        if getattr(runtime, "is_degraded", None) and runtime.is_degraded(self._part_index):
+            view = self._table._views[self._part_index]
+            if view is not self:
+                # Crash-tolerant degrade swapped in a parent-side part
+                # rebuilt from the mirror; run the op on it directly.
+                return fn(view, *args)
+            # Without crash tolerance there is no parent-side copy to fall
+            # back on; the threaded fallback would hand fn this handle and
+            # recurse into _ship forever.  Fail with the real story instead.
+            raise ShippingError(
+                f"part {self._part_index} of table {self._table.name!r} lived in "
+                "a worker process that died permanently; the store was built "
+                "with crash_tolerance=False, so its data is gone"
+            )
+        return runtime.submit(self._part_index, fn, self, *args).result()
 
     def get(self, key: Any) -> Any:
         return self._ship(_op_get, key)
@@ -770,6 +837,26 @@ class PartitionedTable(Table):
 
         return fold_part_results(consumer, self._gather_long(indices, _run))
 
+    def submit_part_steps(
+        self, consumer: PartConsumer, parts: Optional[Iterable[int]] = None
+    ) -> dict:
+        """Dispatch a shipped consumer per part; return ``{part: Future}``.
+
+        The fault-tolerant engine's building block: unlike
+        :meth:`enumerate_parts` it hands back the individual futures, so
+        a worker loss fails only that part's future and the caller can
+        re-drive just the lost part-steps.  Each submission pickles the
+        consumer fresh, so a re-driven part-step starts from a clean copy.
+        """
+        self._check()
+        if not self._store._process_mode or not getattr(consumer, CONSUMER_SHIP_ATTR, False):
+            raise ShippingError(
+                f"table {self.name!r}: submit_part_steps needs a process runtime "
+                "and a shippable consumer"
+            )
+        indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
+        return {i: self._submit_long(i, _enum_parts_op, consumer) for i in indices}
+
     def enumerate_pairs(self, consumer: PairConsumer, parts: Optional[Iterable[int]] = None) -> Any:
         self._check()
         indices = list(range(self.n_parts)) if parts is None else sorted(set(parts))
@@ -880,6 +967,13 @@ class PartitionedKVStore(KVStore):
         ``"inline"`` (deterministic single-threaded debugging mode), or
         a :class:`~repro.runtime.WorkerRuntime` instance with one
         worker per partition.  The store owns the runtime and closes it.
+    crash_tolerance:
+        Keep a parent-side mirror of every process-resident part (fed by
+        the per-task mutation journal each worker ships back), so a
+        worker killed mid-job can be respawned and its part residency
+        rebuilt — or, when its respawn budget runs out, its parts can be
+        served from the parent.  Requires a process runtime; pair it
+        with a :class:`~repro.runtime.RetryPolicy` on the runtime.
     """
 
     def __init__(
@@ -887,6 +981,7 @@ class PartitionedKVStore(KVStore):
         n_partitions: int = 6,
         default_n_parts: Optional[int] = None,
         runtime: "RuntimeSpec" = None,
+        crash_tolerance: bool = False,
     ):
         if n_partitions <= 0:
             raise ValueError("n_partitions must be positive")
@@ -906,6 +1001,92 @@ class PartitionedKVStore(KVStore):
         self.ships_compute = self._process_mode
         if self._process_mode:
             self.runtime.attach_serde_stats(self.stats)
+        self.crash_tolerance = False
+        self._tables_by_uid: dict = {}
+        if crash_tolerance:
+            if not self._process_mode:
+                raise ValueError(
+                    "crash_tolerance=True requires a process runtime: thread-"
+                    "backed parts share the parent's memory and cannot be lost"
+                )
+            self.crash_tolerance = True
+            # {(table_uid, part_index): {key: value}} — insertion-order-
+            # faithful replicas of the resident parts, fed by journals.
+            self._mirrors: dict = {}
+            self._mirror_lock = threading.Lock()
+            self.runtime.attach_journal_sink(self._apply_journal)
+            self.runtime.add_rebuild_hook(self._rebuild_worker)
+            self.runtime.add_degrade_hook(self._degrade_worker)
+
+    # -- crash tolerance -----------------------------------------------------
+    def _apply_journal(self, entries: list) -> None:
+        """Fold one task's mutation journal into the parent mirrors.
+
+        Called by the runtime's listener threads *before* the task's
+        future resolves, so any caller holding a result observes a
+        mirror at least as new as the writes that produced it.
+        """
+        with self._mirror_lock:
+            mirrors = self._mirrors
+            for uid, part_index, op, key, value in entries:
+                mirror = mirrors.get((uid, part_index))
+                if mirror is None:
+                    mirror = mirrors[(uid, part_index)] = {}
+                if op == "put":
+                    mirror[key] = value
+                elif op == "del":
+                    mirror.pop(key, None)
+                else:  # "clear"
+                    mirror.clear()
+
+    def _rebuild_worker(self, worker: int) -> None:
+        """Reload a respawned worker's part residency from the mirrors."""
+        runtime = self.runtime
+        with self._lock:
+            tables = list(self._tables_by_uid.values())
+        futures = []
+        for table in tables:
+            for part_index in range(table.n_parts):
+                if runtime.worker_of(part_index) != worker:
+                    continue
+                with self._mirror_lock:
+                    mirror = self._mirrors.get((table._uid, part_index))
+                    items = list(mirror.items()) if mirror else None
+                if items is None:
+                    continue  # never written — the fresh child recreates it empty
+                futures.append(
+                    runtime.submit(
+                        part_index, _registry_load, table._uid, part_index, table.ordered, items
+                    )
+                )
+        for future in futures:
+            future.result()
+
+    def _degrade_worker(self, worker: int) -> None:
+        """Move a permanently-failed worker's parts into the parent.
+
+        Each part is rebuilt from its mirror as a plain locked part,
+        installed both in the parent's process-global registry (so
+        upcall payloads unpickling a part pointer here find the real
+        data) and in the table's view list (so parent-side operations
+        run against it directly via the runtime's threaded fallback).
+        """
+        runtime = self.runtime
+        with self._lock:
+            tables = list(self._tables_by_uid.values())
+        for table in tables:
+            for part_index in range(table.n_parts):
+                if runtime.worker_of(part_index) != worker:
+                    continue
+                with self._mirror_lock:
+                    mirror = self._mirrors.pop((table._uid, part_index), None)
+                local = _LockedPart(make_part(table.ordered), threading.RLock())
+                if mirror:
+                    for key, value in mirror.items():
+                        local.put(key, value)
+                with _REGISTRY_LOCK:
+                    _PART_REGISTRY[(table._uid, part_index)] = local
+                table._views[part_index] = local
 
     @property
     def default_n_parts(self) -> int:
@@ -921,17 +1102,28 @@ class PartitionedKVStore(KVStore):
                 raise TableExistsError(spec.name)
             table = PartitionedTable(spec, n_parts, self)
             self._tables[spec.name] = table
+            if self.crash_tolerance:
+                self._tables_by_uid[table._uid] = table
             return table
 
     def drop_table(self, name: str) -> None:
         with self._lock:
             table = self._tables.pop(name, None)
+            if table is not None:
+                self._tables_by_uid.pop(table._uid, None)
         if table is None:
             raise NoSuchTableError(name)
         table._mark_dropped()
         for partition in self._partitions:
             with partition.lock:
                 partition.parts.pop(name, None)
+        if self.crash_tolerance:
+            with self._mirror_lock:
+                for key in [k for k in self._mirrors if k[0] == table._uid]:
+                    del self._mirrors[key]
+            # Degraded parts live in the *parent's* registry; drop them here
+            # (the shipped drop below only reaches live workers).
+            _registry_drop(table._uid, table.n_parts)
         if self._process_mode:
             # Evict the resident parts from every spawned worker.  The
             # uid keying already isolates a recreated table; this frees

@@ -32,6 +32,7 @@ from repro.runtime.api import (
 )
 from repro.runtime.inline import InlineRuntime
 from repro.runtime.process import ProcessRuntime
+from repro.runtime.retry import RetryPolicy, TaskTimeoutError, WorkerLostError
 from repro.runtime.shipping import ShippingError, ensure_picklable, is_shippable, shippable
 from repro.runtime.threaded import ThreadedRuntime
 
@@ -40,6 +41,9 @@ __all__ = [
     "ThreadedRuntime",
     "InlineRuntime",
     "ProcessRuntime",
+    "RetryPolicy",
+    "WorkerLostError",
+    "TaskTimeoutError",
     "RuntimeClosedError",
     "RuntimeSpec",
     "ShippingError",

@@ -286,6 +286,14 @@ def stats_delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]
     }
     for key in ("tasks", "busy_seconds", "steals", "gang_tasks", "gang_busy_seconds"):
         delta[key] = after.get(key, 0) - before.get(key, 0)
+    # Crash-tolerance counters exist only on runtimes that respawn
+    # workers; pass them through as deltas (and the degraded set as-is —
+    # degradation is one-way, so the *after* membership is the fact).
+    for key in ("respawns", "worker_timeouts"):
+        if key in after:
+            delta[key] = after.get(key, 0) - before.get(key, 0)
+    if "degraded" in after:
+        delta["degraded"] = list(after["degraded"])
     before_workers = {w["worker"]: w for w in before.get("workers", [])}
     workers = []
     for w in after.get("workers", []):

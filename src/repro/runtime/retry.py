@@ -1,0 +1,94 @@
+"""Retry policy and failure types for crash-tolerant worker runtimes.
+
+A :class:`RetryPolicy` tells a runtime how to treat a worker process
+that dies (SIGKILL, OOM, segfault) or hangs past its task deadline:
+how many times to respawn it, how long to back off between attempts,
+and when to give up and degrade the worker to parent-side execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.shipping import ShippingError
+
+__all__ = ["RetryPolicy", "WorkerLostError", "TaskTimeoutError"]
+
+
+class WorkerLostError(ShippingError):
+    """A worker process died while tasks were in flight.
+
+    Raised into the futures of every task that was pending on the dead
+    worker.  The message names the worker index, the dead pid, and what
+    the runtime did about it (respawned / degraded / gave up).
+    """
+
+
+class TaskTimeoutError(WorkerLostError):
+    """A task exceeded its :attr:`RetryPolicy.task_deadline`.
+
+    The runtime kills the hung worker, so the timeout surfaces as a
+    special case of worker loss: the future of the overdue task fails
+    with this error while innocent-bystander tasks on the same worker
+    fail with plain :class:`WorkerLostError`.
+    """
+
+
+class RetryPolicy:
+    """How a runtime responds to dead and hung workers.
+
+    Parameters
+    ----------
+    task_deadline:
+        Seconds a single task may run on a worker before the worker is
+        presumed hung and killed.  ``None`` (default) disables deadline
+        monitoring.
+    max_respawns:
+        Total respawn attempts per worker over the runtime's lifetime
+        (the count never resets on success, so a crash-looping worker
+        cannot respawn forever).  Once exhausted, the worker degrades
+        to parent-side thread execution.  ``0`` degrades on the first
+        death, which is the deterministic way to exercise degradation
+        in tests.
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff between respawn attempts: attempt *n*
+        (0-based) sleeps ``min(backoff_base * backoff_factor**n,
+        backoff_max)`` seconds before forking.
+    """
+
+    __slots__ = (
+        "task_deadline",
+        "max_respawns",
+        "backoff_base",
+        "backoff_factor",
+        "backoff_max",
+    )
+
+    def __init__(
+        self,
+        *,
+        task_deadline: Optional[float] = None,
+        max_respawns: int = 3,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 2.0,
+    ):
+        if task_deadline is not None and task_deadline <= 0:
+            raise ValueError("task_deadline must be positive (or None to disable)")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        self.task_deadline = task_deadline
+        self.max_respawns = max_respawns
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Seconds to sleep before respawn *attempt* (0-based)."""
+        return min(self.backoff_base * (self.backoff_factor ** attempt), self.backoff_max)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(task_deadline={self.task_deadline}, "
+            f"max_respawns={self.max_respawns})"
+        )

@@ -54,7 +54,24 @@ def _stats_doc(store: PersistentKVStore) -> Dict[str, Any]:
         jobs = dict(store.get_table(JOB_STATS_TABLE).items())
         if jobs:
             doc["jobs"] = jobs
+    checkpoints = _checkpoint_markers(store)
+    if checkpoints:
+        doc["checkpoints"] = checkpoints
     return doc
+
+
+def _checkpoint_markers(store: PersistentKVStore) -> Dict[str, Dict[str, Any]]:
+    """Last-checkpoint markers by job key (blobs elided — only the
+    ``step``/``bytes`` facts are reportable)."""
+    from repro.ebsp.checkpoint import CHECKPOINT_TABLE
+
+    if not store.has_table(CHECKPOINT_TABLE):
+        return {}
+    return {
+        str(job_key): {"step": marker["step"], "bytes": marker["bytes"]}
+        for job_key, marker in store.get_table(CHECKPOINT_TABLE).items()
+        if isinstance(marker, dict) and "step" in marker
+    }
 
 
 def _print_stats(store: PersistentKVStore) -> None:
@@ -88,6 +105,12 @@ def _print_stats(store: PersistentKVStore) -> None:
         print(f"  gang tasks:       {rt['gang_tasks']}")
         if rt["steals"]:
             print(f"  messages stolen:  {rt['steals']}")
+        if rt.get("respawns"):
+            print(f"  worker respawns:  {rt['respawns']}")
+        if rt.get("worker_timeouts"):
+            print(f"  task timeouts:    {rt['worker_timeouts']}")
+        if rt.get("degraded"):
+            print(f"  degraded workers: {sorted(rt['degraded'])}")
         if rt.get("pids"):
             pairs = ", ".join(
                 f"{worker}→{pid}" for worker, pid in sorted(rt["pids"].items())
@@ -116,6 +139,18 @@ def _print_job_stats(store: PersistentKVStore) -> None:
     compact = stats.get("codec_sample_compact_bytes", 0)
     if raw:
         print(f"  codec sample:          {raw} raw / {compact} compact bytes")
+    if stats.get("part_step_retries"):
+        print(f"  part-step retries:     {stats['part_step_retries']}")
+    if stats.get("worker_respawns"):
+        print(f"  worker respawns:       {stats['worker_respawns']}")
+    if stats.get("worker_timeouts"):
+        print(f"  worker timeouts:       {stats['worker_timeouts']}")
+    if stats.get("checkpoints_written"):
+        print(f"  checkpoints written:   {stats['checkpoints_written']}"
+              f" ({stats.get('checkpoint_bytes', 0)} bytes)")
+    for job_key, marker in sorted(_checkpoint_markers(store).items()):
+        print(f"  last checkpoint:       {job_key!r} @ step {marker['step']}"
+              f" ({marker['bytes']} bytes)")
 
 
 def _load_job_record(

@@ -10,16 +10,25 @@ picklability preflight diagnostics, and child-process cleanup.
 from __future__ import annotations
 
 import os
+import signal
 import subprocess
 import sys
 import textwrap
+import threading
 import time
 
 import pytest
 
 from repro.kvstore.api import PartConsumer, TableSpec
 from repro.kvstore.partitioned import PartitionedKVStore
-from repro.runtime import ProcessRuntime, RuntimeClosedError, stats_delta
+from repro.runtime import (
+    ProcessRuntime,
+    RetryPolicy,
+    RuntimeClosedError,
+    TaskTimeoutError,
+    WorkerLostError,
+    stats_delta,
+)
 from repro.runtime.shipping import (
     CONSUMER_SHIP_ATTR,
     ShippingError,
@@ -42,6 +51,17 @@ def _add(a, b):
 @shippable
 def _boom():
     raise ValueError("kaboom")
+
+
+@shippable
+def _suicide():
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@shippable
+def _sleep(seconds):
+    time.sleep(seconds)
+    return seconds
 
 
 class _PidConsumer(PartConsumer):
@@ -256,6 +276,90 @@ class TestLifecycle:
             time.sleep(0.25)
         leaked = [p for p in pids if _pid_alive(p)]
         pytest.fail(f"orphaned worker processes still alive: {leaked}")
+
+
+class TestCrashTolerance:
+    """Real-crash behaviour under a retry policy: SIGKILL, deadlines,
+    respawn accounting, degradation, and leak-free teardown."""
+
+    def test_sigkill_mid_task_respawns_worker(self):
+        runtime = ProcessRuntime(
+            2, name="ct", retry_policy=RetryPolicy(max_respawns=2)
+        )
+        try:
+            first = runtime.submit(0, _remote_pid).result(timeout=30)
+            with pytest.raises(WorkerLostError) as info:
+                runtime.submit(0, _suicide).result(timeout=30)
+            message = str(info.value)
+            assert str(first) in message  # names the dead pid
+            assert "respawn" in message  # and what happens next
+            # the respawned worker serves fresh tasks under a new pid
+            second = runtime.submit(0, _remote_pid).result(timeout=30)
+            assert second != first
+            assert runtime.stats()["respawns"] >= 1
+            assert not runtime.is_degraded(0)
+        finally:
+            runtime.close()
+
+    def test_hang_past_deadline_is_killed_and_times_out(self):
+        runtime = ProcessRuntime(
+            2,
+            name="ct",
+            retry_policy=RetryPolicy(task_deadline=1.0, max_respawns=2),
+        )
+        try:
+            with pytest.raises(TaskTimeoutError, match="deadline"):
+                runtime.submit_long(1, _sleep, 30.0).result(timeout=60)
+            assert runtime.stats()["worker_timeouts"] >= 1
+            # a fresh child picks the lane back up well within the deadline
+            assert runtime.submit(1, _add, 2, 3).result(timeout=30) == 5
+        finally:
+            runtime.close()
+
+    def test_budget_exhaustion_degrades_to_parent(self):
+        runtime = ProcessRuntime(
+            2, name="ct", retry_policy=RetryPolicy(max_respawns=0)
+        )
+        try:
+            child = runtime.submit(0, _remote_pid).result(timeout=30)
+            assert child != os.getpid()
+            with pytest.raises(WorkerLostError, match="degrad"):
+                runtime.submit(0, _suicide).result(timeout=30)
+            deadline = time.monotonic() + 15
+            while not runtime.is_degraded(0):
+                assert time.monotonic() < deadline, "degradation never landed"
+                time.sleep(0.05)
+            assert 0 in runtime.stats()["degraded"]
+            # shippable work on the degraded lane now runs in the parent
+            assert runtime.submit(0, _remote_pid).result(timeout=30) == os.getpid()
+            # the other worker is untouched
+            assert runtime.submit(1, _remote_pid).result(timeout=30) != os.getpid()
+        finally:
+            runtime.close()
+
+    def test_close_after_sigkill_leaves_no_zombies_or_threads(self):
+        before = {t for t in threading.enumerate() if t.is_alive()}
+        runtime = ProcessRuntime(
+            2, name="reap", retry_policy=RetryPolicy(max_respawns=1)
+        )
+        pids = [runtime.submit(w, _remote_pid).result(timeout=30) for w in range(2)]
+        with pytest.raises(WorkerLostError):
+            runtime.submit(0, _suicide).result(timeout=30)
+        pids.append(runtime.submit(0, _remote_pid).result(timeout=30))
+        runtime.close()
+        for pid in set(pids):
+            assert not _pid_alive(pid), f"worker {pid} survived close()"
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            leaked = [
+                t
+                for t in threading.enumerate()
+                if t.is_alive() and t not in before and "reap" in t.name
+            ]
+            if not leaked:
+                break
+            time.sleep(0.1)
+        assert not leaked, f"leaked runtime threads: {[t.name for t in leaked]}"
 
 
 def _pid_alive(pid: int) -> bool:
