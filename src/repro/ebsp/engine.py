@@ -455,6 +455,7 @@ class _PartStepResult:
         "maxima",
         "outputs",
         "injected",
+        "part_seconds",
     )
 
     def __init__(
@@ -480,6 +481,8 @@ class _PartStepResult:
         self.maxima: Dict[str, int] = {}
         self.outputs: List[Tuple[Any, Any]] = []
         self.injected = 0
+        # per-physical-part wall seconds (the elastic load signal)
+        self.part_seconds: Dict[int, float] = {}
 
 
 class _StepConsumer(PartConsumer):
@@ -527,6 +530,7 @@ class _StepConsumer(PartConsumer):
                 out.maxima[name] = max(out.maxima.get(name, 0), value)
             out.outputs.extend(side.outputs)
             out.injected += side.injected
+            out.part_seconds.update(side.part_seconds)
         # the codec byte sample is a one-shot *pair*, not a sum: carry
         # one side's paired sample through the merge
         sampled = a if a.counters.get("codec_sample_compact_bytes") else b
@@ -591,6 +595,7 @@ class SyncEngine:
         checkpoint_dir: Optional[str] = None,
         job_key: Optional[str] = None,
         resume: bool = False,
+        elastic: Any = None,
     ):
         self._store = store
         self._job = job
@@ -654,20 +659,66 @@ class SyncEngine:
         else:
             self._checkpoints = None
 
+        # -- elastic repartitioning -----------------------------------
+        # elastic=None/False is off (identity placement, no monitoring);
+        # True takes the default ElasticConfig; an ElasticConfig is used
+        # as-is.  Resolved before _resolve_tables because the physical
+        # part space (transport/progress sizing) depends on max_fanout.
+        self._runtime = getattr(store, "runtime", None)
+        if elastic is None or elastic is False:
+            self._elastic_cfg = None
+        else:
+            from repro.elastic import ElasticConfig
+
+            self._elastic_cfg = ElasticConfig() if elastic is True else elastic
+            if not isinstance(self._elastic_cfg, ElasticConfig):
+                raise JobSpecError(
+                    f"elastic= takes True/False/None or an ElasticConfig, "
+                    f"got {type(elastic).__name__}"
+                )
+            if self._runtime is None:
+                raise JobSpecError(
+                    "elastic=True requires a store with a worker runtime"
+                )
+        self._placement = None
+        self._elastic = None
+        self._elastic_monitor = None
+
         self._resolve_tables()
+        if self._elastic_cfg is not None:
+            from repro.elastic import ElasticController, LoadMonitor
+
+            self._elastic_monitor = LoadMonitor(self._placement)
+            self._elastic = ElasticController(
+                store,
+                self._placement,
+                self._elastic_monitor,
+                self._elastic_cfg,
+                self._counters,
+            )
+        # Routing memos are valid for one placement version only.
+        self._placement_version = (
+            self._placement.version if self._placement is not None else 0
+        )
         # Baseline for the store's marshalling/batching statistics (when
         # the store keeps them), so the result can report this job's own
         # transport I/O rather than process-lifetime totals.
         store_stats = getattr(store, "stats", None)
         self._stats_baseline = store_stats.snapshot() if store_stats is not None else None
         # Same idea for the store's worker runtime: snapshot now, report
-        # the delta as the job's per-worker execution profile.
-        self._runtime = getattr(store, "runtime", None)
+        # the delta as the job's per-worker execution profile.  Starting
+        # a stats window scopes windowed maxima (queue depth) to this
+        # job rather than the runtime's lifetime.
+        if self._runtime is not None:
+            begin_window = getattr(self._runtime, "begin_stats_window", None)
+            if begin_window is not None:
+                begin_window()
         self._runtime_baseline = self._runtime.stats() if self._runtime is not None else None
+        self._elastic_stats_baseline = self._runtime_baseline
         self._broadcast = self._snapshot_broadcast()
         if fault_tolerance:
             self._progress = ProgressTable(
-                self._store, f"__ebsp_progress_{self._jid}", self.n_parts
+                self._store, f"__ebsp_progress_{self._jid}", self._n_physical
             )
         else:
             self._progress = None
@@ -756,6 +807,9 @@ class SyncEngine:
             "_part_cache",
             "_timeline",
             "_checkpoints",
+            "_elastic",
+            "_elastic_monitor",
+            "_elastic_stats_baseline",
         ):
             state[name] = None
         return state
@@ -802,8 +856,32 @@ class SyncEngine:
                 table = self._store.create_table(TableSpec(name=name, n_parts=n_parts))
             self._state_tables.append(table)
 
+        # Elastic execution routes spills through a *physical* part space
+        # max_fanout times larger than the logical one, so a hot logical
+        # part can fan out without resizing any table mid-job.  State
+        # tables stay logically partitioned — splitting moves compute
+        # and messages, never component state.
+        if self._elastic_cfg is not None:
+            from repro.elastic import PlacementMap
+
+            for table in self._state_tables:
+                if table.spec.key_hash is not None:
+                    raise JobSpecError(
+                        f"elastic execution requires default key hashing; "
+                        f"state table {table.name!r} has a custom key_hash"
+                    )
+            n_workers = getattr(self._runtime, "n_workers", 1)
+            self._placement = PlacementMap(
+                n_parts, n_workers, max_fanout=self._elastic_cfg.max_fanout
+            )
+            self._n_physical = self._placement.n_physical
+        else:
+            self._n_physical = n_parts
+
         self._transport_name = f"__ebsp_xport_{self._jid}"
-        self._transport = create_transport_table(self._store, self._transport_name, n_parts)
+        self._transport = create_transport_table(
+            self._store, self._transport_name, self._n_physical
+        )
 
     def _snapshot_broadcast(self) -> Dict[Any, Any]:
         name = self._job.broadcast_table()
@@ -824,6 +902,12 @@ class SyncEngine:
         return part
 
     def _compute_part_of(self, key: Any) -> int:
+        placement = self._placement
+        if placement is not None and not placement.is_identity():
+            from repro.util.hashing import stable_hash
+
+            h = stable_hash(key)
+            return placement.route(h, h % self.n_parts)
         if self._state_tables:
             return self._state_tables[0].part_of(key)
         from repro.util.hashing import part_for_key
@@ -832,6 +916,19 @@ class SyncEngine:
 
     def _part_of_many(self, keys: Any) -> Any:
         """Vectorized key→part routing for whole columns."""
+        placement = self._placement
+        if placement is not None and not placement.is_identity():
+            from repro.util.hashing import stable_hash
+
+            arr = keys if isinstance(keys, np.ndarray) else np.asarray(keys, dtype=object)
+            if arr.ndim == 1 and arr.dtype.kind in "iu":
+                hashes = arr.astype(np.uint64) & np.uint64(0xFFFFFFFF)
+            else:
+                hashes = np.fromiter(
+                    (stable_hash(k) for k in keys), dtype=np.uint64, count=len(keys)
+                )
+            logicals = (hashes % np.uint64(self.n_parts)).astype(np.int64)
+            return placement.route_many(hashes.astype(np.int64), logicals)
         if self._state_tables:
             return self._state_tables[0].part_of_many(keys)
         from repro.util.hashing import part_for_key
@@ -867,7 +964,7 @@ class SyncEngine:
             self._transport,
             src_part=src_part,
             step=write_step,
-            n_parts=self.n_parts,
+            n_parts=self._n_physical,
             part_of=self._part_of,
             batch_size=self._spill_batch,
             hold=hold,
@@ -986,8 +1083,10 @@ class SyncEngine:
                         if self._max_steps is not None and step >= self._max_steps:
                             steps_taken = step
                             break
-                        self._run_step(step)
+                        step_result = self._run_step(step)
                         self._counters.add("barriers")
+                        if self._elastic is not None:
+                            self._rebalance(step, step_result)
                         if (
                             self._checkpoints is not None
                             and self._checkpoint_interval
@@ -1134,7 +1233,23 @@ class SyncEngine:
             name: agg.finish(ctx.agg_partials[name]) for name, agg in self._aggs.items()
         }
 
-    def _run_step(self, step: int) -> None:
+    def _rebalance(self, step: int, result: "_PartStepResult") -> None:
+        """The elastic layer's barrier hook: observe the step's load,
+        let the controller act, invalidate routing memos if it did."""
+        stats = self._runtime.stats() if self._runtime is not None else None
+        delta = None
+        if stats is not None and self._elastic_stats_baseline is not None:
+            from repro.runtime import stats_delta
+
+            delta = stats_delta(self._elastic_stats_baseline, stats)
+            self._elastic_stats_baseline = stats
+        self._elastic_monitor.observe(result.part_seconds, delta)
+        applied = self._elastic.rebalance(step)
+        if applied or self._placement.version != self._placement_version:
+            self._placement_version = self._placement.version
+            self._part_cache.clear()
+
+    def _run_step(self, step: int) -> "_PartStepResult":
         started = time.monotonic()
         if self._active_scheduling:
             # dispatch part-step tasks only where the spill path recorded
@@ -1142,7 +1257,7 @@ class SyncEngine:
             # not with n_parts (§II-A selective enablement, part-level)
             active: Optional[List[int]] = self._active_parts(step)
             active_set = set(active)
-            skipped = [p for p in range(self.n_parts) if p not in active_set]
+            skipped = [p for p in range(self._n_physical) if p not in active_set]
         else:
             active = None
             skipped = []
@@ -1180,13 +1295,14 @@ class SyncEngine:
                 duration_seconds=time.monotonic() - started,
                 invocations=result.invocations,
                 records_out=result.records_out,
-                parts_run=len(active) if active is not None else self.n_parts,
+                parts_run=len(active) if active is not None else self._n_physical,
                 parts_skipped=len(skipped),
                 compute_seconds=result.compute_seconds,
                 flush_seconds=result.flush_seconds,
                 barrier_wait_seconds=barrier_wait,
             )
         )
+        return result
 
     def _finish_step(
         self,
@@ -1199,7 +1315,7 @@ class SyncEngine:
         self._fold_shipped(result)
         self._counters.add("compute_invocations", result.invocations)
         self._counters.add(
-            "part_steps_run", len(active) if active is not None else self.n_parts
+            "part_steps_run", len(active) if active is not None else self._n_physical
         )
         if skipped:
             self._counters.add("parts_skipped", len(skipped))
@@ -1214,7 +1330,7 @@ class SyncEngine:
         if self._ft_real:
             # retained part-step results have been folded; drop them
             self._progress.clear_partials(
-                active if active is not None else list(range(self.n_parts)), step
+                active if active is not None else list(range(self._n_physical)), step
             )
         with self._spill_lock:
             self._spilled_per_step.pop(step, None)
@@ -1271,7 +1387,7 @@ class SyncEngine:
         from repro.runtime.retry import WorkerLostError
 
         consumer = _StepConsumer(self, step)
-        parts = active if active is not None else list(range(self.n_parts))
+        parts = active if active is not None else list(range(self._n_physical))
         pending = self._transport.submit_part_steps(consumer, parts=parts)
         results: Dict[int, _PartStepResult] = {}
         attempts: Dict[int, int] = {}
@@ -1533,6 +1649,7 @@ class SyncEngine:
             finished_sum=t_done,
             n_timed=1,
         )
+        result.part_seconds = {part: t_done - t_start}
         if self._is_shipped:
             result.outputs = ctx.direct_outputs
         return result
@@ -1609,6 +1726,7 @@ class SyncEngine:
             finished_sum=t_done,
             n_timed=1,
         )
+        result.part_seconds = {part: t_done - t_start}
         if self._is_shipped:
             result.outputs = ctx.direct_outputs
         return result
@@ -1749,6 +1867,7 @@ class SyncEngine:
             finished_sum=t_done,
             n_timed=1,
         )
+        result.part_seconds = {part: t_done - t_start}
         if self._is_shipped:
             result.outputs = ctx.direct_outputs
         return result
@@ -1795,5 +1914,12 @@ class SyncEngine:
         if self._progress is not None:
             try:
                 self._store.drop_table(self._progress.table.name)
+            except Exception:
+                pass
+        if self._elastic is not None:
+            # the transport is gone, so nothing can still drain into the
+            # split sub-parts: their lane pins may now be released
+            try:
+                self._elastic.release_sub_part_overrides()
             except Exception:
                 pass

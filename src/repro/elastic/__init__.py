@@ -1,0 +1,36 @@
+"""Elastic repartitioning: load-aware splitting, merging, migration.
+
+The paper's provisioning story assumes the part→worker placement that
+the job started with is good enough for its whole life.  Real inputs
+skew — a handful of hub vertices can concentrate most of a superstep's
+compute in one part — and BSP's barriers are natural safe points to fix
+that *mid-job*.  This package is that elasticity layer:
+
+- :class:`~repro.elastic.placement.PlacementMap` — the versioned
+  logical-part → physical-part(s) routing table.  A hot logical part is
+  *split* into hash-prefix sub-parts that spread over workers; a cooled
+  one is *merged* back.  Every routing consumer memoizes against the
+  map's ``version`` and re-routes after a bump.
+- :class:`~repro.elastic.monitor.LoadMonitor` — folds per-part-step
+  compute seconds and per-worker busy/queue statistics into a per-part
+  load table, one observation per superstep.
+- :class:`~repro.elastic.controller.ElasticController` — applies
+  barrier-time actions (split / merge / live part migration) against
+  the placement map and the store, under an :class:`ElasticConfig`
+  policy, and accounts for them in the job's counters.
+
+The engine enables all of this with ``elastic=True`` (off by default):
+physical routing only diverges from the identity once the controller
+acts, so a non-skewed job pays nothing but the monitoring fold.
+"""
+
+from repro.elastic.controller import ElasticConfig, ElasticController
+from repro.elastic.monitor import LoadMonitor
+from repro.elastic.placement import PlacementMap
+
+__all__ = [
+    "ElasticConfig",
+    "ElasticController",
+    "LoadMonitor",
+    "PlacementMap",
+]

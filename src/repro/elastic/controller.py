@@ -1,0 +1,271 @@
+"""Barrier-time elasticity actions: split, merge, live migration.
+
+The controller runs in the parent, between supersteps — exactly the
+quiescence window the live-migration protocol requires (no shipped
+part-step is running, so the child-to-child spill path is idle).  Each
+barrier it ranks the monitor's load table and applies at most
+``max_actions_per_barrier`` placement changes:
+
+**split**
+    A logical part whose smoothed load exceeds ``split_threshold`` ×
+    the mean is fanned out into hash-prefix sub-parts.  Sub-parts hold
+    no data yet — they are fresh transport parts, created on first
+    touch in their owner process — so a split is a pure routing change:
+    pin each sub-part's lane to a low-load worker and bump the map
+    version.  The new routing takes effect for the *next* step's spill
+    writes; spills already in flight land (and are consumed) under the
+    old routing, tracked by the engine's spill ledger either way.
+
+**merge**
+    A split part whose load fell back under ``merge_threshold`` × the
+    mean collapses to fanout 1.  Only routing reverts; the sub-parts'
+    worker pins stay until the job ends, because spills already routed
+    to them must drain where they landed.
+
+**migrate**
+    When worker-level load (not part-level) is skewed — one worker owns
+    several hot parts — the hottest unsplit part on the busiest worker
+    moves to the least-busy worker through the store's live-migration
+    protocol (freeze → drain → copy → flip → unfreeze), data included.
+
+Every action is recorded in the job counters (``parts_split``,
+``parts_merged``, ``parts_migrated``, ``migration_seconds``) and the
+observed imbalance rides along as the ``load_imbalance`` high-water
+mark (scaled ×1000, counters are integer-valued).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.elastic.monitor import LoadMonitor
+from repro.elastic.placement import PlacementMap
+
+
+@dataclass
+class ElasticConfig:
+    """Policy knobs for :class:`ElasticController`.
+
+    The defaults are deliberately conservative: act only on a clear,
+    repeated signal, never more than twice per barrier, and rest a step
+    between actions so each change's effect is observed before the next.
+    """
+
+    #: Split a part when its load exceeds this multiple of the mean.
+    split_threshold: float = 2.0
+    #: Merge a split part back when its load falls under this multiple.
+    merge_threshold: float = 0.5
+    #: Ignore parts below this many seconds/step (noise floor).
+    min_part_seconds: float = 0.01
+    #: Sub-parts a split fans out into (also sizes the physical space).
+    max_fanout: int = 4
+    #: Steps to observe before the first action.
+    warmup_steps: int = 1
+    #: Steps to rest after a barrier that applied actions.
+    cooldown_steps: int = 1
+    #: Placement changes applied per barrier, at most.
+    max_actions_per_barrier: int = 2
+    #: Migrate when the busiest worker exceeds this multiple of the
+    #: mean worker load and no split/merge applies.
+    migrate_threshold: float = 1.5
+    #: Feature gates (ablations flip these individually).
+    enable_split: bool = True
+    enable_merge: bool = True
+    enable_migrate: bool = True
+
+
+class ElasticController:
+    """Applies :class:`ElasticConfig` policy at superstep barriers."""
+
+    def __init__(
+        self,
+        store: Any,
+        placement: PlacementMap,
+        monitor: LoadMonitor,
+        config: ElasticConfig,
+        counters: Any,
+    ):
+        self._store = store
+        self._placement = placement
+        self._monitor = monitor
+        self._config = config
+        self._counters = counters
+        self._cooldown_until = -1
+        #: physical sub-parts whose lanes this controller pinned; the
+        #: engine releases them once the job's transport is dropped
+        self.sub_part_overrides: Set[int] = set()
+        #: (step, kind, detail) action log, for tests and traces
+        self.actions: List[Tuple[int, str, Any]] = []
+
+    # -- the barrier hook -------------------------------------------------
+    def rebalance(self, step: int) -> int:
+        """Observe-and-act for the barrier after *step*; returns the
+        number of placement actions applied (0 = routing unchanged)."""
+        monitor = self._monitor
+        config = self._config
+        imbalance = monitor.imbalance()
+        self._counters.record_max("load_imbalance", int(round(imbalance * 1000)))
+        if monitor.steps_observed <= config.warmup_steps or step < self._cooldown_until:
+            return 0
+        loads = monitor.load()
+        mean = monitor.mean_load()
+        applied = 0
+        if config.enable_split:
+            applied += self._apply_splits(step, loads, mean, applied)
+        if config.enable_merge:
+            applied += self._apply_merges(step, loads, mean, applied)
+        if config.enable_migrate and applied == 0:
+            applied += self._apply_migration(step)
+        if applied:
+            self._cooldown_until = step + 1 + config.cooldown_steps
+        return applied
+
+    # -- split ------------------------------------------------------------
+    def _apply_splits(
+        self, step: int, loads: dict, mean: float, already: int
+    ) -> int:
+        config = self._config
+        placement = self._placement
+        applied = 0
+        for logical, load in sorted(loads.items(), key=lambda kv: -kv[1]):
+            if already + applied >= config.max_actions_per_barrier:
+                break
+            if load < config.min_part_seconds:
+                break  # descending order: everything below is quieter
+            if placement.fanout(logical) > 1:
+                continue
+            if mean > 0.0 and load < config.split_threshold * mean:
+                break
+            self._split(step, logical, load)
+            applied += 1
+        return applied
+
+    def _split(self, step: int, logical: int, load: float) -> None:
+        placement = self._placement
+        fanout = min(self._config.max_fanout, placement.max_fanout)
+        fanout = min(fanout, max(2, placement.n_workers))
+        physical = placement.split(logical, fanout)
+        targets = self._spread_targets(logical, physical)
+        pinner = getattr(self._store, "set_placement_override", None)
+        for sub_part, worker in targets:
+            placement.assign(sub_part, worker)
+            if pinner is not None:
+                pinner(sub_part, worker)
+            self.sub_part_overrides.add(sub_part)
+        self._counters.add("parts_split")
+        self.actions.append(
+            (step, "split", {"part": logical, "fanout": fanout, "load": load})
+        )
+
+    def _spread_targets(
+        self, logical: int, physical: List[int]
+    ) -> List[Tuple[int, int]]:
+        """Pick a worker per *new* sub-part (sub 0 stays put), spreading
+        over the least-loaded workers, the logical part's own first off
+        the list — the point of the split is to get work off of it."""
+        placement = self._placement
+        home = self._worker_of_lane(logical)
+        worker_load = self._monitor.estimated_worker_load()
+        by_load = sorted(
+            range(placement.n_workers),
+            key=lambda w: (worker_load.get(w, 0.0), w),
+        )
+        others = [w for w in by_load if w != home]
+        order = others if others else [home]
+        return [
+            (sub_part, order[i % len(order)])
+            for i, sub_part in enumerate(physical[1:])
+        ]
+
+    def _worker_of_lane(self, lane: int) -> int:
+        runtime = getattr(self._store, "runtime", None)
+        if runtime is not None:
+            return runtime.worker_of(lane)
+        return self._placement.worker_of(lane)
+
+    # -- merge ------------------------------------------------------------
+    def _apply_merges(self, step: int, loads: dict, mean: float, already: int) -> int:
+        config = self._config
+        placement = self._placement
+        applied = 0
+        for logical in range(placement.n_logical):
+            if already + applied >= config.max_actions_per_barrier:
+                break
+            if placement.fanout(logical) == 1:
+                continue
+            load = loads.get(logical, 0.0)
+            if load >= max(config.merge_threshold * mean, config.min_part_seconds):
+                continue
+            placement.merge(logical)
+            self._counters.add("parts_merged")
+            self.actions.append(
+                (step, "merge", {"part": logical, "load": load})
+            )
+            applied += 1
+        return applied
+
+    # -- migrate ----------------------------------------------------------
+    def _apply_migration(self, step: int) -> int:
+        mover = getattr(self._store, "migrate_part", None)
+        if mover is None:
+            return 0
+        placement = self._placement
+        if placement.n_workers < 2:
+            return 0
+        worker_load = self._monitor.estimated_worker_load()
+        mean = sum(worker_load.values()) / len(worker_load)
+        if mean <= 0.0:
+            return 0
+        busiest = max(worker_load, key=worker_load.get)
+        coolest = min(worker_load, key=worker_load.get)
+        if worker_load[busiest] < self._config.migrate_threshold * mean:
+            return 0
+        part = self._hottest_movable_part(busiest)
+        if part is None:
+            return 0
+        report = mover(part, coolest)
+        placement.assign(part, coolest)
+        self._counters.add("parts_migrated")
+        self._counters.add("migration_seconds", report.get("seconds", 0.0))
+        self.actions.append((step, "migrate", dict(report)))
+        return 1
+
+    def _hottest_movable_part(self, worker: int) -> Optional[int]:
+        """The busiest worker's hottest *unsplit* logical part: split
+        parts are already being spread and their sub-part pins would
+        fight a whole-part move."""
+        placement = self._placement
+        loads = self._monitor.load()
+        candidates = [
+            (loads.get(logical, 0.0), logical)
+            for logical in range(placement.n_logical)
+            if placement.fanout(logical) == 1
+            and self._worker_of_lane(logical) == worker
+        ]
+        candidates = [
+            c for c in candidates if c[0] >= self._config.min_part_seconds
+        ]
+        if not candidates:
+            return None
+        return max(candidates)[1]
+
+    # -- job-end teardown -------------------------------------------------
+    def release_sub_part_overrides(self) -> None:
+        """Clear the lane pins installed for split sub-parts.
+
+        Called after the job's transport table is dropped: the pins had
+        to outlive any merge (pending spills drain where they landed)
+        but must not leak into the next job, whose physical indices
+        would collide with stale pins.  Migration pins on *logical*
+        lanes stay — the data genuinely lives there now.
+        """
+        clearer = getattr(self._store, "clear_placement_override", None)
+        for sub_part in sorted(self.sub_part_overrides):
+            self._placement.unassign(sub_part)
+            if clearer is not None:
+                try:
+                    clearer(sub_part)
+                except Exception:
+                    pass
+        self.sub_part_overrides.clear()

@@ -1,0 +1,130 @@
+"""Per-part and per-worker load tracking, one observation per barrier.
+
+The monitor's input is what the barrier already collects for free: the
+per-physical-part wall seconds each part-step reported with its result
+frame, plus the worker runtime's busy/queue statistics.  Physical
+samples fold into *logical* loads (a split part's sub-parts sum back to
+their logical owner, so split decisions compare like with like) and
+smooth through an exponentially-weighted moving average — one noisy
+step should not trigger a rebalance, and a genuinely hot part should
+not escape one by having a single quiet step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.elastic.placement import PlacementMap
+
+
+class LoadMonitor:
+    """Folds barrier-time samples into smoothed per-part load estimates."""
+
+    def __init__(self, placement: PlacementMap, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._placement = placement
+        self._alpha = alpha
+        #: logical part → EWMA seconds per superstep
+        self._logical_load: Dict[int, float] = {}
+        #: physical part → EWMA seconds per superstep (merge decisions
+        #: look at the sub-parts individually)
+        self._physical_load: Dict[int, float] = {}
+        #: worker → EWMA busy seconds per superstep
+        self._worker_busy: Dict[int, float] = {}
+        #: worker → queue depth observed in the last window
+        self._worker_queue: Dict[int, int] = {}
+        self.steps_observed = 0
+
+    def _fold(self, table: Dict[int, float], index: int, sample: float) -> None:
+        previous = table.get(index)
+        if previous is None:
+            table[index] = sample
+        else:
+            table[index] = self._alpha * sample + (1.0 - self._alpha) * previous
+
+    def observe(
+        self,
+        part_seconds: Dict[int, float],
+        worker_stats: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Fold one superstep's samples.
+
+        *part_seconds* maps physical part → that part-step's wall
+        seconds; parts with no sample this step (skipped, or never
+        active) decay toward zero.  *worker_stats* is a runtime
+        ``stats_delta`` covering the step — its per-worker busy seconds
+        and window queue depths feed target-worker selection.
+        """
+        placement = self._placement
+        by_logical: Dict[int, float] = {}
+        for physical, seconds in part_seconds.items():
+            logical = placement.logical_of(physical)
+            by_logical[logical] = by_logical.get(logical, 0.0) + seconds
+        for logical in range(placement.n_logical):
+            self._fold(self._logical_load, logical, by_logical.get(logical, 0.0))
+        for physical in set(part_seconds) | set(self._physical_load):
+            self._fold(
+                self._physical_load, physical, part_seconds.get(physical, 0.0)
+            )
+        if worker_stats:
+            for entry in worker_stats.get("workers", []):
+                worker = entry.get("worker")
+                if worker is None:
+                    continue
+                self._fold(
+                    self._worker_busy, worker, float(entry.get("busy_seconds", 0.0))
+                )
+                self._worker_queue[worker] = int(entry.get("max_queue_depth", 0))
+        self.steps_observed += 1
+
+    # -- read side --------------------------------------------------------
+    def load(self) -> Dict[int, float]:
+        """Smoothed seconds-per-step for every logical part."""
+        return dict(self._logical_load)
+
+    def physical_load(self) -> Dict[int, float]:
+        return dict(self._physical_load)
+
+    def mean_load(self) -> float:
+        n = self._placement.n_logical
+        if not n:
+            return 0.0
+        return sum(self._logical_load.values()) / n
+
+    def imbalance(self) -> float:
+        """Max/mean logical-part load (1.0 = perfectly even)."""
+        mean = self.mean_load()
+        if mean <= 0.0:
+            return 1.0
+        return max(self._logical_load.values()) / mean
+
+    def hottest(self) -> Tuple[int, float]:
+        if not self._logical_load:
+            return (0, 0.0)
+        logical = max(self._logical_load, key=self._logical_load.get)
+        return (logical, self._logical_load[logical])
+
+    def worker_busy(self, worker: int) -> float:
+        return self._worker_busy.get(worker, 0.0)
+
+    def worker_queue_depth(self, worker: int) -> int:
+        return self._worker_queue.get(worker, 0)
+
+    def estimated_worker_load(self) -> Dict[int, float]:
+        """Seconds-per-step attributed to each worker.
+
+        Physical part loads are attributed through the placement map's
+        worker view; the runtime's measured busy seconds (which also see
+        non-part work: transport, upcalls) are mixed in evenly so two
+        workers with identical part attribution still rank by their
+        measured utilization.
+        """
+        placement = self._placement
+        out: Dict[int, float] = {w: 0.0 for w in range(placement.n_workers)}
+        for physical, seconds in self._physical_load.items():
+            out[placement.worker_of(physical)] += seconds
+        for worker, busy in self._worker_busy.items():
+            if worker in out:
+                out[worker] += 0.25 * busy
+        return out

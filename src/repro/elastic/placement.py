@@ -1,0 +1,139 @@
+"""The versioned logical→physical part placement map.
+
+Physical part numbering embeds the logical index: logical part ``L``
+with fanout ``f`` owns the physical parts ``L + sub * n_logical`` for
+``sub in range(f)`` — sub-part 0 *is* the logical part, so an unsplit
+part routes to itself and the whole map is the identity until the
+first split.  Sub-part selection re-mixes the key's stable hash
+(:func:`~repro.util.hashing.sub_part_for_hash`) because keys sharing
+``hash % n_logical`` by construction agree in their low hash bits.
+
+The ``version`` counter is the cache-invalidation contract: every
+structural change (split/merge) bumps it, and routing memos — the
+engine's key→part cache, a writer's per-destination cache — are only
+valid for the version they were filled under.  Worker *assignment*
+(``assign``) does not bump the version: it changes where a physical
+part runs, not which physical part a key routes to, and in-flight
+spills are consumed wherever they already landed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.util.hashing import sub_part_for_hash, sub_parts_for_hashes
+
+
+class PlacementMap:
+    """Versioned logical-part → physical-part(s) → worker routing."""
+
+    def __init__(self, n_logical: int, n_workers: int, max_fanout: int = 4):
+        if n_logical <= 0:
+            raise ValueError(f"n_logical must be positive, got {n_logical}")
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if max_fanout < 1:
+            raise ValueError(f"max_fanout must be >= 1, got {max_fanout}")
+        self.n_logical = n_logical
+        self.n_workers = n_workers
+        self.max_fanout = max_fanout
+        self.version = 0
+        self._fanouts = np.ones(n_logical, dtype=np.int64)
+        # explicit physical-part → worker pins (the controller records
+        # here what it also installs as runtime lane overrides)
+        self._workers: Dict[int, int] = {}
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def n_physical(self) -> int:
+        """Physical part-index space: every table sized for elastic
+        execution (transport, progress) has this many parts."""
+        return self.n_logical * self.max_fanout
+
+    def fanout(self, logical: int) -> int:
+        return int(self._fanouts[logical])
+
+    def is_identity(self) -> bool:
+        """True while no logical part is split (routing = identity)."""
+        return bool((self._fanouts == 1).all())
+
+    def logical_of(self, physical: int) -> int:
+        return physical % self.n_logical
+
+    def sub_of(self, physical: int) -> int:
+        return physical // self.n_logical
+
+    def physical_parts(self, logical: int) -> List[int]:
+        n = self.n_logical
+        return [logical + sub * n for sub in range(self.fanout(logical))]
+
+    def active_physical_parts(self) -> List[int]:
+        out: List[int] = []
+        for logical in range(self.n_logical):
+            out.extend(self.physical_parts(logical))
+        return sorted(out)
+
+    # -- routing ----------------------------------------------------------
+    def route(self, h: int, logical: int) -> int:
+        """Physical destination for a key with stable hash *h* living in
+        *logical* (callers compute ``logical = h % n_logical``)."""
+        fanout = int(self._fanouts[logical])
+        if fanout <= 1:
+            return logical
+        return logical + sub_part_for_hash(h, fanout) * self.n_logical
+
+    def route_many(self, hashes: np.ndarray, logicals: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`route` over aligned hash/logical columns."""
+        subs = sub_parts_for_hashes(hashes, self._fanouts[logicals])
+        return logicals + subs * self.n_logical
+
+    # -- worker pins ------------------------------------------------------
+    def assign(self, physical: int, worker: int) -> None:
+        if not 0 <= worker < self.n_workers:
+            raise ValueError(
+                f"worker {worker} out of range for {self.n_workers} workers"
+            )
+        self._workers[physical] = worker
+
+    def unassign(self, physical: int) -> None:
+        self._workers.pop(physical, None)
+
+    def worker_of(self, physical: int) -> int:
+        pinned = self._workers.get(physical)
+        if pinned is not None:
+            return pinned
+        return physical % self.n_workers
+
+    def assignments(self) -> Dict[int, int]:
+        return dict(self._workers)
+
+    # -- structural changes (version bumps) -------------------------------
+    def split(self, logical: int, fanout: int) -> List[int]:
+        """Split *logical* into *fanout* hash-prefix sub-parts; returns
+        the physical parts now active for it (sub-part 0 first)."""
+        if not 0 <= logical < self.n_logical:
+            raise ValueError(f"logical part {logical} out of range")
+        if not 2 <= fanout <= self.max_fanout:
+            raise ValueError(
+                f"fanout {fanout} out of range [2, {self.max_fanout}]"
+            )
+        self._fanouts[logical] = fanout
+        self.version += 1
+        return self.physical_parts(logical)
+
+    def merge(self, logical: int) -> None:
+        """Collapse *logical* back to a single physical part.
+
+        Only *new* routing changes: spills already written to the
+        sub-parts stay where they landed (the spill ledger drives their
+        consumption), so a merge must not be paired with tearing down
+        the sub-parts' worker pins until the job's transport drains.
+        """
+        if not 0 <= logical < self.n_logical:
+            raise ValueError(f"logical part {logical} out of range")
+        if int(self._fanouts[logical]) == 1:
+            return
+        self._fanouts[logical] = 1
+        self.version += 1

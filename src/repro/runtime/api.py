@@ -70,6 +70,35 @@ class RuntimeClosedError(RuntimeError):
     """Raised when work is submitted to a closed runtime."""
 
 
+class _GateBypass:
+    """Marks the current thread exempt from lane freeze gates."""
+
+    __slots__ = ("_tls", "_previous")
+
+    def __init__(self, tls: threading.local):
+        self._tls = tls
+        self._previous = False
+
+    def __enter__(self) -> "_GateBypass":
+        self._previous = getattr(self._tls, "gate_bypass", False)
+        self._tls.gate_bypass = True
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tls.gate_bypass = self._previous
+
+
+def _drain_probe() -> bool:
+    """No-op probe whose completion proves a worker's lane has drained."""
+    return True
+
+
+# Shippable by construction (module-level, no state): in process mode the
+# probe runs inside the worker, proving the *resident* lane has drained.
+# Attribute set directly to keep this module import-light.
+_drain_probe._ripple_shippable = True
+
+
 def finished_future(result: Any = None, exception: Optional[BaseException] = None) -> Future:
     """An already-resolved :class:`Future` (the inline runtime's currency)."""
     future: Future = Future()
@@ -99,6 +128,7 @@ class _WorkerCounters:
         "long_tasks",
         "long_busy_seconds",
         "max_queue_depth",
+        "window_max_queue_depth",
         "steals",
     )
 
@@ -110,7 +140,14 @@ class _WorkerCounters:
         self.long_tasks = 0
         self.long_busy_seconds = 0.0
         self.max_queue_depth = 0
+        self.window_max_queue_depth = 0
         self.steals = 0
+
+    def note_queue_depth(self, depth: int) -> None:
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        if depth > self.window_max_queue_depth:
+            self.window_max_queue_depth = depth
 
     def record_task(self, seconds: float) -> None:
         self.tasks += 1
@@ -130,6 +167,7 @@ class _WorkerCounters:
             "tasks": self.tasks + self.long_tasks,
             "busy_seconds": self.busy_seconds + self.long_busy_seconds,
             "max_queue_depth": self.max_queue_depth,
+            "window_max_queue_depth": self.window_max_queue_depth,
             "steals": self.steals,
         }
 
@@ -159,6 +197,11 @@ class WorkerRuntime(abc.ABC):
         self._gang_tasks = 0
         self._gang_busy_seconds = 0.0
         self._closed = False
+        # Elastic placement: per-lane overrides of the round-robin map
+        # (installed at barriers by migration), and per-lane freeze gates
+        # that park submitters while a part's state is in flight.
+        self._lane_overrides: Dict[int, int] = {}
+        self._lane_gates: Dict[int, threading.Event] = {}
 
     # -- placement ---------------------------------------------------------
     @property
@@ -166,8 +209,76 @@ class WorkerRuntime(abc.ABC):
         return self._n_workers
 
     def worker_of(self, lane: int) -> int:
-        """The placement map: which worker serves *lane*."""
+        """The placement map: which worker serves *lane*.
+
+        Round-robin (``lane % n_workers``) unless the lane has been
+        re-pinned by :meth:`set_lane_override` — the elastic layer's
+        lever for migrating a part's execution to another worker.
+        """
+        overrides = self._lane_overrides
+        if overrides:
+            worker = overrides.get(lane)
+            if worker is not None:
+                return worker
         return lane % self._n_workers
+
+    def set_lane_override(self, lane: int, worker: int) -> None:
+        """Pin *lane* to *worker*, overriding the round-robin placement.
+
+        Safe only at quiescent points (a BSP barrier, or with the lane
+        frozen): tasks already queued at the old worker keep running
+        there — FIFO ordering is per *physical* worker.
+        """
+        if not 0 <= worker < self._n_workers:
+            raise ValueError(
+                f"worker {worker} out of range for {self._n_workers} workers"
+            )
+        self._lane_overrides[lane] = worker
+
+    def clear_lane_override(self, lane: int) -> None:
+        self._lane_overrides.pop(lane, None)
+
+    def lane_overrides(self) -> Dict[int, int]:
+        """Snapshot of the installed lane→worker overrides."""
+        return dict(self._lane_overrides)
+
+    # -- freeze gates ------------------------------------------------------
+    def freeze_lane(self, lane: int) -> None:
+        """Park new submissions to *lane* until :meth:`unfreeze_lane`.
+
+        Worker threads (``current_worker() is not None``) and threads
+        inside :meth:`bypassing_gates` pass through — blocking a worker
+        on its own runtime's gate would deadlock the drain the freeze
+        exists to protect.
+        """
+        if lane not in self._lane_gates:
+            self._lane_gates[lane] = threading.Event()
+
+    def unfreeze_lane(self, lane: int) -> None:
+        gate = self._lane_gates.pop(lane, None)
+        if gate is not None:
+            gate.set()
+
+    def bypassing_gates(self) -> "_GateBypass":
+        """Context manager marking this thread exempt from freeze gates
+        (used by the migration driver itself)."""
+        return _GateBypass(self._tls)
+
+    def _gate_wait(self, lane: int, timeout: float = 60.0) -> None:
+        gates = self._lane_gates
+        if not gates:
+            return
+        gate = gates.get(lane)
+        if gate is None:
+            return
+        tls = self._tls
+        if getattr(tls, "worker", None) is not None or getattr(tls, "gate_bypass", False):
+            return
+        if not gate.wait(timeout):
+            raise RuntimeError(
+                f"lane {lane} of runtime {self.name!r} stayed frozen for "
+                f"{timeout:.0f}s — a migration failed to unfreeze it"
+            )
 
     def current_worker(self) -> Optional[int]:
         """Index of the worker whose task is executing on this thread."""
@@ -181,6 +292,24 @@ class WorkerRuntime(abc.ABC):
     @abc.abstractmethod
     def submit_long(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
         """Run a long task near *lane*'s worker; one at a time per worker."""
+
+    @abc.abstractmethod
+    def submit_to_worker(self, worker: int, fn: Callable[..., Any], *args: Any) -> Future:
+        """Run ``fn(*args)`` on a specific *worker*, bypassing placement.
+
+        The migration primitive: addresses the physical worker directly
+        (no ``worker_of``, no lane override, no freeze gate), FIFO with
+        the worker's short lane.
+        """
+
+    def drain_worker(self, worker: int) -> None:
+        """Block until everything queued on *worker*'s short lane has run.
+
+        FIFO per worker makes this exact: a probe submitted now resolves
+        only after every previously accepted task has executed — i.e.
+        every acknowledged write to a resident part has been applied.
+        """
+        self.submit_to_worker(worker, _drain_probe).result()
 
     def run_tasks(self, fns: Sequence[Callable[[], Any]], label: str = "gang") -> List[Any]:
         """Run a gang of cooperating tasks on dedicated threads; gather.
@@ -235,6 +364,16 @@ class WorkerRuntime(abc.ABC):
         """Count one stolen task against *lane*'s worker."""
         self._counters[self.worker_of(lane)].record_steal()
 
+    def begin_stats_window(self) -> None:
+        """Reset the per-window high-water marks (``window_max_queue_depth``).
+
+        Engines call this when they take their baseline snapshot, so a
+        job's ``stats_delta`` reports the depth reached *during* the job
+        rather than the runtime's lifetime high-water mark.
+        """
+        for counters in self._counters:
+            counters.window_max_queue_depth = 0
+
     def stats(self) -> Dict[str, Any]:
         """Snapshot of all runtime counters (per worker and aggregate)."""
         workers = [counters.snapshot() for counters in self._counters]
@@ -276,9 +415,11 @@ class WorkerRuntime(abc.ABC):
 def stats_delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
     """Per-counter difference of two :meth:`WorkerRuntime.stats` snapshots.
 
-    Monotone counters subtract; high-water marks (``max_queue_depth``)
-    keep the *after* value, since a high-water mark has no meaningful
-    difference.
+    Monotone counters subtract.  ``max_queue_depth`` is a high-water
+    mark, which has no meaningful difference — the delta reports the
+    *window* maximum (reset by :meth:`WorkerRuntime.begin_stats_window`
+    when the baseline was taken), so a job sees the depth reached during
+    its own run, not the runtime's lifetime mark.
     """
     delta: Dict[str, Any] = {
         "runtime": after.get("runtime"),
@@ -302,7 +443,7 @@ def stats_delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]
             "worker": w["worker"],
             "tasks": w["tasks"] - b.get("tasks", 0),
             "busy_seconds": w["busy_seconds"] - b.get("busy_seconds", 0.0),
-            "max_queue_depth": w["max_queue_depth"],
+            "max_queue_depth": w.get("window_max_queue_depth", w["max_queue_depth"]),
             "steals": w["steals"] - b.get("steals", 0),
         }
         if "pid" in w:

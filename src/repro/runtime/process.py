@@ -232,14 +232,21 @@ class ProcessRuntime(ThreadedRuntime):
 
     # -- submission ----------------------------------------------------------
     def submit(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
+        self._gate_wait(lane)
         if not is_shippable(fn) or self._fallback_to_parent(self.worker_of(lane)):
             return super().submit(lane, fn, *args)
-        return self._submit_remote(lane, fn, args, is_long=False)
+        return self._submit_remote(self.worker_of(lane), fn, args, is_long=False)
 
     def submit_long(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
+        self._gate_wait(lane)
         if not is_shippable(fn) or self._fallback_to_parent(self.worker_of(lane)):
             return super().submit_long(lane, fn, *args)
-        return self._submit_remote(lane, fn, args, is_long=True)
+        return self._submit_remote(self.worker_of(lane), fn, args, is_long=True)
+
+    def submit_to_worker(self, worker: int, fn: Callable[..., Any], *args: Any) -> Future:
+        if not is_shippable(fn) or self._fallback_to_parent(worker):
+            return super().submit_to_worker(worker, fn, *args)
+        return self._submit_remote(worker, fn, args, is_long=False)
 
     def _fallback_to_parent(self, worker: int) -> bool:
         """Wait out an in-progress respawn; True → run on the parent fallback."""
@@ -284,13 +291,12 @@ class ProcessRuntime(ThreadedRuntime):
             self._serde_stats.record_marshal(len(payload))
         return payload
 
-    def _submit_remote(self, lane: int, fn: Callable[..., Any], args: tuple, is_long: bool) -> Future:
+    def _submit_remote(self, worker: int, fn: Callable[..., Any], args: tuple, is_long: bool) -> Future:
         # Gate on the *process*-side close flag, not ``_closed``: while
         # ``close()`` drains the parent fallback, draining tasks may
         # still proxy operations through the worker processes.
         if self._proc_closed:
             raise RuntimeClosedError(f"runtime {self.name!r} is closed")
-        worker = self.worker_of(lane)
         payload = self._ship_payload(fn, args)
         child = self._ensure_child(worker)
         deadline: Optional[float] = None
@@ -305,8 +311,7 @@ class ProcessRuntime(ThreadedRuntime):
             self._pending_per_worker[worker] += 1
             depth = self._pending_per_worker[worker]
         counters = self._counters[worker]
-        if depth > counters.max_queue_depth:
-            counters.max_queue_depth = depth
+        counters.note_queue_depth(depth)
         try:
             child.send(("task", tid, is_long, get_tracer().enabled, payload))
         except (OSError, ValueError) as exc:
@@ -680,7 +685,10 @@ class ProcessRuntime(ThreadedRuntime):
         """Serve an upcall whose destination degraded to the parent."""
         fn, args = pickle.loads(payload)
         submit = ThreadedRuntime.submit_long if is_long else ThreadedRuntime.submit
-        future = submit(self, lane, fn, *args)
+        # The listener thread serves every worker's upcalls; a frozen
+        # migration gate must never park it.
+        with self.bypassing_gates():
+            future = submit(self, lane, fn, *args)
 
         def _ack(fut: Future) -> None:
             try:

@@ -52,9 +52,7 @@ class _LaneWorker:
         enqueued = time.perf_counter() if get_tracer().enabled else 0.0
         self._queue.put((fn, args, future, enqueued))
         counters = self._runtime._counters[self.index]
-        depth = self._queue.qsize()
-        if depth > counters.max_queue_depth:
-            counters.max_queue_depth = depth
+        counters.note_queue_depth(self._queue.qsize())
         if self._thread is None:
             with self._start_lock:
                 if self._thread is None and not self._closing:
@@ -153,11 +151,16 @@ class ThreadedRuntime(WorkerRuntime):
 
     # -- submission --------------------------------------------------------
     def submit(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
+        self._gate_wait(lane)
         return self._lanes[self.worker_of(lane)].submit(fn, args)
+
+    def submit_to_worker(self, worker: int, fn: Callable[..., Any], *args: Any) -> Future:
+        return self._lanes[worker].submit(fn, args)
 
     def submit_long(self, lane: int, fn: Callable[..., Any], *args: Any) -> Future:
         if self._closed:
             raise RuntimeClosedError(f"runtime {self.name!r} is closed")
+        self._gate_wait(lane)
         worker = self.worker_of(lane)
         outer: Future = Future()
 

@@ -1,0 +1,179 @@
+"""Elastic repartitioning, end to end through the engine.
+
+The workload is deliberately skewed: every vertex messages a set of hub
+vertices whose integer ids all hash into logical part 0, and compute
+cost scales with message count — so part 0 carries ~4x the load of its
+peers until the controller splits it.  The conformance bar is strict:
+the elastic run must produce **byte-identical** final state to the
+static run, on every runtime, because splitting only re-routes whole
+keys (all of a key's messages land in one physical part and compute
+folds them in sorted order).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.ebsp.job import Compute, Job
+from repro.ebsp.loaders import Loader
+from repro.ebsp.runner import run_job
+from repro.elastic import ElasticConfig
+from repro.kvstore.api import TableSpec
+from repro.kvstore.partitioned import PartitionedKVStore
+
+N = 64
+STEPS = 6
+N_PARTS = 4
+#: integer keys hash to themselves (mod n_parts), so these all live in
+#: logical part 0
+HUBS = [0, 4, 8, 12]
+
+#: aggressive policy so a short job still exercises split decisions
+AGGRESSIVE = dict(
+    split_threshold=1.2,
+    min_part_seconds=0.0001,
+    warmup_steps=1,
+    cooldown_steps=0,
+)
+
+
+class SkewCompute(Compute):
+    def compute(self, ctx):
+        msgs = sorted(ctx.input_messages())
+        acc = sum(msgs)
+        for _ in range(20 * max(1, len(msgs))):
+            acc = math.sqrt(acc * acc + 1.0) - 1.0 + 1e-9
+        ctx.write_state(0, round(acc + sum(msgs), 9))
+        if ctx.step_num >= STEPS:
+            return False
+        for hub in HUBS:
+            ctx.output_message(hub, round((ctx.key % 7) * 0.25 + 1.0, 6))
+        ctx.output_message((ctx.key * 13 + 1) % N, 0.5)
+        return True
+
+
+class FadingSkewCompute(Compute):
+    """Hubs are hot early, then part 0 goes completely cold — the merge
+    signal.  A vertex stays active while it returns True, so cooling a
+    part takes both halting its vertices and routing messages away."""
+
+    def compute(self, ctx):
+        msgs = sorted(ctx.input_messages())
+        acc = sum(msgs)
+        for _ in range(20 * max(1, len(msgs))):
+            acc = math.sqrt(acc * acc + 1.0) - 1.0 + 1e-9
+        ctx.write_state(0, round(acc + sum(msgs), 9))
+        if ctx.step_num >= STEPS + 6:
+            return False
+        if ctx.key % N_PARTS == 0 and ctx.step_num >= 4:
+            return False
+        if ctx.step_num <= 3:
+            for hub in HUBS:
+                ctx.output_message(hub, round((ctx.key % 7) * 0.25 + 1.0, 6))
+        # the ring avoids part 0 once the hubs fall silent, so nothing
+        # reactivates its halted vertices and its load decays to zero
+        dest = (ctx.key * 13 + 1) % N
+        if ctx.step_num >= 4 and dest % N_PARTS == 0:
+            dest += 1
+        ctx.output_message(dest, 0.5)
+        return True
+
+
+class SeedLoader(Loader):
+    def load(self, ctx):
+        for key in range(N):
+            ctx.put_state(0, key, 0.0)
+            ctx.send_message(key, 1.0)
+
+
+class SkewJob(Job):
+    def __init__(self, compute=None):
+        self._compute = compute or SkewCompute()
+
+    def state_table_names(self):
+        return ["sk_state"]
+
+    def get_compute(self):
+        return self._compute
+
+    def loaders(self):
+        return [SeedLoader()]
+
+
+def run_skewed(runtime, elastic, compute=None, **kwargs):
+    with PartitionedKVStore(n_partitions=N_PARTS, runtime=runtime) as store:
+        result = run_job(
+            store, SkewJob(compute), synchronize=True, elastic=elastic, **kwargs
+        )
+        state = sorted(store.get_table("sk_state").items())
+        return result, pickle.dumps(state, protocol=4)
+
+
+class TestConformance:
+    @pytest.mark.parametrize("runtime", ["inline", "threaded", "process"])
+    def test_elastic_matches_static_bytes(self, runtime):
+        static, static_blob = run_skewed(runtime, elastic=False)
+        elastic, elastic_blob = run_skewed(
+            runtime, elastic=ElasticConfig(**AGGRESSIVE)
+        )
+        assert elastic_blob == static_blob
+        assert elastic.steps == static.steps
+        assert elastic.parts_split >= 1
+        assert elastic.load_imbalance > 1.0
+
+    def test_elastic_off_by_default(self):
+        result, _ = run_skewed("inline", elastic=False)
+        assert result.parts_split == 0
+        assert result.parts_merged == 0
+        assert result.parts_migrated == 0
+        assert result.load_imbalance == 0.0
+
+    def test_cold_split_part_merges_back(self):
+        static, static_blob = run_skewed(
+            "inline", elastic=False, compute=FadingSkewCompute()
+        )
+        config = ElasticConfig(merge_threshold=0.6, **AGGRESSIVE)
+        elastic, elastic_blob = run_skewed(
+            "inline", elastic=config, compute=FadingSkewCompute()
+        )
+        assert elastic_blob == static_blob
+        assert elastic.parts_split >= 1
+        assert elastic.parts_merged >= 1
+
+    def test_counters_surface_in_metrics(self):
+        result, _ = run_skewed("inline", elastic=ElasticConfig(**AGGRESSIVE))
+        assert result.counters.get("parts_split") >= 1
+        assert "parts_split" in result.metrics
+        assert "load_imbalance" in result.metrics
+        assert result.migration_seconds >= 0.0
+
+
+class TestSpecValidation:
+    def test_custom_key_hash_rejected(self):
+        with PartitionedKVStore(n_partitions=N_PARTS, runtime="inline") as store:
+            store.create_table(
+                TableSpec(
+                    name="sk_state",
+                    n_parts=N_PARTS,
+                    key_hash=lambda key: 0,
+                )
+            )
+            with pytest.raises(JobSpecError, match="key hash"):
+                run_job(store, SkewJob(), synchronize=True, elastic=True)
+
+    def test_invalid_elastic_value_rejected(self):
+        with PartitionedKVStore(n_partitions=N_PARTS, runtime="inline") as store:
+            with pytest.raises(JobSpecError):
+                run_job(store, SkewJob(), synchronize=True, elastic="aggressive")
+
+    def test_elastic_true_uses_defaults(self):
+        # elastic=True is ElasticConfig(); conservative defaults may or
+        # may not split this short job, but routing must stay correct
+        static, static_blob = run_skewed("inline", elastic=False)
+        elastic, elastic_blob = run_skewed("inline", elastic=True)
+        assert elastic_blob == static_blob
+        assert elastic.steps == static.steps

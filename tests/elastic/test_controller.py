@@ -1,0 +1,240 @@
+"""LoadMonitor folding and ElasticController policy, with a fake store.
+
+The controller is driven here with hand-fed load observations, so every
+decision (split, merge, migrate, cooldown) is asserted deterministically
+— no timing involved.  Engine-level behaviour is covered by
+``tests/ebsp/test_elastic.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.ebsp.results import Counters
+from repro.elastic import ElasticConfig, ElasticController, LoadMonitor, PlacementMap
+
+
+class FakeRuntime:
+    def __init__(self, n_workers):
+        self.n_workers = n_workers
+        self.overrides: Dict[int, int] = {}
+
+    def worker_of(self, lane):
+        override = self.overrides.get(lane)
+        if override is not None:
+            return override
+        return lane % self.n_workers
+
+
+class FakeStore:
+    """Records placement calls the way PartitionedKVStore would serve them."""
+
+    def __init__(self, n_workers=4):
+        self.runtime = FakeRuntime(n_workers)
+        self.pins: Dict[int, int] = {}
+        self.cleared: list = []
+        self.migrations: list = []
+
+    def set_placement_override(self, part, worker):
+        self.pins[part] = worker
+        self.runtime.overrides[part] = worker
+
+    def clear_placement_override(self, part):
+        self.cleared.append(part)
+        self.runtime.overrides.pop(part, None)
+
+    def migrate_part(self, part, target):
+        self.migrations.append((part, target))
+        source = self.runtime.worker_of(part)
+        self.runtime.overrides[part] = target
+        return {
+            "part": part,
+            "source": source,
+            "target": target,
+            "tables": 1,
+            "entries": 10,
+            "seconds": 0.25,
+        }
+
+
+def make_stack(n_logical=4, n_workers=4, **config_kwargs):
+    placement = PlacementMap(
+        n_logical, n_workers, max_fanout=config_kwargs.get("max_fanout", 4)
+    )
+    monitor = LoadMonitor(placement)
+    config_kwargs.setdefault("min_part_seconds", 0.001)
+    config_kwargs.setdefault("warmup_steps", 1)
+    config_kwargs.setdefault("cooldown_steps", 0)
+    config = ElasticConfig(**config_kwargs)
+    store = FakeStore(n_workers)
+    counters = Counters()
+    controller = ElasticController(store, placement, monitor, config, counters)
+    return placement, monitor, controller, store, counters
+
+
+class TestMonitor:
+    def test_folds_physical_into_logical(self):
+        placement = PlacementMap(4, 4, max_fanout=4)
+        monitor = LoadMonitor(placement)
+        placement.split(0, 4)
+        monitor.observe({0: 1.0, 4: 1.0, 8: 0.5, 12: 0.5, 1: 0.2})
+        loads = monitor.load()
+        assert loads[0] == pytest.approx(3.0)
+        assert loads[1] == pytest.approx(0.2)
+        assert loads[2] == 0.0
+
+    def test_ewma_smooths(self):
+        monitor = LoadMonitor(PlacementMap(2, 2), alpha=0.5)
+        monitor.observe({0: 4.0})
+        monitor.observe({0: 0.0})
+        assert monitor.load()[0] == pytest.approx(2.0)
+        assert monitor.steps_observed == 2
+
+    def test_imbalance_and_hottest(self):
+        monitor = LoadMonitor(PlacementMap(4, 4))
+        monitor.observe({0: 3.0, 1: 0.5, 2: 0.25, 3: 0.25})
+        assert monitor.hottest() == (0, 3.0)
+        assert monitor.imbalance() == pytest.approx(3.0 / 1.0)
+
+    def test_worker_stats_fold(self):
+        placement = PlacementMap(4, 2)
+        monitor = LoadMonitor(placement)
+        monitor.observe(
+            {0: 1.0, 1: 0.5},
+            worker_stats={
+                "workers": [
+                    {"worker": 0, "busy_seconds": 2.0, "max_queue_depth": 7},
+                    {"worker": 1, "busy_seconds": 0.5, "max_queue_depth": 1},
+                ]
+            },
+        )
+        assert monitor.worker_busy(0) == pytest.approx(2.0)
+        assert monitor.worker_queue_depth(0) == 7
+        estimated = monitor.estimated_worker_load()
+        assert estimated[0] > estimated[1]
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            LoadMonitor(PlacementMap(2, 2), alpha=0.0)
+
+
+class TestSplitPolicy:
+    def test_hot_part_splits_and_pins_sub_parts(self):
+        placement, monitor, controller, store, counters = make_stack(
+            split_threshold=2.0
+        )
+        monitor.observe({0: 2.0, 1: 0.1, 2: 0.1, 3: 0.1})
+        monitor.observe({0: 2.0, 1: 0.1, 2: 0.1, 3: 0.1})
+        applied = controller.rebalance(step=1)
+        assert applied == 1
+        assert placement.fanout(0) == 4
+        # sub-parts 4/8/12 pinned off part 0's home worker (worker 0)
+        assert set(store.pins) == {4, 8, 12}
+        assert all(worker != 0 for worker in store.pins.values())
+        assert controller.sub_part_overrides == {4, 8, 12}
+        assert counters.get("parts_split") == 1
+        assert counters.get("load_imbalance") > 1000
+
+    def test_warmup_defers_action(self):
+        placement, monitor, controller, _, _ = make_stack()
+        monitor.observe({0: 5.0, 1: 0.1, 2: 0.1, 3: 0.1})
+        assert controller.rebalance(step=0) == 0
+        assert placement.is_identity()
+
+    def test_noise_floor(self):
+        placement, monitor, controller, _, _ = make_stack(min_part_seconds=1.0)
+        for _ in range(3):
+            monitor.observe({0: 0.5, 1: 0.01, 2: 0.01, 3: 0.01})
+        assert controller.rebalance(step=2) == 0
+        assert placement.is_identity()
+
+    def test_cooldown_rests_between_actions(self):
+        placement, monitor, controller, _, _ = make_stack(
+            cooldown_steps=2, max_actions_per_barrier=1
+        )
+        skewed = {0: 2.0, 1: 2.0, 2: 0.1, 3: 0.1}
+        monitor.observe(skewed)
+        monitor.observe(skewed)
+        assert controller.rebalance(step=1) == 1
+        monitor.observe(skewed)
+        assert controller.rebalance(step=2) == 0  # cooling down
+        monitor.observe(skewed)
+        monitor.observe(skewed)
+        assert controller.rebalance(step=4) == 1
+
+    def test_split_disabled(self):
+        placement, monitor, controller, _, _ = make_stack(
+            enable_split=False, enable_migrate=False
+        )
+        monitor.observe({0: 5.0, 1: 0.1, 2: 0.1, 3: 0.1})
+        monitor.observe({0: 5.0, 1: 0.1, 2: 0.1, 3: 0.1})
+        assert controller.rebalance(step=1) == 0
+
+
+class TestMergePolicy:
+    def test_cold_split_part_merges(self):
+        placement, monitor, controller, store, counters = make_stack()
+        monitor.observe({0: 5.0, 1: 0.5, 2: 0.5, 3: 0.5})
+        monitor.observe({0: 5.0, 1: 0.5, 2: 0.5, 3: 0.5})
+        assert controller.rebalance(step=1) == 1
+        # the part goes cold; EWMA pulls its load toward zero
+        for _ in range(6):
+            monitor.observe({0: 0.0, 1: 0.5, 2: 0.5, 3: 0.5})
+        assert controller.rebalance(step=8) == 1
+        assert placement.fanout(0) == 1
+        assert counters.get("parts_merged") == 1
+        # the sub-part pins survive the merge: in-flight spills drain
+        # where they already landed
+        assert controller.sub_part_overrides == {4, 8, 12}
+        assert not store.cleared
+
+    def test_release_clears_pins(self):
+        placement, monitor, controller, store, _ = make_stack()
+        monitor.observe({0: 5.0, 1: 0.1, 2: 0.1, 3: 0.1})
+        monitor.observe({0: 5.0, 1: 0.1, 2: 0.1, 3: 0.1})
+        controller.rebalance(step=1)
+        controller.release_sub_part_overrides()
+        assert sorted(store.cleared) == [4, 8, 12]
+        assert controller.sub_part_overrides == set()
+        assert placement.assignments() == {}
+
+
+class TestMigratePolicy:
+    def test_worker_skew_moves_a_part(self):
+        # parts 0 and 2 share worker 0 in a 2-worker deployment; both
+        # moderately loaded, so no single part crosses the split
+        # threshold but worker 0 carries ~4x worker 1
+        placement, monitor, controller, store, counters = make_stack(
+            n_workers=2, split_threshold=10.0
+        )
+        load = {0: 1.0, 1: 0.25, 2: 1.0, 3: 0.25}
+        monitor.observe(load)
+        monitor.observe(load)
+        applied = controller.rebalance(step=1)
+        assert applied == 1
+        assert store.migrations == [(0, 1)] or store.migrations == [(2, 1)]
+        assert counters.get("parts_migrated") == 1
+        assert counters.get("migration_seconds") == pytest.approx(0.25)
+
+    def test_migrate_requires_store_support(self):
+        placement, monitor, controller, store, _ = make_stack(
+            n_workers=2, split_threshold=10.0
+        )
+        del FakeStore.migrate_part
+        try:
+            monitor.observe({0: 1.0, 2: 1.0})
+            monitor.observe({0: 1.0, 2: 1.0})
+            assert controller.rebalance(step=1) == 0
+        finally:
+            FakeStore.migrate_part = lambda self, part, target: None
+
+    def test_balanced_workers_do_not_migrate(self):
+        placement, monitor, controller, store, _ = make_stack(
+            n_workers=2, split_threshold=10.0
+        )
+        monitor.observe({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0})
+        monitor.observe({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0})
+        assert controller.rebalance(step=1) == 0
+        assert not store.migrations

@@ -1,0 +1,141 @@
+"""PlacementMap: routing, versioning, split/merge geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.elastic.placement import PlacementMap
+from repro.util.hashing import stable_hash, sub_part_for_hash, sub_parts_for_hashes
+
+
+class TestIdentity:
+    def test_starts_identity(self):
+        pm = PlacementMap(4, 4, max_fanout=4)
+        assert pm.is_identity()
+        assert pm.version == 0
+        assert pm.n_physical == 16
+        for key in range(100):
+            h = stable_hash(key)
+            assert pm.route(h, h % 4) == h % 4
+
+    def test_active_parts_identity(self):
+        pm = PlacementMap(3, 2, max_fanout=2)
+        assert pm.active_physical_parts() == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacementMap(0, 4)
+        with pytest.raises(ValueError):
+            PlacementMap(4, 0)
+        with pytest.raises(ValueError):
+            PlacementMap(4, 4, max_fanout=0)
+
+
+class TestSplit:
+    def test_split_routes_into_sub_parts(self):
+        pm = PlacementMap(4, 4, max_fanout=4)
+        physical = pm.split(0, 4)
+        assert physical == [0, 4, 8, 12]
+        assert pm.version == 1
+        assert not pm.is_identity()
+        hit = set()
+        for key in range(0, 400, 4):  # keys of logical part 0
+            h = stable_hash(key)
+            dest = pm.route(h, 0)
+            assert dest in {0, 4, 8, 12}
+            assert pm.logical_of(dest) == 0
+            hit.add(dest)
+        # the hash mix must actually spread co-resident keys
+        assert len(hit) == 4
+
+    def test_unsplit_parts_unaffected(self):
+        pm = PlacementMap(4, 4, max_fanout=4)
+        pm.split(0, 4)
+        for key in (1, 5, 2, 7, 11):
+            h = stable_hash(key)
+            assert pm.route(h, h % 4) == h % 4
+
+    def test_scalar_and_vector_routes_agree(self):
+        pm = PlacementMap(4, 4, max_fanout=4)
+        pm.split(2, 3)
+        keys = np.arange(1000)
+        hashes = keys.astype(np.uint64) & np.uint64(0xFFFFFFFF)
+        logicals = (hashes % np.uint64(4)).astype(np.int64)
+        vector = pm.route_many(hashes.astype(np.int64), logicals)
+        for key in range(1000):
+            h = stable_hash(int(key))
+            assert pm.route(h, h % 4) == vector[key]
+
+    def test_fanout_bounds(self):
+        pm = PlacementMap(4, 4, max_fanout=4)
+        with pytest.raises(ValueError):
+            pm.split(0, 1)
+        with pytest.raises(ValueError):
+            pm.split(0, 5)
+        with pytest.raises(ValueError):
+            pm.split(4, 2)
+
+    def test_active_parts_after_split(self):
+        pm = PlacementMap(4, 4, max_fanout=4)
+        pm.split(1, 2)
+        assert pm.active_physical_parts() == [0, 1, 2, 3, 5]
+
+
+class TestMerge:
+    def test_merge_restores_identity_routing(self):
+        pm = PlacementMap(4, 4, max_fanout=4)
+        pm.split(0, 4)
+        version = pm.version
+        pm.merge(0)
+        assert pm.version == version + 1
+        assert pm.is_identity()
+        for key in range(0, 100, 4):
+            h = stable_hash(key)
+            assert pm.route(h, 0) == 0
+
+    def test_merge_of_unsplit_part_is_noop(self):
+        pm = PlacementMap(4, 4, max_fanout=4)
+        pm.merge(3)
+        assert pm.version == 0
+
+
+class TestWorkerPins:
+    def test_default_is_modulo(self):
+        pm = PlacementMap(4, 3, max_fanout=2)
+        assert pm.worker_of(5) == 2
+
+    def test_assign_and_unassign(self):
+        pm = PlacementMap(4, 3, max_fanout=2)
+        version = pm.version
+        pm.assign(5, 0)
+        assert pm.worker_of(5) == 0
+        assert pm.assignments() == {5: 0}
+        # a pin changes where a part runs, not what routes to it
+        assert pm.version == version
+        pm.unassign(5)
+        assert pm.worker_of(5) == 2
+
+    def test_assign_validates_worker(self):
+        pm = PlacementMap(4, 3, max_fanout=2)
+        with pytest.raises(ValueError):
+            pm.assign(0, 3)
+
+
+class TestSubPartHash:
+    def test_fanout_one_is_zero(self):
+        assert sub_part_for_hash(12345, 1) == 0
+        assert sub_part_for_hash(12345, 0) == 0
+
+    def test_consecutive_co_resident_ints_spread(self):
+        # ids ≡ 0 (mod 4) share logical part 0 under the int fast path;
+        # the mixed sub-part hash must still spread them
+        subs = {sub_part_for_hash(stable_hash(k), 4) for k in range(0, 64, 4)}
+        assert len(subs) == 4
+
+    def test_vectorized_matches_scalar(self):
+        hashes = np.array([stable_hash(k) for k in range(256)], dtype=np.int64)
+        fanouts = np.array([(k % 4) + 1 for k in range(256)], dtype=np.int64)
+        vector = sub_parts_for_hashes(hashes, fanouts)
+        for i in range(256):
+            assert vector[i] == sub_part_for_hash(int(hashes[i]), int(fanouts[i]))

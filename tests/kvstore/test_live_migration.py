@@ -1,0 +1,178 @@
+"""Live part migration under fire.
+
+``test_migrate.py`` covers the offline copy helpers; this file pins the
+*live* protocol (freeze → drain → copy → flip → unfreeze): migrations
+racing concurrent writers must preserve every acknowledged write, and a
+source worker SIGKILLed mid-migration must not lose data when the store
+is crash-tolerant (the parent-side mirror is journal-complete).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.kvstore.api import TableSpec
+from repro.kvstore.partitioned import PartitionedKVStore
+from repro.kvstore.replicated import ReplicatedKVStore
+from repro.runtime import ProcessRuntime, RetryPolicy, ThreadedRuntime
+
+N_PARTS = 4
+PART = 0  # int keys ≡ 0 (mod 4) land here
+TARGET = 2
+
+
+def part_keys(count):
+    return [PART + N_PARTS * i for i in range(count)]
+
+
+def hammer(table, keys, stop, acked):
+    """Write rounds of increasing values; record each write *after* the
+    put returns — exactly the set migration must preserve."""
+    round_num = 0
+    while not stop.is_set():
+        round_num += 1
+        for key in keys:
+            table.put(key, (round_num, key))
+            acked[key] = (round_num, key)
+        time.sleep(0.001)
+
+
+def run_migration_race(store):
+    table = store.create_table(TableSpec(name="data", n_parts=N_PARTS))
+    keys = part_keys(8)
+    for key in keys:
+        table.put(key, (0, key))
+    stop = threading.Event()
+    acked = {}
+    writer = threading.Thread(
+        target=hammer, args=(table, keys, stop, acked), daemon=True
+    )
+    writer.start()
+    try:
+        time.sleep(0.05)
+        report = store.migrate_part(PART, TARGET)
+        time.sleep(0.05)  # writers keep going against the new owner
+    finally:
+        stop.set()
+        writer.join(timeout=10)
+    return table, report, acked
+
+
+class TestConcurrentWriters:
+    def test_threaded_store_flips_lane_and_keeps_writes(self):
+        runtime = ThreadedRuntime(N_PARTS, name="mig")
+        with PartitionedKVStore(n_partitions=N_PARTS, runtime=runtime) as store:
+            table, report, acked = run_migration_race(store)
+            assert runtime.worker_of(PART) == TARGET
+            assert report["source"] == 0 and report["target"] == TARGET
+            for key, value in acked.items():
+                assert table.get(key) == value
+            # the part still accepts writes after the flip
+            table.put(PART, "post-migration")
+            assert table.get(PART) == "post-migration"
+
+    def test_process_store_moves_data_and_keeps_writes(self):
+        runtime = ProcessRuntime(N_PARTS, name="mig")
+        with PartitionedKVStore(n_partitions=N_PARTS, runtime=runtime) as store:
+            table, report, acked = run_migration_race(store)
+            assert runtime.worker_of(PART) == TARGET
+            assert report["tables"] >= 1
+            assert report["entries"] >= 8
+            assert report["seconds"] > 0.0
+            for key, value in acked.items():
+                assert table.get(key) == value
+            table.put(PART, "post-migration")
+            assert table.get(PART) == "post-migration"
+
+    def test_migrate_to_same_worker_is_noop(self):
+        runtime = ThreadedRuntime(N_PARTS, name="mig")
+        with PartitionedKVStore(n_partitions=N_PARTS, runtime=runtime) as store:
+            table = store.create_table(TableSpec(name="data", n_parts=N_PARTS))
+            table.put(PART, "stays")
+            report = store.migrate_part(PART, runtime.worker_of(PART))
+            assert report["tables"] == 0 and report["seconds"] == 0.0
+            assert table.get(PART) == "stays"
+
+    def test_target_validated(self):
+        runtime = ThreadedRuntime(N_PARTS, name="mig")
+        with PartitionedKVStore(n_partitions=N_PARTS, runtime=runtime) as store:
+            with pytest.raises(ValueError):
+                store.migrate_part(PART, N_PARTS)
+
+
+class TestCrashDuringMigration:
+    def test_source_sigkill_recovers_from_mirror(self):
+        """The source dies right after the drain — the worst moment: the
+        freshest copy of the part was only in its memory.  The journal
+        protocol guarantees the parent mirror holds every acknowledged
+        write, so the migration completes from there."""
+        runtime = ProcessRuntime(
+            N_PARTS, name="mig", retry_policy=RetryPolicy(max_respawns=N_PARTS)
+        )
+        with PartitionedKVStore(
+            n_partitions=N_PARTS, runtime=runtime, crash_tolerance=True
+        ) as store:
+            table = store.create_table(TableSpec(name="data", n_parts=N_PARTS))
+            keys = part_keys(20)
+            for key in keys:
+                table.put(key, key * 3)
+
+            killed = []
+
+            def fault(point, part):
+                if point == "drained" and not killed:
+                    pids = runtime.stats()["pids"]
+                    source = runtime.worker_of(part)
+                    os.kill(pids[source], signal.SIGKILL)
+                    killed.append(source)
+
+            store.migration_fault_hook = fault
+            report = store.migrate_part(PART, TARGET)
+            assert killed == [0]
+            assert runtime.worker_of(PART) == TARGET
+            assert report["entries"] == len(keys)
+            for key in keys:
+                assert table.get(key) == key * 3
+            # the part is live on the new owner
+            table.put(PART, "alive")
+            assert table.get(PART) == "alive"
+
+    def test_sigkill_without_crash_tolerance_raises(self):
+        from repro.runtime import WorkerLostError
+
+        runtime = ProcessRuntime(
+            N_PARTS, name="mig", retry_policy=RetryPolicy(max_respawns=N_PARTS)
+        )
+        with PartitionedKVStore(n_partitions=N_PARTS, runtime=runtime) as store:
+            table = store.create_table(TableSpec(name="data", n_parts=N_PARTS))
+            table.put(PART, "doomed")
+
+            def fault(point, part):
+                if point == "drained":
+                    pids = runtime.stats()["pids"]
+                    os.kill(pids[runtime.worker_of(part)], signal.SIGKILL)
+
+            store.migration_fault_hook = fault
+            with pytest.raises(WorkerLostError):
+                store.migrate_part(PART, TARGET)
+
+
+class TestReplicatedMigration:
+    def test_lane_flip_without_data_copy(self):
+        store = ReplicatedKVStore(n_shards=4, replication=1)
+        try:
+            table = store.create_table(TableSpec(name="data", n_parts=N_PARTS))
+            table.put(PART, "sharded")
+            report = store.migrate_part(PART, TARGET)
+            assert store.runtime.worker_of(PART) == TARGET
+            assert report["tables"] == 0  # data is parent-resident
+            assert table.get(PART) == "sharded"
+            table.put(PART, "after")
+            assert table.get(PART) == "after"
+        finally:
+            store.close()
