@@ -152,20 +152,16 @@ class KMeansResult:
     job_result: JobResult
 
 
-def run_kmeans(
-    store: KVStore,
+def kmeans_job(
+    table: str,
     points: Dict[Any, np.ndarray],
     k: int,
     initial_centroids: Optional[np.ndarray] = None,
-    max_iterations: int = 100,
-    table: str = "kmeans_points",
-    **engine_kwargs: Any,
-) -> KMeansResult:
-    """Cluster *points* into *k* groups with the EBSP k-means job.
+) -> Job:
+    """The k-means :class:`Job` object, unexecuted.
 
-    *initial_centroids* defaults to the k points with the smallest
-    keys (deterministic; matches the reference implementation's
-    convention in the tests).
+    Same validation and centroid-default rules as :func:`run_kmeans`;
+    read the clustering back with :func:`collect_kmeans`.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -177,10 +173,11 @@ def run_kmeans(
     initial_centroids = np.asarray(initial_centroids, dtype=float)
     if initial_centroids.shape[0] != k:
         raise ValueError(f"initial_centroids must have k={k} rows")
+    return _KMeansJob(table, points, k, initial_centroids)
 
-    job = _KMeansJob(table, points, k, initial_centroids)
-    result = run_job(store, job, synchronize=True, max_steps=max_iterations, **engine_kwargs)
 
+def collect_kmeans(store: KVStore, table: str, result: JobResult) -> KMeansResult:
+    """Read the clustering out of a finished k-means run's state table."""
     table_handle = store.get_table(table)
     assignments: Dict[Any, int] = {}
     cache: Optional[np.ndarray] = None
@@ -200,3 +197,23 @@ def run_kmeans(
         iterations=result.steps,
         job_result=result,
     )
+
+
+def run_kmeans(
+    store: KVStore,
+    points: Dict[Any, np.ndarray],
+    k: int,
+    initial_centroids: Optional[np.ndarray] = None,
+    max_iterations: int = 100,
+    table: str = "kmeans_points",
+    **engine_kwargs: Any,
+) -> KMeansResult:
+    """Cluster *points* into *k* groups with the EBSP k-means job.
+
+    *initial_centroids* defaults to the k points with the smallest
+    keys (deterministic; matches the reference implementation's
+    convention in the tests).
+    """
+    job = kmeans_job(table, points, k, initial_centroids)
+    result = run_job(store, job, synchronize=True, max_steps=max_iterations, **engine_kwargs)
+    return collect_kmeans(store, table, result)

@@ -109,6 +109,21 @@ class _DirectJob(Job):
         return [TableScanLoader(self._store.get_table(self._table_name))]
 
 
+def pagerank_job(
+    store: KVStore,
+    table_name: str,
+    n_vertices: int,
+    config: PageRankConfig = PageRankConfig(),
+) -> Job:
+    """The direct-variant :class:`Job` object, unexecuted.
+
+    For callers that hand jobs to a scheduler (the
+    :class:`~repro.ebsp.scheduler.JobScheduler`, the service front
+    door) instead of running them inline via :func:`pagerank_direct`.
+    """
+    return _DirectJob(table_name, n_vertices, config, store)
+
+
 def pagerank_direct(
     store: KVStore,
     table_name: str,
@@ -123,5 +138,5 @@ def pagerank_direct(
     steps.  Final ranks land back in the table (read them with
     :func:`~repro.apps.pagerank.common.read_ranks`).
     """
-    job = _DirectJob(table_name, n_vertices, config, store)
+    job = pagerank_job(store, table_name, n_vertices, config)
     return run_job(store, job, synchronize=True, **engine_kwargs)

@@ -105,6 +105,22 @@ class _SelectiveJob(Job):
         return JobProperties(incremental=True, no_continue=True)
 
 
+def selective_sssp_job(
+    table_name: str,
+    source: int,
+    distance_cap: int,
+    enabled: Iterable[int],
+) -> Job:
+    """The selective-variant :class:`Job` object, unexecuted.
+
+    For callers that hand jobs to a scheduler instead of driving them
+    through :class:`SelectiveSSSP`; *enabled* names the vertices to
+    wake (the source for an initial solve, changed endpoints for an
+    incremental update).
+    """
+    return _SelectiveJob(table_name, source, distance_cap, enabled)
+
+
 class SelectiveSSSP:
     """Driver for the selective-enablement variant."""
 

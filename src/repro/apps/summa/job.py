@@ -207,6 +207,61 @@ class _SummaJob(Job):
         return JobProperties(incremental=True, no_continue=True, rare_state=False)
 
 
+def load_summa_blocks(
+    store: KVStore,
+    a: np.ndarray,
+    b: np.ndarray,
+    grid: BlockGrid,
+    table_name: str = "summa_blocks",
+) -> None:
+    """Split ``a`` and ``b`` and seed the component state table.
+
+    Drops and recreates *table_name*: every run starts from the same
+    initial block placement (block ``(i, j)`` of A at column holder j,
+    of B at row holder i, per the SUMMA distribution).
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    a_blocks = split(a, grid.m_rows, grid.batches)
+    b_blocks = split(b, grid.batches, grid.n_cols)
+    if store.has_table(table_name):
+        store.drop_table(table_name)
+    table = store.create_table(TableSpec(name=table_name))
+    row_sizes = [a_blocks[(i, 0)].shape[0] for i in range(grid.m_rows)]
+    col_sizes = [b_blocks[(0, j)].shape[1] for j in range(grid.n_cols)]
+    for i, j in grid.components:
+        held_a = {j: a_blocks[(i, j)]} if j < grid.batches else {}
+        held_b = {i: b_blocks[(i, j)]} if i < grid.batches else {}
+        state = _SummaState(
+            c_block=np.zeros((row_sizes[i], col_sizes[j])), held_a=held_a, held_b=held_b
+        )
+        table.put(grid.key_of(i, j), state)
+
+
+def summa_job(
+    table_name: str,
+    grid: BlockGrid,
+    synchronized: bool = True,
+    counters: Optional[Counters] = None,
+    simulated_multiply_seconds: float = 0.0,
+) -> Job:
+    """The SUMMA :class:`Job` object, unexecuted.
+
+    Expects the state table seeded by :func:`load_summa_blocks`; read
+    the product back with :func:`assemble_summa_result`.
+    """
+    return _SummaJob(table_name, grid, synchronized, counters, simulated_multiply_seconds)
+
+
+def assemble_summa_result(
+    store: KVStore, grid: BlockGrid, table_name: str = "summa_blocks"
+) -> np.ndarray:
+    """Assemble the C matrix from a finished SUMMA run's state table."""
+    table = store.get_table(table_name)
+    c_blocks = {grid.coord_of(key): state.c_block for key, state in table.items()}
+    return assemble(c_blocks, grid.m_rows, grid.n_cols)
+
+
 def summa_multiply(
     store: KVStore,
     a: np.ndarray,
@@ -232,27 +287,7 @@ def summa_multiply(
     machine per component — how the timing benchmark surfaces the
     barrier cost on a single-core host (DESIGN.md §2).
     """
-    if a.shape[1] != b.shape[0]:
-        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
-    a_blocks = split(a, grid.m_rows, grid.batches)
-    b_blocks = split(b, grid.batches, grid.n_cols)
-    if store.has_table(table_name):
-        store.drop_table(table_name)
-    table = store.create_table(TableSpec(name=table_name))
-    row_sizes = [a_blocks[(i, 0)].shape[0] for i in range(grid.m_rows)]
-    col_sizes = [b_blocks[(0, j)].shape[1] for j in range(grid.n_cols)]
-    for i, j in grid.components:
-        held_a = {j: a_blocks[(i, j)]} if j < grid.batches else {}
-        held_b = {i: b_blocks[(i, j)]} if i < grid.batches else {}
-        state = _SummaState(
-            c_block=np.zeros((row_sizes[i], col_sizes[j])), held_a=held_a, held_b=held_b
-        )
-        table.put(grid.key_of(i, j), state)
-
-    job = _SummaJob(table_name, grid, synchronize, counters, simulated_multiply_seconds)
+    load_summa_blocks(store, a, b, grid, table_name)
+    job = summa_job(table_name, grid, synchronize, counters, simulated_multiply_seconds)
     result = run_job(store, job, synchronize=synchronize, **engine_kwargs)
-
-    c_blocks = {
-        grid.coord_of(key): state.c_block for key, state in table.items()
-    }
-    return assemble(c_blocks, grid.m_rows, grid.n_cols), result
+    return assemble_summa_result(store, grid, table_name), result

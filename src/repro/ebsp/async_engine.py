@@ -203,7 +203,13 @@ class AsyncEngine:
         work_stealing: Optional[bool] = None,
         require_no_sync: bool = True,
         trace: Any = None,
+        on_step: Optional[Any] = None,
     ):
+        # ``on_step`` is accepted for signature parity with SyncEngine
+        # (run_job forwards engine kwargs to whichever engine the plan
+        # picks) but never fires: a no-sync run has no barriers, hence
+        # no per-step timeline to report.
+        del on_step
         self._store = store
         self._job = job
         # None defers to RIPPLE_TRACE; True/False/Tracer are explicit.

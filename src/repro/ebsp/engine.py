@@ -596,6 +596,7 @@ class SyncEngine:
         job_key: Optional[str] = None,
         resume: bool = False,
         elastic: Any = None,
+        on_step: Optional[Any] = None,
     ):
         self._store = store
         self._job = job
@@ -635,6 +636,10 @@ class SyncEngine:
         self._fault_tolerance = fault_tolerance
         self._failure_injector = failure_injector
         self._max_retries = max_retries
+        # Live progress hook: called with each step's StepMetrics right
+        # after the barrier (driver thread).  Exceptions are swallowed —
+        # a monitoring callback must never fail a tenant's job.
+        self._on_step = on_step
         self._counters = Counters()
         self._agg_values: Dict[str, Any] = {}
         self._direct_exporter = job.direct_output_exporter()
@@ -810,6 +815,7 @@ class SyncEngine:
             "_elastic",
             "_elastic_monitor",
             "_elastic_stats_baseline",
+            "_on_step",
         ):
             state[name] = None
         return state
@@ -1289,19 +1295,23 @@ class SyncEngine:
         registry.counter("engine.barrier_wait_seconds", unit="seconds").add(barrier_wait)
         from repro.ebsp.results import StepMetrics
 
-        self._timeline.append(
-            StepMetrics(
-                step=step,
-                duration_seconds=time.monotonic() - started,
-                invocations=result.invocations,
-                records_out=result.records_out,
-                parts_run=len(active) if active is not None else self._n_physical,
-                parts_skipped=len(skipped),
-                compute_seconds=result.compute_seconds,
-                flush_seconds=result.flush_seconds,
-                barrier_wait_seconds=barrier_wait,
-            )
+        metrics_entry = StepMetrics(
+            step=step,
+            duration_seconds=time.monotonic() - started,
+            invocations=result.invocations,
+            records_out=result.records_out,
+            parts_run=len(active) if active is not None else self._n_physical,
+            parts_skipped=len(skipped),
+            compute_seconds=result.compute_seconds,
+            flush_seconds=result.flush_seconds,
+            barrier_wait_seconds=barrier_wait,
         )
+        self._timeline.append(metrics_entry)
+        if self._on_step is not None:
+            try:
+                self._on_step(metrics_entry)
+            except Exception:
+                pass
         return result
 
     def _finish_step(

@@ -17,7 +17,7 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
 
 from repro.errors import JobError
 from repro.ebsp.job import Job
@@ -51,6 +51,13 @@ class JobHandle:
     submitted_at: float = field(default_factory=time.monotonic)
     finished_at: Optional[float] = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Invoked (with this handle) on a runtime worker right before the
+    #: job starts executing.
+    on_start: Optional[Callable[["JobHandle"], None]] = field(default=None, repr=False)
+    #: Invoked (with this handle) once the job reaches a terminal state
+    #: — SUCCEEDED, FAILED, or CANCELLED.  Runs after ``wait`` unblocks,
+    #: on the worker that ran the job (or the cancelling thread).
+    on_done: Optional[Callable[["JobHandle"], None]] = field(default=None, repr=False)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job finishes (or *timeout*); True if done."""
@@ -97,16 +104,25 @@ class JobScheduler:
         self,
         job: Job,
         read_only: Optional[List[str]] = None,
+        on_start: Optional[Callable[[JobHandle], None]] = None,
+        on_done: Optional[Callable[[JobHandle], None]] = None,
         **engine_kwargs: Any,
     ) -> JobHandle:
-        """Queue *job*; returns a handle immediately."""
+        """Queue *job*; returns a handle immediately.
+
+        *on_start* fires right before the job begins executing;
+        *on_done* fires once it reaches a terminal state (including
+        cancellation).  Callbacks run on scheduler threads and must not
+        block; exceptions they raise are swallowed.
+        """
         if self._closed:
             raise JobError("scheduler is shut down")
         tables = set(job.state_table_names())
         reads = frozenset(read_only or []) & tables
         writes = frozenset(tables - reads)
         handle = JobHandle(
-            job_id=uuid.uuid4().hex[:12], job=job, writes=writes, reads=reads
+            job_id=uuid.uuid4().hex[:12], job=job, writes=writes, reads=reads,
+            on_start=on_start, on_done=on_done,
         )
         with self._lock:
             self._handles[handle.job_id] = handle
@@ -125,7 +141,16 @@ class JobScheduler:
             handle.state = JobState.CANCELLED
             handle.finished_at = time.monotonic()
             handle._done.set()
-            return True
+        self._notify_done(handle)
+        return True
+
+    @staticmethod
+    def _notify_done(handle: JobHandle) -> None:
+        if handle.on_done is not None:
+            try:
+                handle.on_done(handle)
+            except Exception:
+                pass
 
     # -- scheduling core --------------------------------------------------------
     def _conflicts(self, handle: JobHandle) -> bool:
@@ -157,6 +182,11 @@ class JobScheduler:
 
     def _run_one(self, handle: JobHandle, slot: int) -> None:
         kwargs = self._engine_kwargs.get(handle.job_id, {})
+        if handle.on_start is not None:
+            try:
+                handle.on_start(handle)
+            except Exception:
+                pass
         try:
             handle.result = run_job(self._store, handle.job, **kwargs)
             handle.state = JobState.SUCCEEDED
@@ -170,6 +200,7 @@ class JobScheduler:
                 self._running_reads.pop(handle.job_id, None)
                 self._free_slots.append(slot)
             handle._done.set()
+            self._notify_done(handle)
             self._pump()
 
     # -- introspection / lifecycle ---------------------------------------------------
@@ -193,21 +224,45 @@ class JobScheduler:
                 return False
         return True
 
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Graceful drain-then-stop: stop accepting jobs, cancel the
+        queue, wait for running jobs up to *timeout* seconds, release
+        the runtime.  Idempotent — later calls are no-ops returning
+        whether everything had drained.
+
+        With ``timeout=None`` the drain waits indefinitely (running
+        jobs always complete).  With a deadline, jobs still running
+        when it expires keep executing on unjoined runtime threads —
+        nothing is killed mid-superstep — but ``close`` returns
+        ``False`` immediately so a SIGTERM handler can exit.
+        """
+        cancelled: List[JobHandle] = []
+        with self._lock:
+            already_closed = self._closed
+            self._closed = True
+            if not already_closed:
+                for job_id in self._queue:
+                    handle = self._handles[job_id]
+                    handle.state = JobState.CANCELLED
+                    handle.finished_at = time.monotonic()
+                    handle._done.set()
+                    cancelled.append(handle)
+                self._queue = []
+        for handle in cancelled:
+            self._notify_done(handle)
+        drained = self.wait_all(timeout)
+        self._runtime.close(wait=drained)
+        return drained
+
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs; optionally wait for running ones.
+        """Historical alias for :meth:`close`.
 
         Queued jobs are cancelled; jobs already running are allowed to
-        complete (the runtime drains its lanes before stopping).
+        complete (the runtime drains its lanes before stopping).  With
+        ``wait=False`` the drain still happens but worker threads are
+        not joined before returning.
         """
-        with self._lock:
-            self._closed = True
-            for job_id in self._queue:
-                handle = self._handles[job_id]
-                handle.state = JobState.CANCELLED
-                handle.finished_at = time.monotonic()
-                handle._done.set()
-            self._queue = []
-        self._runtime.close(wait=wait)
+        self.close(timeout=None if wait else 0.0)
 
     def runtime_stats(self) -> Dict[str, Any]:
         """Per-slot execution counters from the scheduler's runtime."""
@@ -217,4 +272,4 @@ class JobScheduler:
         return self
 
     def __exit__(self, *exc: Any) -> None:
-        self.shutdown(wait=True)
+        self.close()

@@ -117,3 +117,31 @@ class RecoveryError(JobError):
 
 class TerminationError(RippleError):
     """Raised when distributed termination detection fails an invariant."""
+
+
+class ServiceError(RippleError):
+    """Base class for job front-door (service layer) failures."""
+
+
+class BadRequestError(ServiceError):
+    """Raised when a submitted job specification is malformed."""
+
+
+class QuotaExceededError(ServiceError):
+    """Raised when admission control rejects a submission outright.
+
+    Carries *retry_after* (seconds) so clients — and the HTTP layer's
+    429 response — can back off instead of hammering the front door.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class UnknownServiceJobError(ServiceError):
+    """Raised when looking up a service job id that was never issued."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"unknown service job id {job_id!r}")
+        self.job_id = job_id

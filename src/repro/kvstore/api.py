@@ -267,10 +267,31 @@ class Table(abc.ABC):
     def __init__(self, spec: TableSpec, n_parts: int):
         self._spec = spec
         self._n_parts = n_parts
+        self._mutation_epoch = 0
 
     @property
     def spec(self) -> TableSpec:
         return self._spec
+
+    # -- mutation epochs ---------------------------------------------------
+    #
+    # Every store bumps the epoch from its table-level mutation entry
+    # points (put/delete/clear and the bulk/async variants).  The
+    # counter is deliberately coarse: it answers "has this table
+    # possibly changed since epoch E?" — which is all the service
+    # layer's result cache needs for invalidation — not "how many
+    # records changed".  Increments are best-effort under concurrency
+    # (a racing pair may collapse into one bump); what is guaranteed is
+    # that a quiescent table's epoch is stable and any mutation between
+    # two quiescent reads changes it.
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter distinguishing table versions for caching."""
+        return self._mutation_epoch
+
+    def note_mutation(self) -> None:
+        """Advance the mutation epoch (stores call this on write paths)."""
+        self._mutation_epoch += 1
 
     @property
     def name(self) -> str:

@@ -75,10 +75,12 @@ class LocalTable(Table):
             raise UbiquityViolationError(
                 f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
             )
+        self.note_mutation()
         self._part(key).put(key, value)
 
     def delete(self, key: Any) -> bool:
         self._check()
+        self.note_mutation()
         return self._part(key).delete(key)
 
     # -- bulk operations --------------------------------------------------
@@ -90,6 +92,7 @@ class LocalTable(Table):
         its part.
         """
         self._check()
+        self.note_mutation()
         pairs, span = self._batch_span("store.put_many", pairs)
         with span:
             if self.ubiquitous:
@@ -112,6 +115,7 @@ class LocalTable(Table):
     def delete_many(self, keys: Iterable[Any]) -> None:
         """Batch deletes routed straight to each key's part."""
         self._check()
+        self.note_mutation()
         keys, span = self._batch_span("store.delete_many", keys)
         with span:
             parts = self._parts
@@ -160,6 +164,7 @@ class LocalTable(Table):
 
     def clear(self) -> None:
         self._check()
+        self.note_mutation()
         for part in self._parts:
             part.clear()  # type: ignore[attr-defined]
 

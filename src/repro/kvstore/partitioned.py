@@ -732,6 +732,7 @@ class PartitionedTable(Table):
 
     def put(self, key: Any, value: Any) -> None:
         self._check()
+        self.note_mutation()
         if self.ubiquitous:
             # The limit check runs collocated with the (single) part —
             # ubiquitous tables have exactly one part, so the part's
@@ -749,12 +750,14 @@ class PartitionedTable(Table):
         self._call_short(self.part_of(key), _op_put, key, value)
 
     def delete(self, key: Any) -> bool:
+        self.note_mutation()
         return bool(
             self._call_short(self.part_of(key), _op_delete, key, readonly=True)
         )
 
     def put_async(self, key: Any, value: Any) -> Future:
         """Dispatch a put without waiting; the future resolves when applied."""
+        self.note_mutation()
         if self.ubiquitous:
             return self._submit_short(
                 self.part_of(key),
@@ -767,6 +770,7 @@ class PartitionedTable(Table):
         return self._submit_short(self.part_of(key), _op_put, key, value)
 
     def delete_async(self, key: Any) -> Future:
+        self.note_mutation()
         return self._submit_short(self.part_of(key), _op_delete, key, readonly=True)
 
     # -- bulk operations ----------------------------------------------------
@@ -785,6 +789,7 @@ class PartitionedTable(Table):
         record, and all touched parts transfer in parallel.
         """
         self._check()
+        self.note_mutation()
         if self.ubiquitous:
             batch = list(pairs)
             if not batch:
@@ -817,6 +822,7 @@ class PartitionedTable(Table):
     def delete_many_async(self, keys: Iterable[Any]) -> list:
         """Dispatch per-part delete batches concurrently; returns futures."""
         self._check()
+        self.note_mutation()
         by_part: dict = {}
         part_of = self.part_of
         for key in keys:
@@ -983,6 +989,7 @@ class PartitionedTable(Table):
 
     def clear(self) -> None:
         self._check()
+        self.note_mutation()
         for view in self._views:
             view.clear()
 

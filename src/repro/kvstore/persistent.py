@@ -168,16 +168,19 @@ class PersistentTable(Table):
             raise UbiquityViolationError(
                 f"ubiquitous table {self.name!r} exceeds its limit of {self.spec.ubiquity_limit}"
             )
+        self.note_mutation()
         self._parts[self.part_of(key)].put(key, value)
 
     def delete(self, key: Any) -> bool:
         self._check()
+        self.note_mutation()
         return self._parts[self.part_of(key)].delete(key)
 
     # -- bulk operations --------------------------------------------------
     def put_many(self, pairs: Iterable[tuple]) -> None:
         """Group per part and log each part's batch with one disk flush."""
         self._check()
+        self.note_mutation()
         pairs, span = self._batch_span("store.put_many", pairs)
         with span:
             if self.ubiquitous:
@@ -203,6 +206,7 @@ class PersistentTable(Table):
     def delete_many(self, keys: Iterable[Any]) -> None:
         """Batch deletes grouped per part (one log append per key)."""
         self._check()
+        self.note_mutation()
         keys, span = self._batch_span("store.delete_many", keys)
         with span:
             parts = self._parts
@@ -278,6 +282,7 @@ class PersistentTable(Table):
 
     def clear(self) -> None:
         self._check()
+        self.note_mutation()
         for part in self._parts:
             for key, _ in part.view.items():
                 part.delete(key)

@@ -459,6 +459,7 @@ class ReplicatedTable(Table):
         self._check()
         if value is None:
             raise ValueError("None is not a storable value; use delete()")
+        self.note_mutation()
         part_index = self.part_of(key)
         shard = self._store._shard(part_index)
         with shard.lock:
@@ -476,6 +477,7 @@ class ReplicatedTable(Table):
 
     def delete(self, key: Any) -> bool:
         self._check()
+        self.note_mutation()
         part_index = self.part_of(key)
         shard = self._store._shard(part_index)
         with shard.lock:
@@ -496,6 +498,7 @@ class ReplicatedTable(Table):
     def put_many(self, pairs: Iterable[tuple]) -> None:
         """One replication batch (⇒ one marshal to backups) per touched part."""
         self._check()
+        self.note_mutation()
         pairs, span = self._batch_span("store.put_many", pairs)
         with span:
             if self.ubiquitous:
@@ -544,6 +547,7 @@ class ReplicatedTable(Table):
         instead of a lock round-trip per key.
         """
         self._check()
+        self.note_mutation()
         keys, span = self._batch_span("store.delete_many", keys)
         with span:
             by_part: dict = {}
@@ -623,6 +627,7 @@ class ReplicatedTable(Table):
 
     def clear(self) -> None:
         self._check()
+        self.note_mutation()
         for i in range(self.n_parts):
             shard = self._store._shard(i)
             with shard.lock:

@@ -185,6 +185,20 @@ class MetricsRegistry:
     def histogram(self, name: str, unit: str = "") -> Histogram:
         return self._get_or_create(name, Histogram, unit)
 
+    @staticmethod
+    def labeled(name: str, **labels: Any) -> str:
+        """Canonical labeled metric name: ``name{k=v,...}``, keys sorted.
+
+        The registry is a flat namespace; labels are a naming
+        convention, not a dimension model.  Sorting the keys makes the
+        name deterministic, so ``labeled("jobs", tenant="a")`` resolves
+        to the same instrument from every call site.
+        """
+        if not labels:
+            return name
+        inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+        return f"{name}{{{inner}}}"
+
     def get(self, name: str) -> Optional[Metric]:
         with self._lock:
             return self._metrics.get(name)

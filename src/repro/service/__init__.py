@@ -1,0 +1,35 @@
+"""``repro.service`` — the multi-tenant job front door.
+
+The paper closes by positioning Ripple for "provisioning for
+analytics as a service"; this subsystem is that front door: tenants
+submit declarative :class:`~repro.service.spec.JobRequest` specs
+naming apps from a catalog (the paper's four workloads), an admission
+controller enforces per-tenant quotas with aged priorities and
+backpressure, results are cached against input-table mutation epochs,
+and progress streams live from the engine's barrier hook.  See
+``docs/service.md``.
+"""
+
+from repro.service.admission import AdmissionController, TenantQuota
+from repro.service.cache import ResultCache
+from repro.service.catalog import AppCatalog, PreparedJob, default_catalog
+from repro.service.frontdoor import FrontDoor
+from repro.service.progress import ProgressBoard, ServiceJob
+from repro.service.server import ServiceServer
+from repro.service.spec import ALLOWED_ENGINE_OPTIONS, JobRequest, JobStatus
+
+__all__ = [
+    "ALLOWED_ENGINE_OPTIONS",
+    "AdmissionController",
+    "AppCatalog",
+    "FrontDoor",
+    "JobRequest",
+    "JobStatus",
+    "PreparedJob",
+    "ProgressBoard",
+    "ResultCache",
+    "ServiceJob",
+    "ServiceServer",
+    "TenantQuota",
+    "default_catalog",
+]

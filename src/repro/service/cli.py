@@ -1,0 +1,296 @@
+"""``ripple service`` — serve the front door and talk to it.
+
+The client side is a thin JSON-over-HTTP shim (stdlib ``urllib``), so
+it works against any running server; the server side wires a store, a
+front door, and :class:`~repro.service.server.ServiceServer` together
+and installs signal handlers for a graceful drain-then-exit.
+
+Quota syntax (``--quota`` / ``--default-quota``)::
+
+    tenant=RUNNING:QUEUED[:STEP_BUDGET[:WINDOW_SECONDS]]
+    e.g.  --quota alice=2:8  --quota batch=1:4:5000:60
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+DEFAULT_URL = os.environ.get("RIPPLE_SERVICE_URL", "http://127.0.0.1:8420")
+
+
+# -- HTTP client ------------------------------------------------------------------
+def _http(method: str, url: str, body: Optional[dict] = None) -> Tuple[int, Any]:
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        if "Retry-After" in exc.headers:
+            payload["retry_after"] = exc.headers["Retry-After"]
+        return exc.code, payload
+
+
+def _emit(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _parse_kv(pairs: List[str], flag: str) -> Dict[str, Any]:
+    """``key=value`` pairs; values parse as JSON, falling back to string."""
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"{flag} expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            out[key] = json.loads(raw)
+        except ValueError:
+            out[key] = raw
+    return out
+
+
+# -- client commands --------------------------------------------------------------
+def _cmd_apps(args: argparse.Namespace) -> int:
+    code, payload = _http("GET", f"{args.url}/v1/apps")
+    _emit(payload)
+    return 0 if code == 200 else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    body = {
+        "app": args.app,
+        "tenant": args.tenant,
+        "params": _parse_kv(args.param, "-p"),
+        "engine": _parse_kv(args.engine, "-e"),
+        "priority": args.priority,
+    }
+    code, payload = _http("POST", f"{args.url}/v1/jobs", body)
+    if code != 202:
+        _emit(payload)
+        return 1
+    if not args.wait:
+        _emit(payload)
+        return 0
+    return _wait_and_report(args.url, payload["job_id"], args.timeout, result=True)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    path = f"/v1/jobs/{args.job_id}" if args.job_id else "/v1/jobs"
+    code, payload = _http("GET", f"{args.url}{path}")
+    _emit(payload)
+    return 0 if code == 200 else 1
+
+
+def _wait_and_report(
+    url: str, job_id: str, timeout: Optional[float], result: bool
+) -> int:
+    """Follow the event stream (long-poll) until the job is terminal."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    cursor = 0
+    while True:
+        poll = 10.0
+        if deadline is not None:
+            poll = min(poll, deadline - time.monotonic())
+            if poll <= 0:
+                print(f"timed out waiting for job {job_id}", file=sys.stderr)
+                return 2
+        code, payload = _http(
+            "GET", f"{url}/v1/jobs/{job_id}/events?since={cursor}&timeout={poll:.1f}"
+        )
+        if code != 200:
+            _emit(payload)
+            return 1
+        for event in payload.get("events", []):
+            cursor = event["seq"] + 1
+            if event["kind"] == "step":
+                data = event["data"]
+                print(
+                    f"step {data.get('step')}: {data.get('invocations')} invocations, "
+                    f"{data.get('records_out')} records out",
+                    file=sys.stderr,
+                )
+            elif event["kind"] == "status":
+                status = event["data"]["status"]
+                print(f"status: {status}", file=sys.stderr)
+                if status in ("done", "failed", "cancelled"):
+                    if result and status == "done":
+                        code, payload = _http("GET", f"{url}/v1/jobs/{job_id}/result")
+                        _emit(payload)
+                        return 0 if code == 200 else 1
+                    code, payload = _http("GET", f"{url}/v1/jobs/{job_id}")
+                    _emit(payload)
+                    return 0 if status == "done" else 1
+
+
+def _cmd_wait(args: argparse.Namespace) -> int:
+    return _wait_and_report(args.url, args.job_id, args.timeout, result=False)
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    code, payload = _http("GET", f"{args.url}/v1/jobs/{args.job_id}/result")
+    _emit(payload)
+    return 0 if code == 200 else 1
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    code, payload = _http("POST", f"{args.url}/v1/jobs/{args.job_id}/cancel")
+    _emit(payload)
+    return 0 if code == 200 and payload.get("cancelled") else 1
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    code, payload = _http("GET", f"{args.url}/v1/tenants")
+    _emit(payload)
+    return 0 if code == 200 else 1
+
+
+# -- the server command -----------------------------------------------------------
+def _parse_quota(text: str):
+    from repro.service.admission import TenantQuota
+
+    fields = text.split(":")
+    if not 2 <= len(fields) <= 4:
+        raise SystemExit(f"bad quota {text!r} (want RUNNING:QUEUED[:BUDGET[:WINDOW]])")
+    return TenantQuota(
+        max_running=int(fields[0]),
+        max_queued=int(fields[1]),
+        step_budget=int(fields[2]) if len(fields) > 2 else None,
+        window_seconds=float(fields[3]) if len(fields) > 3 else 60.0,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.admission import TenantQuota
+    from repro.service.frontdoor import FrontDoor
+    from repro.service.server import ServiceServer
+
+    if args.store:
+        from repro.kvstore.persistent import PersistentKVStore
+
+        store = PersistentKVStore(args.store)
+    else:
+        from repro.kvstore.local import LocalKVStore
+
+        store = LocalKVStore()
+
+    quotas = {}
+    for spec in args.quota:
+        if "=" not in spec:
+            raise SystemExit(f"--quota expects tenant=SPEC, got {spec!r}")
+        tenant, text = spec.split("=", 1)
+        quotas[tenant] = _parse_quota(text)
+    default_quota = (
+        _parse_quota(args.default_quota) if args.default_quota else TenantQuota()
+    )
+
+    front_door = FrontDoor(
+        store,
+        quotas=quotas,
+        default_quota=default_quota,
+        max_queue_depth=args.queue_depth,
+        max_concurrent=args.max_concurrent,
+        runtime=args.runtime,
+    )
+    server = ServiceServer(front_door, host=args.host, port=args.port).start()
+    print(f"ripple service listening on {server.url}", file=sys.stderr)
+
+    stop = threading.Event()
+
+    def handle_signal(signum: int, frame: Any) -> None:
+        print(f"signal {signum}: draining...", file=sys.stderr)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+    stop.wait()
+    drained = server.close(timeout=args.drain_timeout)
+    store.close()
+    print("drained cleanly" if drained else "drain timed out", file=sys.stderr)
+    return 0 if drained else 1
+
+
+# -- parser -----------------------------------------------------------------------
+def build_parser(prog: str = "ripple service") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog, description="Run and query the Ripple job service."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def client(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--url", default=DEFAULT_URL, help="service base URL")
+        return p
+
+    p = client("submit", "submit a catalog app as a job")
+    p.add_argument("app")
+    p.add_argument("--tenant", default="public")
+    p.add_argument("--priority", type=int, default=100)
+    p.add_argument("-p", "--param", action="append", default=[], metavar="K=V")
+    p.add_argument("-e", "--engine", action="append", default=[], metavar="K=V")
+    p.add_argument("--wait", action="store_true", help="stream until done, print result")
+    p.add_argument("--timeout", type=float, default=None)
+    p.set_defaults(func=_cmd_submit)
+
+    p = client("status", "show one job (or all jobs)")
+    p.add_argument("job_id", nargs="?", default=None)
+    p.set_defaults(func=_cmd_status)
+
+    p = client("wait", "stream progress until the job is terminal")
+    p.add_argument("job_id")
+    p.add_argument("--timeout", type=float, default=None)
+    p.set_defaults(func=_cmd_wait)
+
+    p = client("result", "fetch a finished job's payload")
+    p.add_argument("job_id")
+    p.set_defaults(func=_cmd_result)
+
+    p = client("cancel", "cancel a queued job")
+    p.add_argument("job_id")
+    p.set_defaults(func=_cmd_cancel)
+
+    p = client("tenants", "per-tenant quota accounting")
+    p.set_defaults(func=_cmd_tenants)
+
+    p = client("apps", "list the app catalog")
+    p.set_defaults(func=_cmd_apps)
+
+    p = sub.add_parser("serve", help="run the front door HTTP server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8420)
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="back the service with a persistent store at DIR (default: in-memory)",
+    )
+    p.add_argument("--max-concurrent", type=int, default=2)
+    p.add_argument("--runtime", default=None, help="worker runtime (threaded/process/inline)")
+    p.add_argument("--queue-depth", type=int, default=64)
+    p.add_argument("--quota", action="append", default=[], metavar="TENANT=R:Q[:B[:W]]")
+    p.add_argument("--default-quota", default=None, metavar="R:Q[:B[:W]]")
+    p.add_argument("--drain-timeout", type=float, default=30.0)
+    p.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,50 @@
+"""``ripple`` — the umbrella command-line entry point.
+
+One console script fronting the project's tools::
+
+    ripple inspect <store-dir> [...]      inspect a persistent store
+                                          (tables, trace, metrics)
+    ripple service <subcommand> [...]     run / query the job service
+        serve | submit | status | wait | result | cancel | tenants | apps
+
+Each group delegates to its own argparse parser, so ``ripple inspect
+--help`` and ``ripple service --help`` give the full per-group usage.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+_USAGE = """\
+usage: ripple <command> [...]
+
+commands:
+  inspect    inspect a persistent Ripple store (tables, trace, metrics)
+  service    the multi-tenant job service:
+             serve, submit, status, wait, result, cancel, tenants, apps
+
+run 'ripple <command> --help' for command-specific options
+"""
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "inspect":
+        from repro.tools.inspect import main as inspect_main
+
+        return inspect_main(rest)
+    if command == "service":
+        from repro.service.cli import main as service_main
+
+        return service_main(rest)
+    print(f"ripple: unknown command {command!r}\n\n{_USAGE}", end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

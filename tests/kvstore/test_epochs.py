@@ -1,0 +1,71 @@
+"""Table mutation epochs: the versioning hook the result cache keys on."""
+
+from __future__ import annotations
+
+from repro.kvstore.api import TableSpec
+
+
+def _make(store, name="epochs"):
+    return store.create_table(TableSpec(name=name))
+
+
+class TestMutationEpochs:
+    def test_fresh_table_starts_at_zero(self, store):
+        table = _make(store)
+        assert table.mutation_epoch == 0
+
+    def test_put_advances_the_epoch(self, store):
+        table = _make(store)
+        table.put(1, "a")
+        first = table.mutation_epoch
+        assert first > 0
+        table.put(1, "b")
+        assert table.mutation_epoch > first
+
+    def test_reads_do_not_advance(self, store):
+        table = _make(store)
+        table.put(1, "a")
+        epoch = table.mutation_epoch
+        table.get(1)
+        table.get(99)
+        list(table.items())
+        table.size()
+        assert table.mutation_epoch == epoch
+
+    def test_delete_advances(self, store):
+        table = _make(store)
+        table.put(1, "a")
+        epoch = table.mutation_epoch
+        table.delete(1)
+        assert table.mutation_epoch > epoch
+
+    def test_bulk_writes_advance(self, store):
+        table = _make(store)
+        epoch = table.mutation_epoch
+        table.put_many((i, i * 10) for i in range(8))
+        after_put = table.mutation_epoch
+        assert after_put > epoch
+        table.delete_many([0, 1, 2])
+        assert table.mutation_epoch > after_put
+
+    def test_clear_advances(self, store):
+        table = _make(store)
+        table.put(1, "a")
+        epoch = table.mutation_epoch
+        table.clear()
+        assert table.mutation_epoch > epoch
+
+    def test_epochs_are_per_table(self, store):
+        a = _make(store, "epochs_a")
+        b = _make(store, "epochs_b")
+        a.put(1, "x")
+        assert a.mutation_epoch > 0
+        assert b.mutation_epoch == 0
+
+    def test_note_mutation_is_public(self, store):
+        # the service front door bumps epochs explicitly at completion
+        # (process-runtime children write against forked handles)
+        table = _make(store)
+        epoch = table.mutation_epoch
+        table.note_mutation()
+        assert table.mutation_epoch == epoch + 1

@@ -1,0 +1,26 @@
+"""Labeled metric names: the per-tenant naming convention."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_labeled_sorts_keys():
+    assert (
+        MetricsRegistry.labeled("service.jobs", tenant="a", app="pr")
+        == "service.jobs{app=pr,tenant=a}"
+    )
+
+
+def test_labeled_without_labels_is_identity():
+    assert MetricsRegistry.labeled("plain") == "plain"
+
+
+def test_labeled_resolves_to_one_instrument():
+    registry = MetricsRegistry()
+    registry.counter(MetricsRegistry.labeled("jobs", tenant="a")).add(2)
+    registry.counter(MetricsRegistry.labeled("jobs", tenant="a")).add(3)
+    registry.counter(MetricsRegistry.labeled("jobs", tenant="b")).add(1)
+    snapshot = registry.snapshot()
+    assert snapshot["jobs{tenant=a}"] == 5
+    assert snapshot["jobs{tenant=b}"] == 1

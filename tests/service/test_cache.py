@@ -1,0 +1,78 @@
+"""Result cache: epoch matching, invalidation, LRU bounds."""
+
+from __future__ import annotations
+
+from repro.kvstore.api import TableSpec
+from repro.kvstore.local import LocalKVStore
+from repro.service.cache import ResultCache
+
+
+def make_store_with(*names):
+    store = LocalKVStore()
+    for name in names:
+        store.create_table(TableSpec(name=name)).put(0, "seed")
+    return store
+
+
+class TestHitAndMiss:
+    def test_empty_cache_misses(self):
+        store = make_store_with("t")
+        cache = ResultCache()
+        assert cache.lookup(store, "fp") is None
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 1}
+
+    def test_put_then_hit(self):
+        store = make_store_with("t")
+        cache = ResultCache()
+        cache.put(store, "fp", ["t"], {"answer": 42})
+        assert cache.lookup(store, "fp") == {"answer": 42}
+        assert cache.stats()["hits"] == 1
+
+    def test_mutation_invalidates(self):
+        store = make_store_with("t")
+        cache = ResultCache()
+        cache.put(store, "fp", ["t"], "payload")
+        store.get_table("t").put(1, "mutant")
+        assert cache.lookup(store, "fp") is None
+        # and the stale entry is gone, not retried forever
+        assert cache.stats()["entries"] == 0
+
+    def test_any_of_several_inputs_invalidates(self):
+        store = make_store_with("a", "b")
+        cache = ResultCache()
+        cache.put(store, "fp", ["a", "b"], "payload")
+        store.get_table("b").delete(0)
+        assert cache.lookup(store, "fp") is None
+
+    def test_dropped_table_is_a_miss(self):
+        store = make_store_with("t")
+        cache = ResultCache()
+        cache.put(store, "fp", ["t"], "payload")
+        store.drop_table("t")
+        assert cache.lookup(store, "fp") is None
+
+    def test_unrelated_mutations_do_not_invalidate(self):
+        store = make_store_with("t", "other")
+        cache = ResultCache()
+        cache.put(store, "fp", ["t"], "payload")
+        store.get_table("other").put(9, "x")
+        assert cache.lookup(store, "fp") == "payload"
+
+
+class TestLRU:
+    def test_capacity_evicts_least_recent(self):
+        store = make_store_with("t")
+        cache = ResultCache(capacity=2)
+        cache.put(store, "a", ["t"], 1)
+        cache.put(store, "b", ["t"], 2)
+        assert cache.lookup(store, "a") == 1  # refresh a
+        cache.put(store, "c", ["t"], 3)  # evicts b
+        assert cache.lookup(store, "b") is None
+        assert cache.lookup(store, "a") == 1
+        assert cache.lookup(store, "c") == 3
+
+    def test_missing_input_table_is_not_cached(self):
+        store = make_store_with("t")
+        cache = ResultCache()
+        cache.put(store, "fp", ["vanished"], "payload")
+        assert len(cache) == 0

@@ -1,0 +1,150 @@
+"""The ``ripple`` umbrella CLI and the service client commands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.kvstore.local import LocalKVStore
+from repro.service import FrontDoor, ServiceServer
+from repro.service.cli import main as service_main
+from repro.tools.ripple import main as ripple_main
+
+
+class TestUmbrella:
+    def test_help_lists_all_subcommands(self, capsys):
+        assert ripple_main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in ("inspect", "service", "serve", "submit", "status", "wait",
+                     "result", "cancel", "tenants", "apps"):
+            assert name in out, f"ripple --help does not mention {name!r}"
+
+    def test_no_args_prints_usage(self, capsys):
+        assert ripple_main([]) == 0
+        assert "usage: ripple" in capsys.readouterr().out
+
+    def test_unknown_command_fails(self, capsys):
+        assert ripple_main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_inspect_is_wired_through(self, capsys, tmp_path):
+        # an empty store dir → inspect's own listing path, proving delegation
+        assert ripple_main(["inspect", str(tmp_path / "empty")]) == 0
+        assert "(no tables)" in capsys.readouterr().out
+
+    def test_service_group_help(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            ripple_main(["service", "--help"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("serve", "submit", "status", "wait", "result", "cancel",
+                     "tenants", "apps"):
+            assert name in out
+
+
+@pytest.fixture
+def live_url():
+    store = LocalKVStore()
+    with ServiceServer(FrontDoor(store)) as server:
+        yield server.url
+    store.close()
+
+
+PR_ARGS = ["-p", "n_vertices=30", "-p", "n_edges=90", "-p", "iterations=3"]
+
+
+class TestClient:
+    def test_apps(self, live_url, capsys):
+        assert service_main(["apps", "--url", live_url]) == 0
+        assert "pagerank" in capsys.readouterr().out
+
+    def test_submit_wait_result_round_trip(self, live_url, capsys):
+        code = service_main(
+            ["submit", "pagerank", "--url", live_url, "--wait", "--timeout", "60"]
+            + PR_ARGS
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        payload = json.loads(captured.out)
+        assert len(payload["result"]["ranks"]) == 30
+        assert "status: done" in captured.err
+
+    def test_submit_then_separate_wait_and_result(self, live_url, capsys):
+        assert service_main(["submit", "pagerank", "--url", live_url] + PR_ARGS) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert service_main(
+            ["wait", record["job_id"], "--url", live_url, "--timeout", "60"]
+        ) == 0
+        capsys.readouterr()
+        assert service_main(["result", record["job_id"], "--url", live_url]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["job_id"] == record["job_id"]
+
+    def test_status_all_and_one(self, live_url, capsys):
+        service_main(["submit", "pagerank", "--url", live_url] + PR_ARGS)
+        record = json.loads(capsys.readouterr().out)
+        assert service_main(["status", "--url", live_url]) == 0
+        assert record["job_id"] in capsys.readouterr().out
+        assert service_main(["status", record["job_id"], "--url", live_url]) == 0
+
+    def test_tenants(self, live_url, capsys):
+        service_main(["submit", "pagerank", "--url", live_url] + PR_ARGS)
+        capsys.readouterr()
+        assert service_main(["tenants", "--url", live_url]) == 0
+        assert "public" in capsys.readouterr().out
+
+    def test_cancel_done_job_fails_cleanly(self, live_url, capsys):
+        code = service_main(
+            ["submit", "pagerank", "--url", live_url, "--wait", "--timeout", "60"]
+            + PR_ARGS
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert service_main(["cancel", payload["job_id"], "--url", live_url]) == 1
+
+    def test_bad_submit_reports_error(self, live_url, capsys):
+        assert service_main(["submit", "nope", "--url", live_url]) == 1
+        assert "unknown app" in capsys.readouterr().out
+
+    def test_bad_param_syntax(self, live_url):
+        with pytest.raises(SystemExit):
+            service_main(["submit", "pagerank", "--url", live_url, "-p", "oops"])
+
+
+ALL_APPS = {
+    "pagerank": (["-p", "n_vertices=30", "-p", "n_edges=90", "-p", "iterations=3"],
+                 lambda r: len(r["ranks"]) == 30),
+    "sssp": (["-p", "n_vertices=30", "-p", "n_edges=60", "-p", "source=0"],
+             lambda r: r["distances"]["0"] == 0),
+    "summa": (["-p", "m=6", "-p", "n=6", "-p", "inner=6"],
+              lambda r: len(r["c"]) == 6 and len(r["c"][0]) == 6),
+    "kmeans": (["-p", "n_points=40", "-p", "k=3"],
+               lambda r: len(r["centroids"]) == 3),
+}
+
+
+@pytest.mark.parametrize("runtime", ["threaded", "process"])
+def test_all_apps_round_trip_on_runtime(runtime, capsys):
+    """submit/wait/result works for every catalog app, live over HTTP,
+    on both the threaded and the process worker runtime."""
+    from repro.kvstore.partitioned import PartitionedKVStore
+
+    store = PartitionedKVStore(n_partitions=4)
+    front_door = FrontDoor(store, runtime=runtime, max_concurrent=1)
+    with ServiceServer(front_door) as server:
+        for app, (args, check) in ALL_APPS.items():
+            code = service_main(
+                ["submit", app, "--url", server.url, "--wait", "--timeout", "180"]
+                + args
+            )
+            captured = capsys.readouterr()
+            assert code == 0, f"{app} on {runtime}: {captured.err}"
+            payload = json.loads(captured.out)
+            assert check(payload["result"]), f"{app} on {runtime}: {payload}"
+            # the record is fetchable afterwards too
+            assert service_main(
+                ["result", payload["job_id"], "--url", server.url]
+            ) == 0
+            capsys.readouterr()
+    store.close()

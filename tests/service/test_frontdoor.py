@@ -1,0 +1,304 @@
+"""FrontDoor end-to-end: lifecycle, quotas, caching, progress, shutdown."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import BadRequestError, QuotaExceededError, ServiceError
+from repro.ebsp.job import Compute, ComputeContext, Job
+from repro.ebsp.loaders import DictStateLoader
+from repro.ebsp.scheduler import JobScheduler
+from repro.kvstore.local import LocalKVStore
+from repro.service import (
+    FrontDoor,
+    JobRequest,
+    JobStatus,
+    TenantQuota,
+    default_catalog,
+)
+from repro.service.catalog import PreparedJob
+
+PR_PARAMS = {"n_vertices": 40, "n_edges": 150, "iterations": 4}
+
+
+# -- a gate app: blocks until the test releases it --------------------------------
+class _GateCompute(Compute):
+    def __init__(self, gate: threading.Event):
+        self._gate = gate
+
+    def compute(self, ctx: ComputeContext) -> bool:
+        assert self._gate.wait(30), "test forgot to open the gate"
+        ctx.write_state(0, "ran")
+        return False
+
+
+class _GateJob(Job):
+    def __init__(self, table: str, gate: threading.Event):
+        self._table = table
+        self._gate = gate
+
+    def state_table_names(self):
+        return [self._table]
+
+    def get_compute(self) -> Compute:
+        return _GateCompute(self._gate)
+
+    def loaders(self):
+        return [DictStateLoader(0, {0: "pending"}, enable=True)]
+
+
+def catalog_with_gate(gates):
+    """The default catalog plus a test-only app that blocks on an event."""
+    catalog = default_catalog()
+
+    def build(store, request):
+        name = request.params["name"]
+        gate = gates.setdefault(name, threading.Event())
+        table = f"gate_{name}"
+        return PreparedJob(
+            job=_GateJob(table, gate),
+            engine_kwargs={"synchronize": True},
+            input_tables=[table],
+            collect=lambda store, result: {"steps": result.steps, "name": name},
+        )
+
+    catalog.register("gate", build, required={"name": str}, optional={})
+    return catalog
+
+
+@pytest.fixture
+def store():
+    instance = LocalKVStore()
+    yield instance
+    instance.close()
+
+
+class TestLifecycle:
+    def test_pagerank_round_trip(self, store):
+        with FrontDoor(store) as fd:
+            record = fd.submit(JobRequest(app="pagerank", params=PR_PARAMS))
+            assert record.wait(60)
+            assert record.status is JobStatus.DONE
+            assert not record.cached
+            assert len(record.payload["ranks"]) == PR_PARAMS["n_vertices"]
+            assert abs(sum(record.payload["ranks"].values()) - 1.0) < 1e-6
+            assert record.steps_seen == PR_PARAMS["iterations"] + 1
+            assert record.last_step["step"] == PR_PARAMS["iterations"]
+
+    def test_status_events_in_order(self, store):
+        with FrontDoor(store) as fd:
+            record = fd.submit(JobRequest(app="pagerank", params=PR_PARAMS))
+            record.wait(60)
+            events = fd.board.events_since(record.job_id)
+            statuses = [
+                e["data"]["status"] for e in events if e["kind"] == "status"
+            ]
+            assert statuses == ["queued", "admitted", "running", "done"]
+            steps = [e["data"]["step"] for e in events if e["kind"] == "step"]
+            assert steps == list(range(PR_PARAMS["iterations"] + 1))
+
+    def test_bad_requests_fail_at_submit(self, store):
+        with FrontDoor(store) as fd:
+            with pytest.raises(BadRequestError, match="unknown app"):
+                fd.submit(JobRequest(app="nope"))
+            with pytest.raises(BadRequestError, match="unknown params"):
+                fd.submit(JobRequest(app="pagerank", params={"bogus": 1}))
+            with pytest.raises(BadRequestError, match="missing params"):
+                fd.submit(JobRequest(app="pagerank", params={}))
+            assert fd.jobs() == []  # nothing leaked into the registry
+
+    def test_semantic_failure_is_async_and_releases_the_slot(self, store):
+        # source out of range passes the schema but fails in the builder
+        with FrontDoor(store) as fd:
+            record = fd.submit(
+                JobRequest(
+                    app="sssp",
+                    params={"n_vertices": 10, "n_edges": 5, "source": 99},
+                )
+            )
+            assert record.wait(30)
+            assert record.status is JobStatus.FAILED
+            assert "source" in record.error
+            # the tenant's running slot was released
+            follow_up = fd.submit(JobRequest(app="pagerank", params=PR_PARAMS))
+            assert follow_up.wait(60)
+            assert follow_up.status is JobStatus.DONE
+
+    def test_result_raises_until_done(self, store):
+        gates = {}
+        with FrontDoor(store, catalog=catalog_with_gate(gates)) as fd:
+            record = fd.submit(JobRequest(app="gate", params={"name": "r1"}))
+            with pytest.raises(ServiceError):
+                fd.result(record.job_id)
+            gates["r1"].set()
+            record.wait(30)
+            assert fd.result(record.job_id)["name"] == "r1"
+
+
+class TestQuotas:
+    def test_over_quota_jobs_queue_then_run(self, store):
+        gates = {}
+        quotas = {"t": TenantQuota(max_running=1, max_queued=2)}
+        with FrontDoor(
+            store, catalog=catalog_with_gate(gates), quotas=quotas, max_concurrent=4
+        ) as fd:
+            first = fd.submit(
+                JobRequest(app="gate", tenant="t", params={"name": "q1"})
+            )
+            second = fd.submit(
+                JobRequest(app="gate", tenant="t", params={"name": "q2"})
+            )
+            assert second.status is JobStatus.QUEUED
+            assert fd.tenants()["t"] == {
+                **fd.tenants()["t"], "running": 1, "queued": 1,
+            }
+            # q2's builder only runs at dispatch; pre-seed its gate open
+            gates.setdefault("q2", threading.Event()).set()
+            gates["q1"].set()
+            assert first.wait(30) and first.status is JobStatus.DONE
+            assert second.wait(30)
+            assert second.status is JobStatus.DONE
+
+    def test_queue_quota_rejects_with_retry_after(self, store):
+        gates = {}
+        quotas = {"t": TenantQuota(max_running=1, max_queued=1)}
+        with FrontDoor(store, catalog=catalog_with_gate(gates), quotas=quotas) as fd:
+            fd.submit(JobRequest(app="gate", tenant="t", params={"name": "b1"}))
+            fd.submit(JobRequest(app="gate", tenant="t", params={"name": "b2"}))
+            with pytest.raises(QuotaExceededError) as info:
+                fd.submit(JobRequest(app="gate", tenant="t", params={"name": "b3"}))
+            assert info.value.retry_after >= 1.0
+            for gate in gates.values():
+                gate.set()
+
+    def test_tenants_do_not_block_each_other(self, store):
+        gates = {}
+        quotas = {"busy": TenantQuota(max_running=1)}
+        with FrontDoor(
+            store, catalog=catalog_with_gate(gates), quotas=quotas, max_concurrent=4
+        ) as fd:
+            fd.submit(JobRequest(app="gate", tenant="busy", params={"name": "h1"}))
+            other = fd.submit(JobRequest(app="pagerank", tenant="idle", params=PR_PARAMS))
+            assert other.wait(60)
+            assert other.status is JobStatus.DONE
+            gates["h1"].set()
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, store):
+        gates = {}
+        quotas = {"t": TenantQuota(max_running=1, max_queued=2)}
+        with FrontDoor(store, catalog=catalog_with_gate(gates), quotas=quotas) as fd:
+            running = fd.submit(JobRequest(app="gate", tenant="t", params={"name": "c1"}))
+            queued = fd.submit(JobRequest(app="gate", tenant="t", params={"name": "c2"}))
+            assert fd.cancel(queued.job_id) is True
+            assert queued.status is JobStatus.CANCELLED
+            gates["c1"].set()
+            assert running.wait(30) and running.status is JobStatus.DONE
+            # the cancelled job never ran
+            assert "c2" not in gates or not gates["c2"].is_set()
+
+    def test_cancel_running_job_is_refused(self, store):
+        gates = {}
+        with FrontDoor(store, catalog=catalog_with_gate(gates)) as fd:
+            record = fd.submit(JobRequest(app="gate", params={"name": "c3"}))
+            # wait until it is actually running
+            for _ in range(100):
+                if record.status is JobStatus.RUNNING:
+                    break
+                threading.Event().wait(0.05)
+            assert fd.cancel(record.job_id) is False
+            gates["c3"].set()
+            record.wait(30)
+
+
+class TestCaching:
+    def test_repeat_submission_hits(self, store):
+        with FrontDoor(store) as fd:
+            first = fd.submit(JobRequest(app="pagerank", tenant="a", params=PR_PARAMS))
+            first.wait(60)
+            second = fd.submit(JobRequest(app="pagerank", tenant="b", params=PR_PARAMS))
+            assert second.status is JobStatus.DONE  # immediately
+            assert second.cached
+            assert json.dumps(second.payload, sort_keys=True) == json.dumps(
+                first.payload, sort_keys=True
+            )
+            assert fd.cache_stats()["hits"] == 1
+
+    def test_table_mutation_invalidates(self, store):
+        with FrontDoor(store) as fd:
+            first = fd.submit(JobRequest(app="pagerank", params=PR_PARAMS))
+            first.wait(60)
+            table = store.get_table(first.payload["table"])
+            table.put(0, table.get(0))  # touch: epoch bump, same data
+            second = fd.submit(JobRequest(app="pagerank", params=PR_PARAMS))
+            assert not second.cached
+            second.wait(60)
+            assert second.status is JobStatus.DONE
+
+    def test_different_params_do_not_hit(self, store):
+        with FrontDoor(store) as fd:
+            fd.submit(JobRequest(app="pagerank", params=PR_PARAMS)).wait(60)
+            other = dict(PR_PARAMS, iterations=5)
+            second = fd.submit(JobRequest(app="pagerank", params=other))
+            assert not second.cached
+            second.wait(60)
+
+    def test_matches_direct_scheduler_run(self, store):
+        """The front door adds management, not computation: payloads are
+        byte-identical to collecting a direct scheduler run."""
+        with FrontDoor(store) as fd:
+            record = fd.submit(JobRequest(app="pagerank", params=PR_PARAMS))
+            record.wait(60)
+            service_payload = json.dumps(record.payload, sort_keys=True)
+
+        direct_store = LocalKVStore()
+        catalog = default_catalog()
+        prepared = catalog.prepare(
+            direct_store, JobRequest(app="pagerank", params=PR_PARAMS)
+        )
+        with JobScheduler(direct_store) as scheduler:
+            handle = scheduler.submit(prepared.job, **prepared.engine_kwargs)
+            handle.wait(60)
+        direct_payload = json.dumps(
+            prepared.collect(direct_store, handle.result), sort_keys=True
+        )
+        assert service_payload == direct_payload
+
+
+class TestShutdown:
+    def test_close_cancels_queued_and_drains_running(self, store):
+        gates = {}
+        quotas = {"t": TenantQuota(max_running=1, max_queued=2)}
+        fd = FrontDoor(store, catalog=catalog_with_gate(gates), quotas=quotas)
+        running = fd.submit(JobRequest(app="gate", tenant="t", params={"name": "s1"}))
+        queued = fd.submit(JobRequest(app="gate", tenant="t", params={"name": "s2"}))
+        gates["s1"].set()
+        assert fd.close(timeout=30) is True
+        assert running.status is JobStatus.DONE
+        assert queued.status is JobStatus.CANCELLED
+
+    def test_submit_after_close_raises(self, store):
+        fd = FrontDoor(store)
+        fd.close()
+        with pytest.raises(ServiceError, match="shut down"):
+            fd.submit(JobRequest(app="pagerank", params=PR_PARAMS))
+
+    def test_close_is_idempotent(self, store):
+        fd = FrontDoor(store)
+        assert fd.close() is True
+        assert fd.close() is True
+
+
+def test_metrics_are_labeled_per_tenant(store):
+    with FrontDoor(store) as fd:
+        fd.submit(JobRequest(app="pagerank", tenant="alice", params=PR_PARAMS)).wait(60)
+        fd.submit(JobRequest(app="pagerank", tenant="bob", params=PR_PARAMS))
+        snapshot = fd.metrics().snapshot()
+        assert snapshot["service.jobs_submitted{tenant=alice}"] == 1
+        assert snapshot["service.jobs_submitted{tenant=bob}"] == 1
+        assert snapshot["service.cache_hits{tenant=bob}"] == 1
+        assert snapshot["service.jobs_done{tenant=alice}"] == 1
