@@ -115,8 +115,6 @@ class JobScheduler:
         cancellation).  Callbacks run on scheduler threads and must not
         block; exceptions they raise are swallowed.
         """
-        if self._closed:
-            raise JobError("scheduler is shut down")
         tables = set(job.state_table_names())
         reads = frozenset(read_only or []) & tables
         writes = frozenset(tables - reads)
@@ -125,6 +123,11 @@ class JobScheduler:
             on_start=on_start, on_done=on_done,
         )
         with self._lock:
+            # checked under the lock: close() cancels the queue under
+            # the same lock, so a job can never slip in after the
+            # cancellation sweep and hang with no one to run it
+            if self._closed:
+                raise JobError("scheduler is shut down")
             self._handles[handle.job_id] = handle
             self._queue.append(handle.job_id)
             self._engine_kwargs[handle.job_id] = dict(engine_kwargs)
@@ -138,11 +141,25 @@ class JobScheduler:
             if handle is None or handle.state is not JobState.QUEUED:
                 return False
             self._queue.remove(job_id)
+            self._engine_kwargs.pop(job_id, None)
             handle.state = JobState.CANCELLED
             handle.finished_at = time.monotonic()
             handle._done.set()
         self._notify_done(handle)
         return True
+
+    def forget(self, job_id: str) -> bool:
+        """Drop a *finished* job's handle from the registry; True if
+        dropped.  Queued or running jobs are kept — callers retire
+        handles they no longer need so a long-lived scheduler does not
+        accumulate one per job ever submitted."""
+        with self._lock:
+            handle = self._handles.get(job_id)
+            if handle is None or not handle.done:
+                return False
+            del self._handles[job_id]
+            self._engine_kwargs.pop(job_id, None)
+            return True
 
     @staticmethod
     def _notify_done(handle: JobHandle) -> None:
@@ -196,6 +213,7 @@ class JobScheduler:
         finally:
             handle.finished_at = time.monotonic()
             with self._lock:
+                self._engine_kwargs.pop(handle.job_id, None)
                 self._running_writes.pop(handle.job_id, None)
                 self._running_reads.pop(handle.job_id, None)
                 self._free_slots.append(slot)
@@ -243,6 +261,7 @@ class JobScheduler:
             if not already_closed:
                 for job_id in self._queue:
                     handle = self._handles[job_id]
+                    self._engine_kwargs.pop(job_id, None)
                     handle.state = JobState.CANCELLED
                     handle.finished_at = time.monotonic()
                     handle._done.set()

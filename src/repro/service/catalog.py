@@ -89,8 +89,9 @@ class AppCatalog:
 
         Raises :class:`~repro.errors.BadRequestError` for an unknown
         app or bad parameters.  Callers invoke this only on a cache
-        miss — builders may mutate tables (SUMMA reseeds its blocks),
-        and doing that before the cache lookup would self-invalidate.
+        miss — builders may mutate tables (SUMMA and SSSP reseed their
+        inputs), and doing that before the cache lookup would
+        self-invalidate.
         """
         builder = self._builders.get(request.app)
         if builder is None:
@@ -181,12 +182,16 @@ def _build_sssp(store: KVStore, request: JobRequest) -> PreparedJob:
         "sssp",
         {"n_vertices": p["n_vertices"], "n_edges": p["n_edges"], "seed": seed},
     )
-    if not store.has_table(table):
-        adjacency: Dict[int, Set[int]] = {v: set() for v in range(p["n_vertices"])}
-        for a, b in power_law_undirected_edges(p["n_vertices"], p["n_edges"], seed):
-            adjacency[a].add(b)
-            adjacency[b].add(a)
-        SelectiveSSSP(store, source, table_name=table).load(adjacency)
+    adjacency: Dict[int, Set[int]] = {v: set() for v in range(p["n_vertices"])}
+    for a, b in power_law_undirected_edges(p["n_vertices"], p["n_edges"], seed):
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    # The selective job mutates dist / neighbor_dists in place and never
+    # resets them, so the table is reseeded on every prepare — which
+    # only happens on a cache miss — exactly like SUMMA.  A table left
+    # over from a different source (or distance cap) would otherwise
+    # feed the new wave stale annotations and yield wrong distances.
+    SelectiveSSSP(store, source, table_name=table).load(adjacency)
     cap = p.get("distance_cap", max(p["n_vertices"], 1))
 
     def collect(store: KVStore, result: JobResult) -> Any:

@@ -27,8 +27,9 @@ from __future__ import annotations
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import asdict
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import ServiceError, UnknownServiceJobError
 from repro.ebsp.scheduler import JobHandle, JobScheduler, JobState
@@ -58,7 +59,10 @@ class FrontDoor:
         max_concurrent: int = 2,
         runtime: RuntimeSpec = None,
         metrics: Optional[MetricsRegistry] = None,
+        retain_jobs: int = 256,
     ):
+        if retain_jobs <= 0:
+            raise ValueError("retain_jobs must be positive")
         self._store = store
         self._own_scheduler = scheduler is None
         self._scheduler = scheduler or JobScheduler(
@@ -76,6 +80,12 @@ class FrontDoor:
         self._lock = threading.RLock()
         self._jobs: Dict[str, ServiceJob] = {}
         self._prepared: Dict[str, PreparedJob] = {}
+        #: Terminal job ids, oldest first; beyond ``retain_jobs`` their
+        #: records, event logs, and scheduler handles are evicted.
+        self._retain_jobs = retain_jobs
+        self._terminal: Deque[str] = deque()
+        self._draining = False
+        self._drain_pending = False
         self._closed = False
         self._metrics.gauge_fn(
             "service.queue_depth", lambda: self._admission.queue_depth(), unit="jobs"
@@ -110,7 +120,7 @@ class FrontDoor:
                 record.payload = payload
                 record.finished_at = time.time()
                 self._transition(record, JobStatus.DONE, cached=True)
-                record._done.set()
+                self._retire(record)
                 return record
             self._counter("service.cache_misses", tenant).add()
 
@@ -136,6 +146,20 @@ class FrontDoor:
         record.status = status
         self.board.post(record.job_id, "status", {"status": status.value, **extra})
 
+    def _retire(self, record: ServiceJob) -> None:
+        """Mark *record* terminal and enforce the retention cap: the
+        oldest finished jobs beyond ``retain_jobs`` lose their record,
+        event log, and scheduler handle, so a long-running service does
+        not grow per-job state without bound.  Lock held."""
+        record._done.set()
+        self._terminal.append(record.job_id)
+        while len(self._terminal) > self._retain_jobs:
+            old_id = self._terminal.popleft()
+            old = self._jobs.pop(old_id, None)
+            self.board.forget(old_id)
+            if old is not None and old.scheduler_id is not None:
+                self._scheduler.forget(old.scheduler_id)
+
     # -- dispatch ----------------------------------------------------------------
     def _dispatch(self, record: ServiceJob) -> None:
         """Prepare the job (cache miss is now certain) and hand it to
@@ -145,6 +169,9 @@ class FrontDoor:
         except Exception as exc:
             self._admission.release(record.request.tenant, 0)
             self._fail(record, exc)
+            # the released slot may admit a job queued behind this one —
+            # without a drain here nothing else would wake the queue
+            self._drain()
             return
         self._prepared[record.job_id] = prepared
         self._transition(record, JobStatus.ADMITTED)
@@ -170,8 +197,10 @@ class FrontDoor:
                 prepared.job, on_start=on_start, on_done=on_done, **engine_kwargs
             )
         except Exception as exc:
+            self._prepared.pop(record.job_id, None)
             self._admission.release(record.request.tenant, 0)
             self._fail(record, exc)
+            self._drain()
             return
         record.scheduler_id = handle.job_id
 
@@ -179,7 +208,7 @@ class FrontDoor:
         record.error = f"{type(exc).__name__}: {exc}"
         record.finished_at = time.time()
         self._transition(record, JobStatus.FAILED, error=record.error)
-        record._done.set()
+        self._retire(record)
         self._counter("service.jobs_failed", record.request.tenant).add()
 
     # -- completion --------------------------------------------------------------
@@ -202,24 +231,39 @@ class FrontDoor:
                     record.payload = payload
                     record.finished_at = time.time()
                     self._transition(record, JobStatus.DONE, cached=False)
-                    record._done.set()
+                    self._retire(record)
                     self._counter("service.jobs_done", record.request.tenant).add()
                 except Exception as exc:
                     self._fail(record, exc)
             elif handle.state is JobState.CANCELLED:
                 record.finished_at = time.time()
                 self._transition(record, JobStatus.CANCELLED)
-                record._done.set()
+                self._retire(record)
             else:
                 self._fail(record, handle.error or ServiceError("job failed"))
             self._drain()
 
     def _drain(self) -> None:
-        """Admit every queued job its tenant can now run.  Lock held."""
-        for job_id in self._admission.drain():
-            record = self._jobs.get(job_id)
-            if record is not None and record.status is JobStatus.QUEUED:
-                self._dispatch(record)
+        """Admit every queued job its tenant can now run.  Lock held.
+
+        Non-reentrant: a dispatch that fails inside the loop releases
+        its slot and requests another drain rather than recursing, so
+        the pass re-runs until the queue is quiescent."""
+        if self._draining:
+            self._drain_pending = True
+            return
+        self._draining = True
+        try:
+            self._drain_pending = True
+            while self._drain_pending:
+                self._drain_pending = False
+                for job_id in self._admission.drain():
+                    record = self._jobs.get(job_id)
+                    if record is not None and record.status is JobStatus.QUEUED:
+                        self._dispatch(record)
+        finally:
+            self._draining = False
+            self._drain_pending = False
 
     # -- client surface -----------------------------------------------------------
     def job(self, job_id: str) -> ServiceJob:
@@ -251,7 +295,7 @@ class FrontDoor:
                 self._admission.withdraw(job_id)
                 record.finished_at = time.time()
                 self._transition(record, JobStatus.CANCELLED)
-                record._done.set()
+                self._retire(record)
                 return True
             if record.status is JobStatus.ADMITTED and record.scheduler_id:
                 # scheduler-side cancel only works pre-start; its
@@ -282,12 +326,12 @@ class FrontDoor:
             if self._closed:
                 return True
             self._closed = True
-            for record in self._jobs.values():
+            for record in list(self._jobs.values()):
                 if record.status is JobStatus.QUEUED:
                     self._admission.withdraw(record.job_id)
                     record.finished_at = time.time()
                     self._transition(record, JobStatus.CANCELLED)
-                    record._done.set()
+                    self._retire(record)
         if self._own_scheduler:
             return self._scheduler.close(timeout)
         deadline = None if timeout is None else time.monotonic() + timeout

@@ -131,6 +131,24 @@ def test_slots_are_reused_across_many_jobs(store):
     assert stats["tasks"] == 10  # one runtime task per job
 
 
+def test_forget_drops_only_finished_handles(store):
+    """forget() retires terminal handles so a long-lived scheduler does
+    not grow per-job state; live jobs are refused."""
+    started, gate = threading.Event(), threading.Event()
+    with JobScheduler(store, max_concurrent=1) as scheduler:
+        running = scheduler.submit(_gated_job("f1", started, gate))
+        assert started.wait(10)
+        assert scheduler.forget(running.job_id) is False  # still running
+        gate.set()
+        assert running.wait(10)
+        assert scheduler.forget(running.job_id) is True
+        with pytest.raises(JobError):
+            scheduler.handle(running.job_id)
+        assert scheduler.forget(running.job_id) is False  # already gone
+        assert scheduler.jobs() == []
+        assert scheduler._engine_kwargs == {}  # no kwargs leak either
+
+
 def test_inline_runtime_runs_jobs_synchronously(store):
     """runtime="inline" turns the scheduler into a deterministic,
     single-threaded debugging harness: submit() returns with the job

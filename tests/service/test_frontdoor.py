@@ -7,7 +7,12 @@ import threading
 
 import pytest
 
-from repro.errors import BadRequestError, QuotaExceededError, ServiceError
+from repro.errors import (
+    BadRequestError,
+    QuotaExceededError,
+    ServiceError,
+    UnknownServiceJobError,
+)
 from repro.ebsp.job import Compute, ComputeContext, Job
 from repro.ebsp.loaders import DictStateLoader
 from repro.ebsp.scheduler import JobScheduler
@@ -127,6 +132,25 @@ class TestLifecycle:
             assert follow_up.wait(60)
             assert follow_up.status is JobStatus.DONE
 
+    def test_sssp_second_source_does_not_see_stale_state(self, store):
+        """Re-running SSSP over the same graph with a new source must
+        start from fresh annotations, not the previous run's converged
+        dist/neighbor_dists (the tables share a name by design)."""
+        params = {"n_vertices": 24, "n_edges": 60, "seed": 3}
+        with FrontDoor(store) as fd:
+            first = fd.submit(JobRequest(app="sssp", params={**params, "source": 0}))
+            assert first.wait(60) and first.status is JobStatus.DONE
+            second = fd.submit(JobRequest(app="sssp", params={**params, "source": 7}))
+            assert second.wait(60) and second.status is JobStatus.DONE
+        assert second.payload["distances"]["7"] == 0
+        # byte-identical to a service that never saw source 0
+        fresh = LocalKVStore()
+        with FrontDoor(fresh) as fd:
+            alone = fd.submit(JobRequest(app="sssp", params={**params, "source": 7}))
+            assert alone.wait(60) and alone.status is JobStatus.DONE
+        fresh.close()
+        assert second.payload["distances"] == alone.payload["distances"]
+
     def test_result_raises_until_done(self, store):
         gates = {}
         with FrontDoor(store, catalog=catalog_with_gate(gates)) as fd:
@@ -173,6 +197,30 @@ class TestQuotas:
             assert info.value.retry_after >= 1.0
             for gate in gates.values():
                 gate.set()
+
+    def test_dispatch_failure_drains_jobs_queued_behind_it(self, store):
+        """A job whose builder fails at dispatch must release its slot
+        AND wake the queue — jobs behind it would otherwise stay QUEUED
+        forever when no other completion event arrives."""
+        gates = {}
+        quotas = {"t": TenantQuota(max_running=1, max_queued=4)}
+        with FrontDoor(store, catalog=catalog_with_gate(gates), quotas=quotas) as fd:
+            first = fd.submit(JobRequest(app="gate", tenant="t", params={"name": "d1"}))
+            # passes schema validation, fails in the builder at dispatch
+            doomed = fd.submit(
+                JobRequest(
+                    app="sssp", tenant="t",
+                    params={"n_vertices": 10, "n_edges": 5, "source": 99},
+                )
+            )
+            behind = fd.submit(JobRequest(app="gate", tenant="t", params={"name": "d2"}))
+            assert doomed.status is JobStatus.QUEUED
+            assert behind.status is JobStatus.QUEUED
+            gates.setdefault("d2", threading.Event()).set()
+            gates["d1"].set()
+            assert first.wait(30) and first.status is JobStatus.DONE
+            assert doomed.wait(30) and doomed.status is JobStatus.FAILED
+            assert behind.wait(30) and behind.status is JobStatus.DONE
 
     def test_tenants_do_not_block_each_other(self, store):
         gates = {}
@@ -267,6 +315,35 @@ class TestCaching:
             prepared.collect(direct_store, handle.result), sort_keys=True
         )
         assert service_payload == direct_payload
+
+
+class TestRetention:
+    def test_terminal_jobs_evicted_beyond_cap(self, store):
+        with FrontDoor(store, retain_jobs=2) as fd:
+            records = []
+            for i in range(4):
+                record = fd.submit(
+                    JobRequest(app="pagerank", params={**PR_PARAMS, "iterations": i + 1})
+                )
+                assert record.wait(60) and record.status is JobStatus.DONE
+                records.append(record)
+            # the two oldest lose record, event log, and scheduler handle
+            assert {r.job_id for r in fd.jobs()} == {r.job_id for r in records[2:]}
+            with pytest.raises(UnknownServiceJobError):
+                fd.job(records[0].job_id)
+            assert fd.board.events_since(records[0].job_id) == []
+            assert len(fd._scheduler.jobs()) <= 2
+
+    def test_retained_jobs_stay_queryable(self, store):
+        with FrontDoor(store, retain_jobs=8) as fd:
+            record = fd.submit(JobRequest(app="pagerank", params=PR_PARAMS))
+            assert record.wait(60)
+            assert fd.result(record.job_id) == record.payload
+            assert fd.board.events_since(record.job_id) != []
+
+    def test_retain_jobs_must_be_positive(self, store):
+        with pytest.raises(ValueError, match="retain_jobs"):
+            FrontDoor(store, retain_jobs=0)
 
 
 class TestShutdown:
